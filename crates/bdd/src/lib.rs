@@ -1,0 +1,39 @@
+//! Reduced ordered binary decision diagrams (ROBDDs), built from scratch.
+//!
+//! This crate is the symbolic-analysis substrate for the `asyncsynth`
+//! workspace (DAC'98 *Asynchronous Interface Specification, Analysis and
+//! Synthesis* reproduction). Section 2.2 of the paper relies on
+//! "Symbolic Binary Decision Diagram-based traversal of a reachability
+//! graph"; this crate provides the BDD package that traversal is built on.
+//!
+//! The design is a classic hash-consed unique table with a memoizing
+//! if-then-else (ITE) operator, in the style of Brace/Rudell/Bryant:
+//!
+//! * [`Manager`] owns the node table and caches,
+//! * [`Bdd`] is a lightweight handle (index) into a manager,
+//! * all boolean connectives, quantification, substitution and
+//!   satisfying-assignment enumeration are methods on [`Manager`].
+//!
+//! # Example
+//!
+//! ```
+//! use bdd::Manager;
+//!
+//! let mut m = Manager::new();
+//! let a = m.var(0);
+//! let b = m.var(1);
+//! let f = m.and(a, b);
+//! let g = m.or(a, b);
+//! let h = m.implies(f, g); // (a & b) -> (a | b) is a tautology
+//! assert_eq!(h, Manager::one());
+//! assert_eq!(m.sat_count(f, 2), 1);
+//! ```
+
+mod manager;
+mod ops;
+
+pub use manager::{Bdd, Manager, VarId};
+pub use ops::SatAssignments;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,23 @@
+//! A4: exact vs heuristic two-level minimisation (§3.2's boolean
+//! minimisation step).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_minimise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimise");
+    group.sample_size(10);
+    for (vars, cubes) in [(6usize, 6usize), (8, 8), (10, 10)] {
+        let f = bench::random_function(vars, cubes, 42);
+        let id = format!("{vars}v{cubes}c");
+        group.bench_with_input(BenchmarkId::new("exact", &id), &f, |b, f| {
+            b.iter(|| boolmin::minimize_exact(f).cubes().len());
+        });
+        group.bench_with_input(BenchmarkId::new("heuristic", &id), &f, |b, f| {
+            b.iter(|| boolmin::minimize_heuristic(f).cubes().len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_minimise);
+criterion_main!(benches);

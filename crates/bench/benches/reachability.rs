@@ -1,0 +1,25 @@
+//! A1: explicit vs symbolic (BDD) reachability on FIFO rings — the
+//! "symbolic traversal ... is generally much more compact" claim of §2.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use petri::generators;
+use petri::reach::ReachabilityGraph;
+use petri::symbolic::symbolic_reachability;
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reachability");
+    group.sample_size(10);
+    for n in [6usize, 8, 10] {
+        let net = generators::pipeline_with_tokens(n, n / 2);
+        group.bench_with_input(BenchmarkId::new("explicit", n), &net, |b, net| {
+            b.iter(|| ReachabilityGraph::build(net).unwrap().num_states());
+        });
+        group.bench_with_input(BenchmarkId::new("symbolic", n), &net, |b, net| {
+            b.iter(|| symbolic_reachability(net).num_markings);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reachability);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! P1: cycle time and separation analysis throughput (§5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use petri::generators;
+use timing::{cycle_time, max_separation, SeparationQuery, TimedMarkedGraph};
+
+fn bench_timing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timing");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let tmg = TimedMarkedGraph::with_fixed_delay(generators::pipeline(n), 1.0);
+        group.bench_with_input(BenchmarkId::new("cycle-time", n), &tmg, |b, tmg| {
+            b.iter(|| cycle_time(tmg));
+        });
+        let t0 = tmg.net().transition_by_name("t0").unwrap();
+        let t1 = tmg.net().transition_by_name("t1").unwrap();
+        group.bench_with_input(BenchmarkId::new("separation", n), &tmg, |b, tmg| {
+            b.iter(|| {
+                max_separation(tmg, SeparationQuery { from: t1, to: t0, offset: 0 }, 12)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_timing);
+criterion_main!(benches);

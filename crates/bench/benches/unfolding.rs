@@ -1,0 +1,25 @@
+//! A2: unfolding prefix vs reachability graph on concurrent handshakes —
+//! §2.2's "often more compact than the reachability graph".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use petri::generators;
+use petri::reach::ReachabilityGraph;
+use petri::unfold::Unfolding;
+
+fn bench_unfolding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unfolding");
+    group.sample_size(10);
+    for m in [2usize, 4, 6] {
+        let net = generators::parallel_handshakes(m);
+        group.bench_with_input(BenchmarkId::new("reachability", m), &net, |b, net| {
+            b.iter(|| ReachabilityGraph::build(net).unwrap().num_states());
+        });
+        group.bench_with_input(BenchmarkId::new("prefix", m), &net, |b, net| {
+            b.iter(|| Unfolding::build(net, 100_000).unwrap().num_events());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unfolding);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Shared helpers for the benchmark harness and the experiment
+//! reproduction binary (see `src/bin/experiments.rs` and `benches/`).
+
+use boolmin::{Cover, Cube, IncompleteFunction};
+
+/// A deterministic pseudo-random incompletely specified function over
+/// `num_vars` variables, for the minimisation ablation (A4).
+#[must_use]
+pub fn random_function(num_vars: usize, on_cubes: usize, seed: u64) -> IncompleteFunction {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_97f4_a7c1).wrapping_add(1);
+    let mut next = || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (state >> 33) as usize
+    };
+    let mut cubes = Vec::with_capacity(on_cubes);
+    for _ in 0..on_cubes {
+        let mut lits = Vec::with_capacity(num_vars);
+        for _ in 0..num_vars {
+            lits.push(match next() % 3 {
+                0 => boolmin::Literal::Zero,
+                1 => boolmin::Literal::One,
+                _ => boolmin::Literal::DontCare,
+            });
+        }
+        cubes.push(Cube::from_literals(lits));
+    }
+    let on = Cover::from_cubes(num_vars, cubes);
+    // A sparse dc-set disjoint from the on-set.
+    let mut dc_cubes = Vec::new();
+    for _ in 0..on_cubes / 2 {
+        let mut lits = Vec::with_capacity(num_vars);
+        for _ in 0..num_vars {
+            lits.push(match next() % 3 {
+                0 => boolmin::Literal::Zero,
+                1 => boolmin::Literal::One,
+                _ => boolmin::Literal::DontCare,
+            });
+        }
+        dc_cubes.push(Cube::from_literals(lits));
+    }
+    let dc = Cover::from_cubes(num_vars, dc_cubes).subtract(&on);
+    IncompleteFunction::new(on, dc)
+}

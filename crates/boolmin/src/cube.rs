@@ -1,0 +1,298 @@
+//! Cubes (product terms) over a fixed set of boolean variables.
+
+use std::fmt;
+
+/// The value a cube assigns to one variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Literal {
+    /// The variable must be 0 (negative literal).
+    Zero,
+    /// The variable must be 1 (positive literal).
+    One,
+    /// The variable is unconstrained in this cube.
+    DontCare,
+}
+
+impl Literal {
+    /// `true` if this position constrains its variable.
+    #[must_use]
+    pub fn is_literal(self) -> bool {
+        self != Literal::DontCare
+    }
+}
+
+/// A product term over `n` variables, e.g. `a·¬c` over `{a,b,c}` = `1-0`.
+///
+/// Cubes use the textual convention of espresso PLA files: `0` for a
+/// negative literal, `1` for a positive literal, `-` for an absent one.
+///
+/// # Example
+///
+/// ```
+/// use boolmin::Cube;
+/// let c = Cube::parse("1-0").unwrap();
+/// assert!(c.covers_minterm(&[true, true, false]));
+/// assert!(!c.covers_minterm(&[true, true, true]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    vals: Vec<Literal>,
+}
+
+impl Cube {
+    /// The universal cube (all don't-cares) over `n` variables.
+    #[must_use]
+    pub fn universe(n: usize) -> Self {
+        Cube { vals: vec![Literal::DontCare; n] }
+    }
+
+    /// Builds a cube from explicit literal values.
+    #[must_use]
+    pub fn from_literals(vals: Vec<Literal>) -> Self {
+        Cube { vals }
+    }
+
+    /// Builds the minterm cube for a complete assignment.
+    #[must_use]
+    pub fn from_minterm(assignment: &[bool]) -> Self {
+        Cube {
+            vals: assignment
+                .iter()
+                .map(|&b| if b { Literal::One } else { Literal::Zero })
+                .collect(),
+        }
+    }
+
+    /// Parses the espresso notation (`0`, `1`, `-`).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the offending character if any position is not
+    /// one of `0`, `1`, `-`.
+    pub fn parse(s: &str) -> Result<Self, char> {
+        let mut vals = Vec::with_capacity(s.len());
+        for ch in s.chars() {
+            vals.push(match ch {
+                '0' => Literal::Zero,
+                '1' => Literal::One,
+                '-' => Literal::DontCare,
+                other => return Err(other),
+            });
+        }
+        Ok(Cube { vals })
+    }
+
+    /// Number of variables this cube ranges over.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The literal at position `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    #[must_use]
+    pub fn literal(&self, var: usize) -> Literal {
+        self.vals[var]
+    }
+
+    /// Sets the literal at position `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set(&mut self, var: usize, lit: Literal) {
+        self.vals[var] = lit;
+    }
+
+    /// Returns a copy with position `var` replaced by `lit`.
+    #[must_use]
+    pub fn with(&self, var: usize, lit: Literal) -> Self {
+        let mut c = self.clone();
+        c.set(var, lit);
+        c
+    }
+
+    /// Number of literals (constrained positions).
+    #[must_use]
+    pub fn literal_count(&self) -> usize {
+        self.vals.iter().filter(|v| v.is_literal()).count()
+    }
+
+    /// Iterates over `(var, Literal)` for the constrained positions.
+    pub fn literals(&self) -> impl Iterator<Item = (usize, Literal)> + '_ {
+        self.vals
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_literal())
+            .map(|(i, v)| (i, *v))
+    }
+
+    /// `true` if the cube covers the given complete assignment.
+    #[must_use]
+    pub fn covers_minterm(&self, assignment: &[bool]) -> bool {
+        self.vals.iter().zip(assignment).all(|(v, &b)| match v {
+            Literal::Zero => !b,
+            Literal::One => b,
+            Literal::DontCare => true,
+        })
+    }
+
+    /// `true` if `self` covers `other` (every minterm of `other` is in
+    /// `self`).
+    #[must_use]
+    pub fn covers(&self, other: &Cube) -> bool {
+        self.vals.iter().zip(&other.vals).all(|(a, b)| match a {
+            Literal::DontCare => true,
+            _ => a == b,
+        })
+    }
+
+    /// Intersection of two cubes, or `None` if they are disjoint.
+    #[must_use]
+    pub fn intersect(&self, other: &Cube) -> Option<Cube> {
+        let mut vals = Vec::with_capacity(self.vals.len());
+        for (a, b) in self.vals.iter().zip(&other.vals) {
+            vals.push(match (a, b) {
+                (Literal::DontCare, x) => *x,
+                (x, Literal::DontCare) => *x,
+                (x, y) if x == y => *x,
+                _ => return None,
+            });
+        }
+        Some(Cube { vals })
+    }
+
+    /// Number of variables on which the cubes have opposing literals.
+    #[must_use]
+    pub fn distance(&self, other: &Cube) -> usize {
+        self.vals
+            .iter()
+            .zip(&other.vals)
+            .filter(|(a, b)| {
+                matches!(
+                    (a, b),
+                    (Literal::Zero, Literal::One) | (Literal::One, Literal::Zero)
+                )
+            })
+            .count()
+    }
+
+    /// Consensus of two cubes at distance 1, else `None`.
+    ///
+    /// The consensus merges the two cubes across their single conflicting
+    /// variable — the merging step of iterated-consensus prime generation.
+    #[must_use]
+    pub fn consensus(&self, other: &Cube) -> Option<Cube> {
+        if self.distance(other) != 1 {
+            return None;
+        }
+        let mut vals = Vec::with_capacity(self.vals.len());
+        for (a, b) in self.vals.iter().zip(&other.vals) {
+            vals.push(match (a, b) {
+                (Literal::Zero, Literal::One) | (Literal::One, Literal::Zero) => {
+                    Literal::DontCare
+                }
+                (Literal::DontCare, x) | (x, Literal::DontCare) => *x,
+                (x, _) => *x,
+            });
+        }
+        Some(Cube { vals })
+    }
+
+    /// Smallest cube containing both inputs.
+    #[must_use]
+    pub fn supercube(&self, other: &Cube) -> Cube {
+        let vals = self
+            .vals
+            .iter()
+            .zip(&other.vals)
+            .map(|(a, b)| if a == b { *a } else { Literal::DontCare })
+            .collect();
+        Cube { vals }
+    }
+
+    /// Cofactor of `self` with respect to a literal `(var = value)`:
+    /// the restriction of this cube to the half-space, with the variable
+    /// freed; `None` if the cube does not intersect the half-space.
+    #[must_use]
+    pub fn cofactor_literal(&self, var: usize, value: bool) -> Option<Cube> {
+        match (self.vals[var], value) {
+            (Literal::Zero, true) | (Literal::One, false) => None,
+            _ => Some(self.with(var, Literal::DontCare)),
+        }
+    }
+
+    /// Number of minterms the cube covers, as a power of two.
+    #[must_use]
+    pub fn minterm_count(&self) -> u128 {
+        let free = self.vals.len() - self.literal_count();
+        1u128 << free
+    }
+
+    /// Enumerates all minterms covered by the cube (each as a `Vec<bool>`).
+    ///
+    /// Intended for small variable counts; cost is `2^(free positions)`.
+    #[must_use]
+    pub fn minterms(&self) -> Vec<Vec<bool>> {
+        let free: Vec<usize> = self
+            .vals
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_literal())
+            .map(|(i, _)| i)
+            .collect();
+        let mut out = Vec::with_capacity(1 << free.len());
+        for bits in 0..(1u64 << free.len()) {
+            let mut m: Vec<bool> = self
+                .vals
+                .iter()
+                .map(|v| matches!(v, Literal::One))
+                .collect();
+            for (k, &i) in free.iter().enumerate() {
+                m[i] = (bits >> k) & 1 == 1;
+            }
+            out.push(m);
+        }
+        out
+    }
+
+    /// Renders the cube as a product of named literals, e.g. `a·¬c`;
+    /// the universal cube renders as `1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is shorter than the cube.
+    #[must_use]
+    pub fn to_expr_string(&self, names: &[String]) -> String {
+        let mut parts = Vec::new();
+        for (i, v) in self.vals.iter().enumerate() {
+            match v {
+                Literal::One => parts.push(names[i].clone()),
+                Literal::Zero => parts.push(format!("{}'", names[i])),
+                Literal::DontCare => {}
+            }
+        }
+        if parts.is_empty() {
+            "1".to_owned()
+        } else {
+            parts.join(" ")
+        }
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for v in &self.vals {
+            let ch = match v {
+                Literal::Zero => '0',
+                Literal::One => '1',
+                Literal::DontCare => '-',
+            };
+            write!(f, "{ch}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,222 @@
+//! Boolean expression trees (factored forms).
+
+use std::fmt;
+
+use crate::cover::Cover;
+use crate::cube::Literal;
+
+/// A boolean expression over numbered variables.
+///
+/// Used as the factored-form output of [`factor`](crate::factor::factor_cover)
+/// and as the gate-function input of technology mapping.
+///
+/// # Example
+///
+/// ```
+/// use boolmin::Expr;
+/// let e = Expr::or(vec![
+///     Expr::and(vec![Expr::Var(0), Expr::Var(1)]),
+///     Expr::not(Expr::Var(2)),
+/// ]);
+/// assert!(e.eval(&[true, true, true]));
+/// assert!(e.eval(&[false, false, false]));
+/// assert!(!e.eval(&[false, true, true]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Constant true or false.
+    Const(bool),
+    /// A variable by index.
+    Var(usize),
+    /// Negation.
+    Not(Box<Expr>),
+    /// N-ary conjunction.
+    And(Vec<Expr>),
+    /// N-ary disjunction.
+    Or(Vec<Expr>),
+}
+
+impl Expr {
+    /// Builds a conjunction, flattening trivial cases.
+    #[must_use]
+    pub fn and(mut parts: Vec<Expr>) -> Expr {
+        parts.retain(|p| !matches!(p, Expr::Const(true)));
+        if parts.iter().any(|p| matches!(p, Expr::Const(false))) {
+            return Expr::Const(false);
+        }
+        match parts.len() {
+            0 => Expr::Const(true),
+            1 => parts.pop().expect("len checked"),
+            _ => Expr::And(parts),
+        }
+    }
+
+    /// Builds a disjunction, flattening trivial cases.
+    #[must_use]
+    pub fn or(mut parts: Vec<Expr>) -> Expr {
+        parts.retain(|p| !matches!(p, Expr::Const(false)));
+        if parts.iter().any(|p| matches!(p, Expr::Const(true))) {
+            return Expr::Const(true);
+        }
+        match parts.len() {
+            0 => Expr::Const(false),
+            1 => parts.pop().expect("len checked"),
+            _ => Expr::Or(parts),
+        }
+    }
+
+    /// Builds a negation, collapsing double negations.
+    #[must_use]
+    pub fn not(e: Expr) -> Expr {
+        match e {
+            Expr::Not(inner) => *inner,
+            Expr::Const(b) => Expr::Const(!b),
+            other => Expr::Not(Box::new(other)),
+        }
+    }
+
+    /// A literal: variable `v`, possibly negated.
+    #[must_use]
+    pub fn literal(v: usize, positive: bool) -> Expr {
+        if positive {
+            Expr::Var(v)
+        } else {
+            Expr::not(Expr::Var(v))
+        }
+    }
+
+    /// Evaluates under a complete assignment (index = variable).
+    #[must_use]
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            Expr::Const(b) => *b,
+            Expr::Var(v) => assignment[*v],
+            Expr::Not(e) => !e.eval(assignment),
+            Expr::And(parts) => parts.iter().all(|p| p.eval(assignment)),
+            Expr::Or(parts) => parts.iter().any(|p| p.eval(assignment)),
+        }
+    }
+
+    /// Number of leaf literals (size measure for factored forms).
+    #[must_use]
+    pub fn literal_count(&self) -> usize {
+        match self {
+            Expr::Const(_) => 0,
+            Expr::Var(_) => 1,
+            Expr::Not(e) => e.literal_count(),
+            Expr::And(parts) | Expr::Or(parts) => {
+                parts.iter().map(Expr::literal_count).sum()
+            }
+        }
+    }
+
+    /// Maximum fan-in of any operator node.
+    #[must_use]
+    pub fn max_fanin(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 0,
+            Expr::Not(e) => e.max_fanin().max(1),
+            Expr::And(parts) | Expr::Or(parts) => parts
+                .iter()
+                .map(Expr::max_fanin)
+                .max()
+                .unwrap_or(0)
+                .max(parts.len()),
+        }
+    }
+
+    /// Variables occurring in the expression, ascending and deduplicated.
+    #[must_use]
+    pub fn support(&self) -> Vec<usize> {
+        let mut vars = std::collections::BTreeSet::new();
+        self.collect_support(&mut vars);
+        vars.into_iter().collect()
+    }
+
+    fn collect_support(&self, vars: &mut std::collections::BTreeSet<usize>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => {
+                vars.insert(*v);
+            }
+            Expr::Not(e) => e.collect_support(vars),
+            Expr::And(parts) | Expr::Or(parts) => {
+                for p in parts {
+                    p.collect_support(vars);
+                }
+            }
+        }
+    }
+
+    /// Converts a cover (SOP) into an expression tree.
+    #[must_use]
+    pub fn from_cover(cover: &Cover) -> Expr {
+        let terms: Vec<Expr> = cover
+            .cubes()
+            .iter()
+            .map(|c| {
+                let lits: Vec<Expr> = c
+                    .literals()
+                    .map(|(v, lit)| Expr::literal(v, lit == Literal::One))
+                    .collect();
+                Expr::and(lits)
+            })
+            .collect();
+        Expr::or(terms)
+    }
+
+    /// Pretty-prints with variable names (`'` postfix for negation, `·`
+    /// implicit as a space, `+` for disjunction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range of `names`.
+    #[must_use]
+    pub fn to_string_named(&self, names: &[String]) -> String {
+        self.render(names, false)
+    }
+
+    fn render(&self, names: &[String], parenthesise: bool) -> String {
+        match self {
+            Expr::Const(true) => "1".to_owned(),
+            Expr::Const(false) => "0".to_owned(),
+            Expr::Var(v) => names[*v].clone(),
+            Expr::Not(e) => match &**e {
+                Expr::Var(v) => format!("{}'", names[*v]),
+                inner => format!("({})'", inner.render(names, false)),
+            },
+            Expr::And(parts) => {
+                let s = parts
+                    .iter()
+                    .map(|p| p.render(names, matches!(p, Expr::Or(_))))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                if parenthesise {
+                    format!("({s})")
+                } else {
+                    s
+                }
+            }
+            Expr::Or(parts) => {
+                let s = parts
+                    .iter()
+                    .map(|p| p.render(names, false))
+                    .collect::<Vec<_>>()
+                    .join(" + ");
+                if parenthesise {
+                    format!("({s})")
+                } else {
+                    s
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.support().into_iter().max().map_or(0, |v| v + 1);
+        let names: Vec<String> = (0..max).map(|i| format!("x{i}")).collect();
+        write!(f, "{}", self.to_string_named(&names))
+    }
+}

@@ -1,0 +1,146 @@
+//! Algebraic factoring of two-level covers into expression trees.
+//!
+//! §3.4 of the paper bases decomposition on *"candidates for decomposition
+//! extracted by algebraic factorization"*. This module implements the
+//! classic quick-factor procedure: pick the most frequent literal, divide
+//! the cover by it, and recurse on quotient and remainder.
+
+use crate::cover::Cover;
+use crate::cube::{Cube, Literal};
+use crate::expr::Expr;
+
+/// Factors a cover into an [`Expr`] tree using literal division.
+///
+/// The resulting expression is logically equivalent to the cover (as a
+/// completely specified function) and usually has fewer literals; it is the
+/// starting point for fan-in-bounded decomposition.
+///
+/// # Example
+///
+/// ```
+/// use boolmin::{factor::factor_cover, Cover, Cube};
+/// // a b + a c  =>  a (b + c)
+/// let f = Cover::from_cubes(3, vec![
+///     Cube::parse("11-").unwrap(),
+///     Cube::parse("1-1").unwrap(),
+/// ]);
+/// let e = factor_cover(&f);
+/// assert_eq!(e.literal_count(), 3);
+/// for bits in 0..8u8 {
+///     let asg = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+///     assert_eq!(e.eval(&asg), f.covers_minterm(&asg));
+/// }
+/// ```
+#[must_use]
+pub fn factor_cover(cover: &Cover) -> Expr {
+    if cover.is_empty() {
+        return Expr::Const(false);
+    }
+    if cover.cubes().iter().any(|c| c.literal_count() == 0) {
+        return Expr::Const(true);
+    }
+    if cover.cubes().len() == 1 {
+        return cube_expr(&cover.cubes()[0]);
+    }
+    match best_literal(cover) {
+        None => {
+            // No literal shared by ≥ 2 cubes: plain SOP.
+            Expr::from_cover(cover)
+        }
+        Some((var, lit)) => {
+            let n = cover.num_vars();
+            let mut quotient_cubes = Vec::new();
+            let mut remainder_cubes = Vec::new();
+            for c in cover.cubes() {
+                if c.literal(var) == lit {
+                    quotient_cubes.push(c.with(var, Literal::DontCare));
+                } else {
+                    remainder_cubes.push(c.clone());
+                }
+            }
+            let quotient = Cover::from_cubes(n, quotient_cubes);
+            let divisor = Expr::literal(var, lit == Literal::One);
+            let q_expr = factor_cover(&quotient);
+            let product = Expr::and(vec![divisor, q_expr]);
+            if remainder_cubes.is_empty() {
+                product
+            } else {
+                let remainder = Cover::from_cubes(n, remainder_cubes);
+                Expr::or(vec![product, factor_cover(&remainder)])
+            }
+        }
+    }
+}
+
+fn cube_expr(c: &Cube) -> Expr {
+    let lits: Vec<Expr> = c
+        .literals()
+        .map(|(v, lit)| Expr::literal(v, lit == Literal::One))
+        .collect();
+    Expr::and(lits)
+}
+
+/// The literal `(var, phase)` occurring in the largest number of cubes, if
+/// any literal occurs at least twice.
+fn best_literal(cover: &Cover) -> Option<(usize, Literal)> {
+    let n = cover.num_vars();
+    let mut counts: Vec<[usize; 2]> = vec![[0, 0]; n];
+    for c in cover.cubes() {
+        for (v, lit) in c.literals() {
+            match lit {
+                Literal::Zero => counts[v][0] += 1,
+                Literal::One => counts[v][1] += 1,
+                Literal::DontCare => {}
+            }
+        }
+    }
+    let mut best: Option<(usize, Literal, usize)> = None;
+    for v in 0..n {
+        for (phase, lit) in [(0, Literal::Zero), (1, Literal::One)] {
+            let cnt = counts[v][phase];
+            if cnt >= 2 && best.as_ref().is_none_or(|&(_, _, bc)| cnt > bc) {
+                best = Some((v, lit, cnt));
+            }
+        }
+    }
+    best.map(|(v, l, _)| (v, l))
+}
+
+/// Rewrites an expression so no AND/OR node exceeds `max_fanin` inputs, by
+/// splitting wide operators into balanced trees.
+///
+/// # Panics
+///
+/// Panics if `max_fanin < 2`.
+#[must_use]
+pub fn bound_fanin(expr: &Expr, max_fanin: usize) -> Expr {
+    assert!(max_fanin >= 2, "gates need at least two inputs");
+    match expr {
+        Expr::Const(_) | Expr::Var(_) => expr.clone(),
+        Expr::Not(e) => Expr::not(bound_fanin(e, max_fanin)),
+        Expr::And(parts) => {
+            let bounded: Vec<Expr> = parts.iter().map(|p| bound_fanin(p, max_fanin)).collect();
+            split_tree(bounded, max_fanin, true)
+        }
+        Expr::Or(parts) => {
+            let bounded: Vec<Expr> = parts.iter().map(|p| bound_fanin(p, max_fanin)).collect();
+            split_tree(bounded, max_fanin, false)
+        }
+    }
+}
+
+fn split_tree(mut parts: Vec<Expr>, max_fanin: usize, is_and: bool) -> Expr {
+    while parts.len() > max_fanin {
+        let mut next = Vec::with_capacity(parts.len().div_ceil(max_fanin));
+        for chunk in parts.chunks(max_fanin) {
+            let group = chunk.to_vec();
+            next.push(if is_and { Expr::and(group) } else { Expr::or(group) });
+        }
+        parts = next;
+    }
+    if is_and {
+        Expr::and(parts)
+    } else {
+        Expr::or(parts)
+    }
+}

@@ -1,0 +1,101 @@
+//! Incompletely specified single-output boolean functions.
+
+use crate::cover::Cover;
+
+/// An incompletely specified function: an on-set and a dc-set (don't-care
+/// set); the off-set is everything else.
+///
+/// This is the exact shape produced by next-state function derivation in
+/// §3.2 of the paper: binary codes not corresponding to any state of the
+/// state graph are don't-care conditions for minimisation.
+///
+/// # Example
+///
+/// ```
+/// use boolmin::{Cover, Cube, IncompleteFunction};
+/// let on = Cover::from_cubes(2, vec![Cube::parse("11").unwrap()]);
+/// let dc = Cover::from_cubes(2, vec![Cube::parse("01").unwrap()]);
+/// let f = IncompleteFunction::new(on, dc);
+/// assert_eq!(f.value(&[true, true]), Some(true));
+/// assert_eq!(f.value(&[false, true]), None);       // don't-care
+/// assert_eq!(f.value(&[true, false]), Some(false));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncompleteFunction {
+    on: Cover,
+    dc: Cover,
+}
+
+impl IncompleteFunction {
+    /// Creates a function from its on-set and dc-set.
+    ///
+    /// Overlap between the sets is resolved in favour of the on-set (a
+    /// minterm in both is treated as on); callers deriving from state
+    /// graphs never produce overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two covers range over different variable counts.
+    #[must_use]
+    pub fn new(on: Cover, dc: Cover) -> Self {
+        assert_eq!(on.num_vars(), dc.num_vars(), "on/dc arity mismatch");
+        IncompleteFunction { on, dc }
+    }
+
+    /// A completely specified function (empty dc-set).
+    #[must_use]
+    pub fn completely_specified(on: Cover) -> Self {
+        let n = on.num_vars();
+        IncompleteFunction { on, dc: Cover::empty(n) }
+    }
+
+    /// Number of input variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.on.num_vars()
+    }
+
+    /// The on-set.
+    #[must_use]
+    pub fn on_set(&self) -> &Cover {
+        &self.on
+    }
+
+    /// The dc-set.
+    #[must_use]
+    pub fn dc_set(&self) -> &Cover {
+        &self.dc
+    }
+
+    /// The off-set, computed as ¬(on ∪ dc).
+    #[must_use]
+    pub fn off_set(&self) -> Cover {
+        self.on.union(&self.dc).complement()
+    }
+
+    /// The union on ∪ dc (the "care-or-free" upper bound for expansion).
+    #[must_use]
+    pub fn upper_bound(&self) -> Cover {
+        self.on.union(&self.dc)
+    }
+
+    /// Value at a complete assignment: `Some(true)` (on), `Some(false)`
+    /// (off) or `None` (don't-care).
+    #[must_use]
+    pub fn value(&self, assignment: &[bool]) -> Option<bool> {
+        if self.on.covers_minterm(assignment) {
+            Some(true)
+        } else if self.dc.covers_minterm(assignment) {
+            None
+        } else {
+            Some(false)
+        }
+    }
+
+    /// `true` if `cover` implements this function: it covers the whole
+    /// on-set and stays inside on ∪ dc.
+    #[must_use]
+    pub fn is_implemented_by(&self, cover: &Cover) -> bool {
+        cover.covers_cover(&self.on) && self.upper_bound().covers_cover(cover)
+    }
+}

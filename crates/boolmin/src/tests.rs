@@ -1,0 +1,323 @@
+//! Unit and property tests for the two-level logic substrate.
+
+use crate::factor::{bound_fanin, factor_cover};
+use crate::{minimize_exact, minimize_heuristic, primes_of, Cover, Cube, IncompleteFunction};
+
+fn assignments(n: usize) -> impl Iterator<Item = Vec<bool>> {
+    (0..(1u32 << n)).map(move |bits| (0..n).map(|i| (bits >> i) & 1 == 1).collect())
+}
+
+#[test]
+fn cube_parse_roundtrip() {
+    let c = Cube::parse("10-1").unwrap();
+    assert_eq!(c.to_string(), "10-1");
+    assert_eq!(c.num_vars(), 4);
+    assert_eq!(c.literal_count(), 3);
+    assert!(Cube::parse("10x").is_err());
+}
+
+#[test]
+fn cube_cover_relation() {
+    let big = Cube::parse("1--").unwrap();
+    let small = Cube::parse("1-0").unwrap();
+    assert!(big.covers(&small));
+    assert!(!small.covers(&big));
+    assert!(big.covers(&big));
+}
+
+#[test]
+fn cube_intersection_and_distance() {
+    let a = Cube::parse("1-0").unwrap();
+    let b = Cube::parse("11-").unwrap();
+    assert_eq!(a.intersect(&b).unwrap().to_string(), "110");
+    let c = Cube::parse("0--").unwrap();
+    assert!(a.intersect(&c).is_none());
+    assert_eq!(a.distance(&c), 1);
+    assert_eq!(a.distance(&b), 0);
+}
+
+#[test]
+fn cube_consensus() {
+    let a = Cube::parse("1-1").unwrap();
+    let b = Cube::parse("0-1").unwrap();
+    // Consensus across var 0: "--1".
+    assert_eq!(a.consensus(&b).unwrap().to_string(), "--1");
+    let c = Cube::parse("00-").unwrap();
+    // distance(a, c) = 2 (vars 0 and 2)? a=1-1, c=00-: var0 conflict only.
+    assert_eq!(a.distance(&c), 1);
+}
+
+#[test]
+fn cube_minterms() {
+    let c = Cube::parse("1-").unwrap();
+    let ms = c.minterms();
+    assert_eq!(ms.len(), 2);
+    assert!(ms.contains(&vec![true, false]));
+    assert!(ms.contains(&vec![true, true]));
+    assert_eq!(c.minterm_count(), 2);
+}
+
+#[test]
+fn cover_tautology() {
+    let t = Cover::parse(2, "1- 0-").unwrap();
+    assert!(t.is_tautology());
+    let nt = Cover::parse(2, "1- -1").unwrap();
+    assert!(!nt.is_tautology());
+    assert!(Cover::universe(3).is_tautology());
+    assert!(!Cover::empty(3).is_tautology());
+}
+
+#[test]
+fn cover_complement_small() {
+    let f = Cover::parse(2, "11").unwrap();
+    let nf = f.complement();
+    for asg in assignments(2) {
+        assert_eq!(nf.covers_minterm(&asg), !f.covers_minterm(&asg));
+    }
+    // Complement of a complement is equivalent to the original.
+    assert!(nf.complement().equivalent(&f));
+}
+
+#[test]
+fn cover_subtract() {
+    let f = Cover::parse(2, "1-").unwrap();
+    let g = Cover::parse(2, "11").unwrap();
+    let d = f.subtract(&g);
+    for asg in assignments(2) {
+        assert_eq!(
+            d.covers_minterm(&asg),
+            f.covers_minterm(&asg) && !g.covers_minterm(&asg)
+        );
+    }
+}
+
+#[test]
+fn cover_containment_checks() {
+    let f = Cover::parse(3, "1-- -1-").unwrap();
+    assert!(f.covers_cube(&Cube::parse("11-").unwrap()));
+    assert!(!f.covers_cube(&Cube::parse("0-0").unwrap()));
+    // The cube 110 is covered jointly even though neither cube alone works
+    // — straddling case.
+    let g = Cover::parse(2, "1- -1").unwrap();
+    assert!(g.covers_cube(&Cube::parse("11").unwrap()));
+}
+
+#[test]
+fn remove_contained_cleans_up() {
+    let mut f = Cover::parse(2, "11 1-").unwrap();
+    f.remove_contained();
+    assert_eq!(f.cubes().len(), 1);
+    assert_eq!(f.cubes()[0].to_string(), "1-");
+}
+
+#[test]
+fn primes_xor() {
+    // XOR has exactly two primes: 01 and 10.
+    let on = Cover::parse(2, "01 10").unwrap();
+    let f = IncompleteFunction::completely_specified(on);
+    let primes = primes_of(&f);
+    assert_eq!(primes.len(), 2);
+}
+
+#[test]
+fn primes_with_merge() {
+    // on = {00, 01, 11}: primes are 0- and -1.
+    let on = Cover::parse(2, "00 01 11").unwrap();
+    let f = IncompleteFunction::completely_specified(on);
+    let primes = primes_of(&f);
+    let strs: Vec<String> = primes.iter().map(ToString::to_string).collect();
+    assert!(strs.contains(&"0-".to_owned()));
+    assert!(strs.contains(&"-1".to_owned()));
+    assert_eq!(primes.len(), 2);
+}
+
+#[test]
+fn exact_minimisation_uses_dont_cares() {
+    // on = {11}, dc = {10}: result should be the single cube "1-".
+    let on = Cover::parse(2, "11").unwrap();
+    let dc = Cover::parse(2, "10").unwrap();
+    let f = IncompleteFunction::new(on, dc);
+    let min = minimize_exact(&f);
+    assert_eq!(min.cubes().len(), 1);
+    assert_eq!(min.cubes()[0].to_string(), "1-");
+}
+
+#[test]
+fn exact_minimisation_full_adder_carry() {
+    // carry(a,b,c) = ab + ac + bc: 3 cubes, 6 literals, already minimal.
+    let on = Cover::parse(3, "110 101 011 111").unwrap();
+    let f = IncompleteFunction::completely_specified(on);
+    let min = minimize_exact(&f);
+    assert_eq!(min.cubes().len(), 3);
+    assert_eq!(min.literal_count(), 6);
+    assert!(f.is_implemented_by(&min));
+}
+
+#[test]
+fn heuristic_minimisation_sound() {
+    let on = Cover::parse(3, "110 101 011 111").unwrap();
+    let f = IncompleteFunction::completely_specified(on);
+    let min = minimize_heuristic(&f);
+    assert!(f.is_implemented_by(&min));
+}
+
+#[test]
+fn minimize_empty_and_tautology() {
+    let empty = IncompleteFunction::completely_specified(Cover::empty(2));
+    assert!(minimize_exact(&empty).is_empty());
+    let full = IncompleteFunction::completely_specified(Cover::universe(2));
+    let m = minimize_exact(&full);
+    assert!(m.is_tautology());
+    assert_eq!(m.literal_count(), 0);
+}
+
+#[test]
+fn function_values() {
+    let on = Cover::parse(2, "11").unwrap();
+    let dc = Cover::parse(2, "01").unwrap();
+    let f = IncompleteFunction::new(on, dc);
+    assert_eq!(f.value(&[true, true]), Some(true));
+    assert_eq!(f.value(&[false, true]), None);
+    assert_eq!(f.value(&[false, false]), Some(false));
+    let off = f.off_set();
+    assert!(off.covers_minterm(&[false, false]));
+    assert!(!off.covers_minterm(&[true, true]));
+    assert!(!off.covers_minterm(&[false, true]));
+}
+
+#[test]
+fn factoring_preserves_function() {
+    // a b + a c + d
+    let f = Cover::parse(4, "11-- 1-1- ---1").unwrap();
+    let e = factor_cover(&f);
+    for asg in assignments(4) {
+        assert_eq!(e.eval(&asg), f.covers_minterm(&asg));
+    }
+    // a(b + c) + d has 4 literals vs 5 in the SOP.
+    assert_eq!(e.literal_count(), 4);
+}
+
+#[test]
+fn fanin_bounding() {
+    let wide = crate::Expr::or((0..7).map(crate::Expr::Var).collect());
+    let bounded = bound_fanin(&wide, 2);
+    assert!(bounded.max_fanin() <= 2);
+    for asg in assignments(7) {
+        assert_eq!(bounded.eval(&asg), wide.eval(&asg));
+    }
+}
+
+#[test]
+fn expr_printing() {
+    let f = Cover::parse(3, "10- -11").unwrap();
+    let names: Vec<String> = ["a", "b", "c"].iter().map(|s| (*s).to_owned()).collect();
+    assert_eq!(f.to_expr_string(&names), "a b' + b c");
+    let e = crate::Expr::from_cover(&f);
+    assert_eq!(e.to_string_named(&names), "a b' + b c");
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    const VARS: usize = 4;
+
+    fn cube_strategy() -> impl Strategy<Value = Cube> {
+        proptest::collection::vec(0..3u8, VARS).prop_map(|vals| {
+            Cube::from_literals(
+                vals.into_iter()
+                    .map(|v| match v {
+                        0 => crate::Literal::Zero,
+                        1 => crate::Literal::One,
+                        _ => crate::Literal::DontCare,
+                    })
+                    .collect(),
+            )
+        })
+    }
+
+    fn cover_strategy() -> impl Strategy<Value = Cover> {
+        proptest::collection::vec(cube_strategy(), 0..6)
+            .prop_map(|cubes| Cover::from_cubes(VARS, cubes))
+    }
+
+    proptest! {
+        #[test]
+        fn complement_is_pointwise_negation(f in cover_strategy()) {
+            let nf = f.complement();
+            for asg in assignments(VARS) {
+                prop_assert_eq!(nf.covers_minterm(&asg), !f.covers_minterm(&asg));
+            }
+        }
+
+        #[test]
+        fn tautology_matches_truth_table(f in cover_strategy()) {
+            let brute = assignments(VARS).all(|asg| f.covers_minterm(&asg));
+            prop_assert_eq!(f.is_tautology(), brute);
+        }
+
+        #[test]
+        fn exact_minimisation_implements(f in cover_strategy(), g in cover_strategy()) {
+            // Use g \ f as the dc-set so on/dc are disjoint.
+            let dc = g.subtract(&f);
+            let func = IncompleteFunction::new(f.clone(), dc);
+            let min = minimize_exact(&func);
+            prop_assert!(func.is_implemented_by(&min));
+            // The minimised cover never has more cubes than the on-set
+            // needs minterm-wise; sanity: each on-minterm stays covered.
+            for asg in assignments(VARS) {
+                if f.covers_minterm(&asg) {
+                    prop_assert!(min.covers_minterm(&asg));
+                }
+            }
+        }
+
+        #[test]
+        fn heuristic_minimisation_implements(f in cover_strategy(), g in cover_strategy()) {
+            let dc = g.subtract(&f);
+            let func = IncompleteFunction::new(f.clone(), dc);
+            let min = minimize_heuristic(&func);
+            prop_assert!(func.is_implemented_by(&min));
+        }
+
+        #[test]
+        fn exact_never_beaten_by_heuristic(f in cover_strategy()) {
+            let func = IncompleteFunction::completely_specified(f);
+            let exact = minimize_exact(&func);
+            let heur = minimize_heuristic(&func);
+            prop_assert!(exact.cubes().len() <= heur.cubes().len());
+        }
+
+        #[test]
+        fn factoring_equivalent(f in cover_strategy()) {
+            let e = factor_cover(&f);
+            for asg in assignments(VARS) {
+                prop_assert_eq!(e.eval(&asg), f.covers_minterm(&asg));
+            }
+        }
+
+        #[test]
+        fn bounded_fanin_equivalent(f in cover_strategy()) {
+            let e = factor_cover(&f);
+            let b = bound_fanin(&e, 2);
+            prop_assert!(b.max_fanin() <= 2);
+            for asg in assignments(VARS) {
+                prop_assert_eq!(b.eval(&asg), e.eval(&asg));
+            }
+        }
+
+        #[test]
+        fn primes_are_maximal_implicants(f in cover_strategy()) {
+            let func = IncompleteFunction::completely_specified(f.clone());
+            for p in primes_of(&func) {
+                // Implicant: contained in f.
+                prop_assert!(f.covers_cube(&p));
+                // Maximal: freeing any literal escapes f.
+                for (v, _) in p.literals() {
+                    let bigger = p.with(v, crate::Literal::DontCare);
+                    prop_assert!(!f.covers_cube(&bigger));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Structural net classes: marked graphs, state machines, free choice
+//! (§1.1: *"Marked Graph – a simple class of Petri nets, in which only
+//! concurrency and sequencing, but not choice is allowed"*; §1.5: choice
+//! places).
+
+use crate::net::{PetriNet, PlaceId};
+
+/// Structural class report for a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetClass {
+    /// Every place has at most one consumer and one producer.
+    pub marked_graph: bool,
+    /// Every transition has exactly one input and one output place.
+    pub state_machine: bool,
+    /// Conflicts are free-choice: transitions sharing an input place have
+    /// identical presets.
+    pub free_choice: bool,
+}
+
+/// `true` if every place has at most one input and one output transition.
+#[must_use]
+pub fn is_marked_graph(net: &PetriNet) -> bool {
+    net.places()
+        .all(|p| net.place_preset(p).len() <= 1 && net.place_postset(p).len() <= 1)
+}
+
+/// `true` if every transition has exactly one input and one output place.
+#[must_use]
+pub fn is_state_machine(net: &PetriNet) -> bool {
+    net.transitions()
+        .all(|t| net.preset(t).len() == 1 && net.postset(t).len() == 1)
+}
+
+/// `true` if the net is (extended) free choice: any two transitions that
+/// share an input place have equal presets, so choice is never influenced
+/// by the rest of the state.
+#[must_use]
+pub fn is_free_choice(net: &PetriNet) -> bool {
+    let mut transitions: Vec<_> = net.transitions().collect();
+    transitions.sort_unstable();
+    for (i, &t1) in transitions.iter().enumerate() {
+        for &t2 in &transitions[i + 1..] {
+            if net.in_structural_conflict(t1, t2) {
+                let mut pre1: Vec<PlaceId> = net.preset(t1).to_vec();
+                let mut pre2: Vec<PlaceId> = net.preset(t2).to_vec();
+                pre1.sort_unstable();
+                pre2.sort_unstable();
+                if pre1 != pre2 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// The *choice places*: places with more than one consumer (§1.5, the
+/// places `p0` and `p3` in Fig. 5).
+#[must_use]
+pub fn choice_places(net: &PetriNet) -> Vec<PlaceId> {
+    net.places().filter(|&p| net.place_postset(p).len() > 1).collect()
+}
+
+/// The *merge places*: places with more than one producer (Fig. 5's `p1`
+/// and `p2`, merging alternative branches).
+#[must_use]
+pub fn merge_places(net: &PetriNet) -> Vec<PlaceId> {
+    net.places().filter(|&p| net.place_preset(p).len() > 1).collect()
+}
+
+/// Full structural classification.
+#[must_use]
+pub fn classify(net: &PetriNet) -> NetClass {
+    NetClass {
+        marked_graph: is_marked_graph(net),
+        state_machine: is_state_machine(net),
+        free_choice: is_free_choice(net),
+    }
+}

@@ -1,0 +1,137 @@
+//! Scalable synthetic nets for benchmarks and property tests.
+
+use crate::net::{PetriNet, PlaceId, TransitionId};
+
+/// A cyclic `n`-stage pipeline marked graph: transitions `t0..t{n-1}` in a
+/// ring, one place between consecutive stages, with a token in the place
+/// before `t0`. Models a self-timed FIFO control ring.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn pipeline(n: usize) -> PetriNet {
+    assert!(n > 0);
+    let mut net = PetriNet::new();
+    let ts: Vec<TransitionId> = (0..n).map(|i| net.add_transition(format!("t{i}"))).collect();
+    for i in 0..n {
+        let j = (i + 1) % n;
+        let p = net.add_place(format!("p{i}"), u32::from(i == n - 1));
+        net.add_arc_transition_to_place(ts[i], p);
+        net.add_arc_place_to_transition(p, ts[j]);
+    }
+    net
+}
+
+/// A *k*-token `n`-stage pipeline ring: like [`pipeline`] but with `k`
+/// stages initially full, giving `C(n,k)`-sized state spaces — the
+/// workload of the explicit-vs-symbolic ablation (A1).
+///
+/// Each stage `i` has a "full" place `fi` and an "empty" place `ei`
+/// (capacity modelling keeps the net safe for every `k`).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `k > n`.
+#[must_use]
+pub fn pipeline_with_tokens(n: usize, k: usize) -> PetriNet {
+    assert!(n > 0 && k <= n);
+    let mut net = PetriNet::new();
+    let ts: Vec<TransitionId> = (0..n).map(|i| net.add_transition(format!("t{i}"))).collect();
+    for i in 0..n {
+        let j = (i + 1) % n;
+        let full = net.add_place(format!("f{i}"), u32::from(i < k));
+        let empty = net.add_place(format!("e{i}"), u32::from(i >= k));
+        // t_i consumes f_i (data leaves stage i) and produces f_{i+1}'s
+        // token via the ring, constrained by e_{i+1} being empty.
+        net.add_arc_place_to_transition(full, ts[j]);
+        net.add_arc_transition_to_place(ts[j], empty);
+        net.add_arc_place_to_transition(empty, ts[i]);
+        net.add_arc_transition_to_place(ts[i], full);
+    }
+    net
+}
+
+/// A free-choice "dispatcher": one choice place fans out to `n` alternative
+/// handlers which merge back — the choice/merge shape of Fig. 5 scaled up.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn choice_ring(n: usize) -> PetriNet {
+    assert!(n > 0);
+    let mut net = PetriNet::new();
+    let start = net.add_place("choice", 1);
+    let merge = net.add_place("merge", 0);
+    for i in 0..n {
+        let req = net.add_transition(format!("req{i}"));
+        let ack = net.add_transition(format!("ack{i}"));
+        net.add_arc_place_to_transition(start, req);
+        let mid = net.add_place(format!("busy{i}"), 0);
+        net.add_arc_transition_to_place(req, mid);
+        net.add_arc_place_to_transition(mid, ack);
+        net.add_arc_transition_to_place(ack, merge);
+    }
+    let reset = net.add_transition("reset");
+    net.add_arc_place_to_transition(merge, reset);
+    net.add_arc_transition_to_place(reset, start);
+    net
+}
+
+/// `m` independent 2-phase handshake cells side by side: `2^m`-state
+/// reachability graph but a linear-size unfolding — the A2 workload.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+#[must_use]
+pub fn parallel_handshakes(m: usize) -> PetriNet {
+    assert!(m > 0);
+    let mut net = PetriNet::new();
+    for i in 0..m {
+        let idle = net.add_place(format!("idle{i}"), 1);
+        let busy = net.add_place(format!("busy{i}"), 0);
+        let req = net.add_transition(format!("req{i}"));
+        let ack = net.add_transition(format!("ack{i}"));
+        net.add_arc_place_to_transition(idle, req);
+        net.add_arc_transition_to_place(req, busy);
+        net.add_arc_place_to_transition(busy, ack);
+        net.add_arc_transition_to_place(ack, idle);
+    }
+    net
+}
+
+/// A random connected safe net, for property tests: starts from a pipeline
+/// ring (always live and safe) and adds `extra` random forward arcs that
+/// preserve safeness by construction (each added place is a handshake pair
+/// between two existing transitions).
+#[must_use]
+pub fn random_safe_net(n: usize, extra: usize, seed: u64) -> PetriNet {
+    let mut net = pipeline(n.max(2));
+    // Simple deterministic LCG so the crate does not depend on `rand`.
+    let mut state = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+    let mut next = |bound: usize| {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        ((state >> 33) as usize) % bound
+    };
+    let ts: Vec<TransitionId> = net.transitions().collect();
+    for k in 0..extra {
+        let a = ts[next(ts.len())];
+        let b = ts[next(ts.len())];
+        if a == b {
+            continue;
+        }
+        // Handshake pair: a→p→b and b→q→a with one token on q; the cycle
+        // keeps both places safe.
+        let p: PlaceId = net.add_place(format!("x{k}"), 0);
+        let q: PlaceId = net.add_place(format!("y{k}"), 1);
+        net.add_arc_transition_to_place(a, p);
+        net.add_arc_place_to_transition(p, b);
+        net.add_arc_transition_to_place(b, q);
+        net.add_arc_place_to_transition(q, a);
+    }
+    net
+}

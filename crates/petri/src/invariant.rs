@@ -1,0 +1,362 @@
+//! Place and transition invariants, state-machine components and dense
+//! state encodings (§2.2 of the paper, Fig. 6).
+//!
+//! *"State machines correspond to place-invariants of the PN and preserve
+//! their token count in all reachable markings."*
+
+use crate::net::{PetriNet, PlaceId, TransitionId};
+
+/// A non-negative integer place invariant: a weight per place such that the
+/// weighted token count is constant over all reachable markings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlaceInvariant {
+    /// Weight per place (index = place index).
+    pub weights: Vec<u64>,
+    /// The invariant token count `weights · m0`.
+    pub token_count: u64,
+}
+
+impl PlaceInvariant {
+    /// Places with non-zero weight, ascending.
+    #[must_use]
+    pub fn support(&self) -> Vec<PlaceId> {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w > 0)
+            .map(|(i, _)| PlaceId(i as u32))
+            .collect()
+    }
+
+    /// `true` if all weights are 0 or 1.
+    #[must_use]
+    pub fn is_binary(&self) -> bool {
+        self.weights.iter().all(|&w| w <= 1)
+    }
+
+    /// Evaluates `weights · m` for a marking given as raw counts.
+    #[must_use]
+    pub fn weighted_tokens(&self, counts: &[u32]) -> u64 {
+        self.weights
+            .iter()
+            .zip(counts)
+            .map(|(&w, &c)| w * u64::from(c))
+            .sum()
+    }
+
+    /// Renders as the paper does: `p1 + p2 + 2·p5 = k`.
+    #[must_use]
+    pub fn display(&self, net: &PetriNet) -> String {
+        let terms: Vec<String> = self
+            .weights
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w > 0)
+            .map(|(i, &w)| {
+                let name = net.place_name(PlaceId(i as u32));
+                if w == 1 {
+                    name.to_owned()
+                } else {
+                    format!("{w}·{name}")
+                }
+            })
+            .collect();
+        format!("{} = {}", terms.join(" + "), self.token_count)
+    }
+}
+
+/// A non-negative transition invariant: a firing-count vector reproducing
+/// the marking it starts from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionInvariant {
+    /// Weight per transition (index = transition index).
+    pub weights: Vec<u64>,
+}
+
+impl TransitionInvariant {
+    /// Transitions with non-zero weight, ascending.
+    #[must_use]
+    pub fn support(&self) -> Vec<TransitionId> {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w > 0)
+            .map(|(i, _)| TransitionId(i as u32))
+            .collect()
+    }
+}
+
+/// The incidence matrix `C[p][t] = post(t,p) − pre(t,p)` of an ordinary net.
+#[must_use]
+pub fn incidence_matrix(net: &PetriNet) -> Vec<Vec<i64>> {
+    let mut c = vec![vec![0i64; net.num_transitions()]; net.num_places()];
+    for t in net.transitions() {
+        for &p in net.preset(t) {
+            c[p.index()][t.index()] -= 1;
+        }
+        for &p in net.postset(t) {
+            c[p.index()][t.index()] += 1;
+        }
+    }
+    c
+}
+
+/// All minimal-support non-negative place invariants, by the Farkas
+/// elimination algorithm on `[C | I]`.
+///
+/// The result is deterministic; weights are normalised by their gcd.
+#[must_use]
+pub fn place_invariants(net: &PetriNet) -> Vec<PlaceInvariant> {
+    let c = incidence_matrix(net);
+    let rows = farkas(&c);
+    let m0 = net.initial_marking();
+    rows.into_iter()
+        .map(|weights| {
+            let token_count = weights
+                .iter()
+                .zip(m0.as_counts())
+                .map(|(&w, &c)| w * u64::from(c))
+                .sum();
+            PlaceInvariant { weights, token_count }
+        })
+        .collect()
+}
+
+/// All minimal-support non-negative transition invariants (Farkas on the
+/// transposed incidence matrix).
+#[must_use]
+pub fn transition_invariants(net: &PetriNet) -> Vec<TransitionInvariant> {
+    let c = incidence_matrix(net);
+    let nt = net.num_transitions();
+    let np = net.num_places();
+    let mut ct = vec![vec![0i64; np]; nt];
+    for (p, row) in c.iter().enumerate() {
+        for (t, &v) in row.iter().enumerate() {
+            ct[t][p] = v;
+        }
+    }
+    farkas(&ct)
+        .into_iter()
+        .map(|weights| TransitionInvariant { weights })
+        .collect()
+}
+
+/// Farkas algorithm: given matrix `A` (n rows), returns minimal-support
+/// non-negative integer vectors `y ≥ 0` with `yᵀA = 0`.
+fn farkas(a: &[Vec<i64>]) -> Vec<Vec<u64>> {
+    let n = a.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let cols = a[0].len();
+    // Each working row is (combination over A's columns, identity part).
+    let mut rows: Vec<(Vec<i64>, Vec<i64>)> = (0..n)
+        .map(|i| {
+            let mut id = vec![0i64; n];
+            id[i] = 1;
+            (a[i].clone(), id)
+        })
+        .collect();
+    for col in 0..cols {
+        let mut next: Vec<(Vec<i64>, Vec<i64>)> = Vec::new();
+        for row in &rows {
+            if row.0[col] == 0 {
+                next.push(row.clone());
+            }
+        }
+        let pos: Vec<&(Vec<i64>, Vec<i64>)> = rows.iter().filter(|r| r.0[col] > 0).collect();
+        let neg: Vec<&(Vec<i64>, Vec<i64>)> = rows.iter().filter(|r| r.0[col] < 0).collect();
+        for rp in &pos {
+            for rn in &neg {
+                let alpha = rp.0[col];
+                let beta = -rn.0[col];
+                // beta·rp + alpha·rn cancels column `col`.
+                let comb_a: Vec<i64> = rp
+                    .0
+                    .iter()
+                    .zip(&rn.0)
+                    .map(|(&x, &y)| beta * x + alpha * y)
+                    .collect();
+                let comb_id: Vec<i64> = rp
+                    .1
+                    .iter()
+                    .zip(&rn.1)
+                    .map(|(&x, &y)| beta * x + alpha * y)
+                    .collect();
+                let mut row = (comb_a, comb_id);
+                normalise(&mut row);
+                if !next.contains(&row) {
+                    next.push(row);
+                }
+            }
+        }
+        // Minimality pruning: drop rows whose support strictly contains
+        // another row's support.
+        prune_non_minimal(&mut next);
+        rows = next;
+    }
+    let mut out: Vec<Vec<u64>> = rows
+        .into_iter()
+        .filter(|(_, id)| id.iter().any(|&v| v != 0))
+        .map(|(_, id)| id.into_iter().map(|v| u64::try_from(v).expect("farkas keeps rows non-negative")).collect())
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn normalise(row: &mut (Vec<i64>, Vec<i64>)) {
+    let mut g: i64 = 0;
+    for &v in row.0.iter().chain(row.1.iter()) {
+        g = gcd(g, v.abs());
+    }
+    if g > 1 {
+        for v in row.0.iter_mut().chain(row.1.iter_mut()) {
+            *v /= g;
+        }
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn prune_non_minimal(rows: &mut Vec<(Vec<i64>, Vec<i64>)>) {
+    let supports: Vec<Vec<usize>> = rows
+        .iter()
+        .map(|(_, id)| {
+            id.iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0)
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+    let keep: Vec<bool> = (0..rows.len())
+        .map(|i| {
+            !supports.iter().enumerate().any(|(j, sj)| {
+                j != i
+                    && sj.len() < supports[i].len()
+                    && sj.iter().all(|x| supports[i].contains(x))
+            })
+        })
+        .collect();
+    let mut idx = 0;
+    rows.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+}
+
+/// A state-machine component: a binary place invariant whose induced subnet
+/// is a state machine (every transition touching the support consumes from
+/// exactly one and produces into exactly one support place).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmComponent {
+    /// The places of the component.
+    pub places: Vec<PlaceId>,
+    /// The transitions connected to those places.
+    pub transitions: Vec<TransitionId>,
+}
+
+/// Extracts the state-machine components of a net from its binary place
+/// invariants (Fig. 6: *"two state machines ... correspond to
+/// place-invariants of the PN"*).
+#[must_use]
+pub fn sm_components(net: &PetriNet) -> Vec<SmComponent> {
+    let invariants = place_invariants(net);
+    let mut out = Vec::new();
+    for inv in invariants.iter().filter(|i| i.is_binary()) {
+        let support = inv.support();
+        let mut transitions: Vec<TransitionId> = Vec::new();
+        let mut ok = true;
+        for t in net.transitions() {
+            let ins = net.preset(t).iter().filter(|p| support.contains(p)).count();
+            let outs = net.postset(t).iter().filter(|p| support.contains(p)).count();
+            if ins != outs || ins > 1 {
+                ok = false;
+                break;
+            }
+            if ins == 1 {
+                transitions.push(t);
+            }
+        }
+        if ok && !support.is_empty() {
+            out.push(SmComponent { places: support, transitions });
+        }
+    }
+    out
+}
+
+/// `true` if the binary place invariants with token count 1 jointly cover
+/// every place (an *SM-cover*, the precondition for the dense encoding of
+/// Fig. 6).
+#[must_use]
+pub fn has_sm_cover(net: &PetriNet) -> bool {
+    let comps = sm_components(net);
+    let mut covered = vec![false; net.num_places()];
+    for c in &comps {
+        for p in &c.places {
+            covered[p.index()] = true;
+        }
+    }
+    covered.iter().all(|&b| b)
+}
+
+/// A dense boolean encoding of places derived from one-token SM components
+/// (Fig. 6's table: each component's places share a log-sized code).
+#[derive(Debug, Clone)]
+pub struct DenseEncoding {
+    /// Total number of boolean variables used.
+    pub num_vars: usize,
+    /// For every place: the list of `(variable, value)` constraints that
+    /// hold exactly when the place is marked. Places not covered by any
+    /// component get an empty list (no constraint).
+    pub place_codes: Vec<Vec<(usize, bool)>>,
+    /// The components used, in variable-allocation order.
+    pub components: Vec<SmComponent>,
+}
+
+/// Builds the dense place encoding from the net's one-token SM components.
+///
+/// Each component with `k` places gets `⌈log₂ k⌉` fresh variables; its
+/// `i`-th place is encoded by the binary value of `i` on those variables.
+/// Conjunction of the per-component one-hot semantics gives an upper
+/// approximation of the reachability set (exact when the components fully
+/// determine the state, as for the reduced VME net of Fig. 6).
+#[must_use]
+pub fn dense_encoding(net: &PetriNet) -> DenseEncoding {
+    let comps: Vec<SmComponent> = sm_components(net)
+        .into_iter()
+        .filter(|c| {
+            // One-token components only: token count 1 in m0.
+            let m0 = net.initial_marking();
+            let tokens: u32 = c.places.iter().map(|&p| m0.tokens(p)).sum();
+            tokens == 1
+        })
+        .collect();
+    let mut place_codes: Vec<Vec<(usize, bool)>> = vec![Vec::new(); net.num_places()];
+    let mut num_vars = 0usize;
+    for c in &comps {
+        let k = c.places.len();
+        let bits = if k <= 1 { 0 } else { (usize::BITS - (k - 1).leading_zeros()) as usize };
+        for (i, &p) in c.places.iter().enumerate() {
+            let mut code = Vec::with_capacity(bits);
+            for b in 0..bits {
+                code.push((num_vars + b, (i >> b) & 1 == 1));
+            }
+            // Only extend if the place had no earlier (shorter) code: the
+            // first covering component wins, later ones refine nothing.
+            if place_codes[p.index()].is_empty() {
+                place_codes[p.index()] = code;
+            }
+        }
+        num_vars += bits;
+    }
+    DenseEncoding { num_vars, place_codes, components: comps }
+}

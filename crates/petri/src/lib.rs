@@ -1,0 +1,59 @@
+//! Petri-net kernel for asynchronous interface design.
+//!
+//! Implements the Petri-net substrate of the DAC'98 tutorial
+//! *Asynchronous Interface Specification, Analysis and Synthesis*
+//! (Kishinevsky, Cortadella, Kondratyev, Lavagno):
+//!
+//! * [`PetriNet`] — places, transitions, arcs, markings and the token game
+//!   (§1.1–1.3 of the paper);
+//! * [`reach`] — explicit reachability-graph generation (§1.4);
+//! * [`ts`] — labelled transition systems, the common state-graph shape;
+//! * [`invariant`] — P/T-invariants and state-machine components via
+//!   Farkas-style elimination (§2.2, Fig. 6);
+//! * [`reduce`] — linear structural reductions (§2.2, Fig. 6);
+//! * [`classify`] — marked-graph / state-machine / free-choice tests
+//!   (§1.1, §1.5);
+//! * [`unfold`] — McMillan finite complete prefixes and ordering relations
+//!   (§2.2);
+//! * [`symbolic`] — BDD-based symbolic traversal and invariant-based
+//!   upper approximations of the reachability set (§2.2);
+//! * [`generators`] — scalable synthetic nets (pipelines, choice rings)
+//!   used by the benchmark harness.
+//!
+//! # Example: the token game
+//!
+//! ```
+//! use petri::PetriNet;
+//!
+//! let mut net = PetriNet::new();
+//! let p0 = net.add_place("p0", 1);
+//! let p1 = net.add_place("p1", 0);
+//! let t = net.add_transition("t");
+//! net.add_arc_place_to_transition(p0, t);
+//! net.add_arc_transition_to_place(t, p1);
+//!
+//! let m0 = net.initial_marking();
+//! assert!(net.is_enabled(&m0, t));
+//! let m1 = net.fire(&m0, t).expect("enabled");
+//! assert_eq!(m1.tokens(p1), 1);
+//! assert!(!net.is_enabled(&m1, t));
+//! ```
+
+pub mod classify;
+pub mod generators;
+pub mod invariant;
+mod marking;
+mod net;
+pub mod reach;
+pub mod reduce;
+pub mod symbolic;
+pub mod ts;
+pub mod unfold;
+
+pub use marking::Marking;
+pub use net::{PetriNet, PlaceId, TransitionId};
+pub use reach::ReachabilityGraph;
+pub use ts::TransitionSystem;
+
+#[cfg(test)]
+mod tests;

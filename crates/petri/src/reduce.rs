@@ -1,0 +1,187 @@
+//! Linear structural reductions (§2.2, Fig. 6).
+//!
+//! *"Structural reductions are useful as a preprocessing step in order to
+//! simplify the structure of the net before traversal or analysis, keeping
+//! all important properties."* The rules below are the classic
+//! behaviour-preserving linear reductions of Murata: series place fusion,
+//! series transition fusion, removal of self-loop places and of duplicate
+//! places. Applied to the STG of Fig. 5 they yield the six-place net of
+//! Fig. 6.
+
+use crate::net::{PetriNet, PlaceId, TransitionId};
+
+/// Statistics of one reduction run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Series-transition fusions applied (a place with a unique producer
+    /// and a unique consumer is contracted, merging the two transitions).
+    pub series_transitions: usize,
+    /// Series-place fusions applied (a transition with a unique input and
+    /// unique output place is contracted, merging the two places).
+    pub series_places: usize,
+    /// Self-loop places removed.
+    pub self_loop_places: usize,
+    /// Duplicate (parallel) places removed.
+    pub duplicate_places: usize,
+}
+
+impl ReductionStats {
+    /// Total number of rule applications.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.series_transitions + self.series_places + self.self_loop_places + self.duplicate_places
+    }
+}
+
+/// Applies all linear rules to a fixed point. The input net is consumed;
+/// the reduced net and statistics are returned.
+///
+/// The rules preserve boundedness, liveness and the language over the
+/// *remaining* transitions; fused transitions get concatenated names
+/// (`"a;b"`) so reduced behaviours stay readable.
+#[must_use]
+pub fn reduce_linear(mut net: PetriNet) -> (PetriNet, ReductionStats) {
+    let mut stats = ReductionStats::default();
+    loop {
+        if fuse_one_series_transition(&mut net) {
+            stats.series_transitions += 1;
+            continue;
+        }
+        if fuse_one_series_place(&mut net) {
+            stats.series_places += 1;
+            continue;
+        }
+        if remove_one_self_loop_place(&mut net) {
+            stats.self_loop_places += 1;
+            continue;
+        }
+        if remove_one_duplicate_place(&mut net) {
+            stats.duplicate_places += 1;
+            continue;
+        }
+        break;
+    }
+    (net, stats)
+}
+
+/// Rule: place `p` with exactly one producer `t1` and one consumer `t2`
+/// (`t1 ≠ t2`), where `p` is `t1`'s only output and `t2`'s only input, and
+/// `p` is unmarked — fuse `t1` and `t2` into one transition.
+fn fuse_one_series_transition(net: &mut PetriNet) -> bool {
+    let places: Vec<PlaceId> = net.places().collect();
+    for p in places {
+        if net.initial_tokens(p) != 0 {
+            continue;
+        }
+        let pre = net.place_preset(p);
+        let post = net.place_postset(p);
+        if pre.len() != 1 || post.len() != 1 {
+            continue;
+        }
+        let (t1, t2) = (pre[0], post[0]);
+        if t1 == t2 {
+            continue;
+        }
+        if net.postset(t1).len() != 1 || net.preset(t2).len() != 1 {
+            continue;
+        }
+        // Fuse: t1 keeps its preset, gains t2's postset; t2 and p vanish.
+        let new_name = format!("{};{}", net.transition_name(t1), net.transition_name(t2));
+        let t2_post: Vec<PlaceId> = net.postset(t2).to_vec();
+        for q in t2_post {
+            net.add_arc_transition_to_place(t1, q);
+        }
+        net.set_transition_name(t1, new_name);
+        net.remove_transition(t2);
+        // `p` may have shifted if t2's removal renumbered transitions only;
+        // place ids are unaffected by transition removal.
+        net.remove_place(p);
+        return true;
+    }
+    false
+}
+
+/// Rule: transition `t` with exactly one input place `p1` and one output
+/// place `p2` (`p1 ≠ p2`), where `t` is `p1`'s only consumer and `p2`'s
+/// only producer — fuse `p1` and `p2` into one place.
+fn fuse_one_series_place(net: &mut PetriNet) -> bool {
+    let transitions: Vec<TransitionId> = net.transitions().collect();
+    for t in transitions {
+        let pre = net.preset(t);
+        let post = net.postset(t);
+        if pre.len() != 1 || post.len() != 1 {
+            continue;
+        }
+        let (p1, p2) = (pre[0], post[0]);
+        if p1 == p2 {
+            continue;
+        }
+        if net.place_postset(p1).len() != 1 || net.place_preset(p2).len() != 1 {
+            continue;
+        }
+        // Fuse: p1 absorbs p2's consumers and producers; tokens add up.
+        let tokens = net.initial_tokens(p1) + net.initial_tokens(p2);
+        let p2_pre: Vec<TransitionId> = net.place_preset(p2).iter().copied().filter(|&u| u != t).collect();
+        let p2_post: Vec<TransitionId> = net.place_postset(p2).to_vec();
+        for u in p2_pre {
+            net.add_arc_transition_to_place(u, p1);
+        }
+        for u in p2_post {
+            net.add_arc_place_to_transition(p1, u);
+        }
+        net.set_initial_tokens(p1, tokens);
+        net.remove_transition(t);
+        net.remove_place(p2);
+        return true;
+    }
+    false
+}
+
+/// Rule: marked place that is a pure self-loop on a *single* transition
+/// (its only producer equals its only consumer) — the token always comes
+/// back, so the place never constrains behaviour and can be removed.
+///
+/// The restriction to one transition matters: a marked place self-looping
+/// on several transitions is a mutual-exclusion resource and removing it
+/// would add behaviour.
+fn remove_one_self_loop_place(net: &mut PetriNet) -> bool {
+    let places: Vec<PlaceId> = net.places().collect();
+    for p in places {
+        if net.initial_tokens(p) == 0 {
+            continue;
+        }
+        let pre: Vec<TransitionId> = net.place_preset(p).to_vec();
+        let post: Vec<TransitionId> = net.place_postset(p).to_vec();
+        if pre.len() == 1 && post.len() == 1 && pre[0] == post[0] {
+            net.remove_place(p);
+            return true;
+        }
+    }
+    false
+}
+
+/// Rule: two places with identical presets, postsets and initial marking —
+/// one is redundant.
+fn remove_one_duplicate_place(net: &mut PetriNet) -> bool {
+    let places: Vec<PlaceId> = net.places().collect();
+    for (i, &p1) in places.iter().enumerate() {
+        for &p2 in &places[i + 1..] {
+            if net.initial_tokens(p1) != net.initial_tokens(p2) {
+                continue;
+            }
+            let mut pre1: Vec<TransitionId> = net.place_preset(p1).to_vec();
+            let mut pre2: Vec<TransitionId> = net.place_preset(p2).to_vec();
+            let mut post1: Vec<TransitionId> = net.place_postset(p1).to_vec();
+            let mut post2: Vec<TransitionId> = net.place_postset(p2).to_vec();
+            pre1.sort_unstable();
+            pre2.sort_unstable();
+            post1.sort_unstable();
+            post2.sort_unstable();
+            if pre1 == pre2 && post1 == post2 {
+                net.remove_place(p2);
+                return true;
+            }
+        }
+    }
+    false
+}

@@ -1,0 +1,382 @@
+//! Theory of regions: extracting a Petri net from a transition system
+//! (§4 of the DAC'98 tutorial).
+//!
+//! *"State regions are sets of states such that they correspond to a place
+//! (regions) or a transition of the PN (excitation regions). ... at any
+//! step of the design process a PN corresponding to the current TS can be
+//! extracted and back-annotated to the designer."*
+//!
+//! A **region** of a labelled transition system is a set of states `r`
+//! such that every label crosses it uniformly: all its arcs enter `r`, or
+//! all exit, or none crosses. Regions become places; labels become
+//! transitions; a label's pre-places are the regions it exits and its
+//! post-places the regions it enters (Fig. 10's back-annotated STG).
+//!
+//! This implementation enumerates **minimal regions** exhaustively (the
+//! state graphs of interface controllers are small — the paper's examples
+//! have 14–24 states), prunes redundant places, and validates the result
+//! by trace equivalence of the extracted net's reachability graph against
+//! the input.
+//!
+//! # Example
+//!
+//! ```
+//! use petri::TransitionSystem;
+//! use regions::synthesize_net;
+//!
+//! // A two-state toggle: a then b, repeating.
+//! let mut ts = TransitionSystem::new(2, 0);
+//! ts.add_arc(0, "a".to_owned(), 1);
+//! ts.add_arc(1, "b".to_owned(), 0);
+//! let result = synthesize_net(&ts).expect("elementary TS");
+//! assert_eq!(result.net.num_transitions(), 2);
+//! assert!(result.trace_equivalent);
+//! ```
+
+use std::collections::{BTreeSet, HashMap};
+
+use petri::reach::ReachabilityGraph;
+use petri::{PetriNet, TransitionSystem};
+
+/// A region: a set of states (as a sorted vec) with its crossing
+/// classification per label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Member states, ascending.
+    pub states: Vec<usize>,
+}
+
+/// How a label relates to a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Crossing {
+    /// Every arc with this label enters the region.
+    Enter,
+    /// Every arc exits.
+    Exit,
+    /// No arc crosses the border.
+    None,
+    /// Mixed behaviour — not a region.
+    Violates,
+}
+
+/// Result of net synthesis from a TS.
+#[derive(Debug, Clone)]
+pub struct RegionNet {
+    /// The extracted net (transitions named by the TS labels).
+    pub net: PetriNet,
+    /// The minimal regions that became places, index-aligned with the
+    /// net's places.
+    pub regions: Vec<Region>,
+    /// `true` if the extracted net's reachability graph is trace
+    /// equivalent to the input TS (excitation closure held).
+    pub trace_equivalent: bool,
+}
+
+/// Why synthesis failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegionError {
+    /// The TS has more states than the exhaustive enumerator supports.
+    TooLarge {
+        /// State count of the input.
+        states: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// The input TS is nondeterministic (two equal labels out of a state).
+    Nondeterministic,
+}
+
+impl std::fmt::Display for RegionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionError::TooLarge { states, max } => {
+                write!(f, "TS has {states} states; exhaustive region search caps at {max}")
+            }
+            RegionError::Nondeterministic => write!(f, "input TS is nondeterministic"),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+const MAX_STATES: usize = 22;
+
+/// Classifies label `arcs` against the state set `mask`.
+fn crossing(arcs: &[(usize, usize)], mask: u32) -> Crossing {
+    let inside = |s: usize| mask & (1 << s) != 0;
+    let mut enter = false;
+    let mut exit = false;
+    let mut stay = false;
+    for &(from, to) in arcs {
+        match (inside(from), inside(to)) {
+            (false, true) => enter = true,
+            (true, false) => exit = true,
+            _ => stay = true,
+        }
+    }
+    match (enter, exit) {
+        (true, true) => Crossing::Violates,
+        (true, false) => {
+            if stay {
+                Crossing::Violates
+            } else {
+                Crossing::Enter
+            }
+        }
+        (false, true) => {
+            if stay {
+                Crossing::Violates
+            } else {
+                Crossing::Exit
+            }
+        }
+        (false, false) => Crossing::None,
+    }
+}
+
+/// Enumerates all minimal non-trivial regions of a deterministic TS.
+///
+/// # Errors
+///
+/// [`RegionError::TooLarge`] beyond 22 states (the exhaustive 2^n sweep),
+/// [`RegionError::Nondeterministic`] for nondeterministic inputs.
+pub fn minimal_regions(ts: &TransitionSystem<String>) -> Result<Vec<Region>, RegionError> {
+    let n = ts.num_states();
+    if n > MAX_STATES {
+        return Err(RegionError::TooLarge { states: n, max: MAX_STATES });
+    }
+    if !ts.is_deterministic() {
+        return Err(RegionError::Nondeterministic);
+    }
+    // Group arcs by label.
+    let mut by_label: HashMap<&String, Vec<(usize, usize)>> = HashMap::new();
+    for (from, l, to) in ts.arcs() {
+        by_label.entry(l).or_default().push((*from, *to));
+    }
+    let labels: Vec<&String> = {
+        let mut v: Vec<&String> = by_label.keys().copied().collect();
+        v.sort();
+        v
+    };
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let mut regions_masks: Vec<u32> = Vec::new();
+    'mask: for mask in 1..full {
+        for l in &labels {
+            if crossing(&by_label[*l], mask) == Crossing::Violates {
+                continue 'mask;
+            }
+        }
+        regions_masks.push(mask);
+    }
+    // Keep only minimal regions (no proper subset is also a region).
+    let mut minimal: Vec<u32> = Vec::new();
+    for &m in &regions_masks {
+        let has_proper_subset = regions_masks
+            .iter()
+            .any(|&o| o != m && (o & m) == o);
+        if !has_proper_subset {
+            minimal.push(m);
+        }
+    }
+    Ok(minimal
+        .into_iter()
+        .map(|m| Region {
+            states: (0..n).filter(|&s| m & (1 << s) != 0).collect(),
+        })
+        .collect())
+}
+
+/// Synthesises a Petri net whose transitions are the TS labels and whose
+/// places are the minimal regions; validates by trace equivalence.
+///
+/// # Errors
+///
+/// See [`minimal_regions`].
+pub fn synthesize_net(ts: &TransitionSystem<String>) -> Result<RegionNet, RegionError> {
+    let regions = minimal_regions(ts)?;
+    let net = net_from_regions(ts, &regions);
+    // Redundant-place pruning: greedily drop places whose removal keeps
+    // the language identical.
+    let (net, regions) = prune_redundant(ts, net, regions);
+    let trace_equivalent = check_equivalence(ts, &net);
+    Ok(RegionNet { net, regions, trace_equivalent })
+}
+
+fn net_from_regions(ts: &TransitionSystem<String>, regions: &[Region]) -> PetriNet {
+    let mut by_label: HashMap<&String, Vec<(usize, usize)>> = HashMap::new();
+    for (from, l, to) in ts.arcs() {
+        by_label.entry(l).or_default().push((*from, *to));
+    }
+    let mut labels: Vec<&String> = by_label.keys().copied().collect();
+    labels.sort();
+    let mut net = PetriNet::new();
+    let places: Vec<petri::PlaceId> = regions
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let tokens = u32::from(r.states.contains(&ts.initial()));
+            net.add_place(format!("r{i}"), tokens)
+        })
+        .collect();
+    for l in &labels {
+        let t = net.add_transition((*l).clone());
+        for (i, r) in regions.iter().enumerate() {
+            let mask: BTreeSet<usize> = r.states.iter().copied().collect();
+            let arcs = &by_label[*l];
+            let mut enters = false;
+            let mut exits = false;
+            for &(from, to) in arcs {
+                match (mask.contains(&from), mask.contains(&to)) {
+                    (false, true) => enters = true,
+                    (true, false) => exits = true,
+                    _ => {}
+                }
+            }
+            if exits {
+                net.add_arc_place_to_transition(places[i], t);
+            }
+            if enters {
+                net.add_arc_transition_to_place(t, places[i]);
+            }
+        }
+    }
+    net
+}
+
+fn check_equivalence(ts: &TransitionSystem<String>, net: &PetriNet) -> bool {
+    let Ok(rg) = ReachabilityGraph::build_bounded(net, 1, 1 << 16) else {
+        return false;
+    };
+    let net_ts = rg
+        .ts()
+        .map_labels(|&t| net.transition_name(t).to_owned());
+    net_ts.trace_equivalent(ts)
+}
+
+fn prune_redundant(
+    ts: &TransitionSystem<String>,
+    net: PetriNet,
+    regions: Vec<Region>,
+) -> (PetriNet, Vec<Region>) {
+    // Only prune if the full net is already equivalent — pruning exists to
+    // simplify correct nets, not to repair incorrect ones.
+    if !check_equivalence(ts, &net) {
+        return (net, regions);
+    }
+    let mut keep: Vec<bool> = vec![true; regions.len()];
+    for i in 0..regions.len() {
+        keep[i] = false;
+        let candidate = rebuild(ts, &regions, &keep);
+        if !check_equivalence(ts, &candidate) {
+            keep[i] = true;
+        }
+    }
+    let kept_regions: Vec<Region> = regions
+        .into_iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(r, _)| r)
+        .collect();
+    (net_from_regions(ts, &kept_regions), kept_regions)
+}
+
+fn rebuild(ts: &TransitionSystem<String>, regions: &[Region], keep: &[bool]) -> PetriNet {
+    let kept: Vec<Region> = regions
+        .iter()
+        .zip(keep)
+        .filter(|(_, &k)| k)
+        .map(|(r, _)| r.clone())
+        .collect();
+    net_from_regions(ts, &kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toggle_ts() -> TransitionSystem<String> {
+        let mut ts = TransitionSystem::new(4, 0);
+        ts.add_arc(0, "a+".to_owned(), 1);
+        ts.add_arc(1, "x+".to_owned(), 2);
+        ts.add_arc(2, "a-".to_owned(), 3);
+        ts.add_arc(3, "x-".to_owned(), 0);
+        ts
+    }
+
+    #[test]
+    fn toggle_roundtrip() {
+        let ts = toggle_ts();
+        let r = synthesize_net(&ts).unwrap();
+        assert!(r.trace_equivalent);
+        assert_eq!(r.net.num_transitions(), 4);
+        // A simple cycle needs at most 4 places after pruning.
+        assert!(r.net.num_places() <= 4);
+    }
+
+    #[test]
+    fn concurrency_recovered() {
+        // Diamond: a and b concurrent. The net should have independent
+        // places, and its RG must regenerate all 4 states.
+        let mut ts = TransitionSystem::new(4, 0);
+        ts.add_arc(0, "a".to_owned(), 1);
+        ts.add_arc(0, "b".to_owned(), 2);
+        ts.add_arc(1, "b".to_owned(), 3);
+        ts.add_arc(2, "a".to_owned(), 3);
+        ts.add_arc(3, "done".to_owned(), 0);
+        let r = synthesize_net(&ts).unwrap();
+        assert!(r.trace_equivalent);
+        let rg = ReachabilityGraph::build(&r.net).unwrap();
+        assert_eq!(rg.num_states(), 4);
+    }
+
+    #[test]
+    fn choice_recovered() {
+        let mut ts = TransitionSystem::new(3, 0);
+        ts.add_arc(0, "a".to_owned(), 1);
+        ts.add_arc(0, "b".to_owned(), 2);
+        ts.add_arc(1, "ra".to_owned(), 0);
+        ts.add_arc(2, "rb".to_owned(), 0);
+        let r = synthesize_net(&ts).unwrap();
+        assert!(r.trace_equivalent);
+    }
+
+    #[test]
+    fn regions_are_uniformly_crossed() {
+        let ts = toggle_ts();
+        let regions = minimal_regions(&ts).unwrap();
+        assert!(!regions.is_empty());
+        for r in &regions {
+            let mask: u32 = r.states.iter().map(|&s| 1u32 << s).sum();
+            let mut by_label: HashMap<&String, Vec<(usize, usize)>> = HashMap::new();
+            for (from, l, to) in ts.arcs() {
+                by_label.entry(l).or_default().push((*from, *to));
+            }
+            for arcs in by_label.values() {
+                assert_ne!(crossing(arcs, mask), Crossing::Violates);
+            }
+        }
+    }
+
+    #[test]
+    fn too_large_rejected() {
+        let mut ts = TransitionSystem::new(30, 0);
+        for i in 0..30 {
+            ts.add_arc(i, format!("t{i}"), (i + 1) % 30);
+        }
+        assert!(matches!(
+            minimal_regions(&ts),
+            Err(RegionError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn nondeterminism_rejected() {
+        let mut ts = TransitionSystem::new(3, 0);
+        ts.add_arc(0, "a".to_owned(), 1);
+        ts.add_arc(0, "a".to_owned(), 2);
+        assert!(matches!(
+            minimal_regions(&ts),
+            Err(RegionError::Nondeterministic)
+        ));
+    }
+}

@@ -1,0 +1,93 @@
+//! State-encoding analysis: USC and CSC (§2.1, §3.1).
+//!
+//! *"Completeness of state encoding [checks] that there are no conflicts in
+//! definition of Boolean functions for each non-input signal."* Two states
+//! conflict if they carry the same binary code; the conflict matters for
+//! implementability (CSC) when the states disagree on the excitation of
+//! some non-input signal.
+
+use std::collections::HashMap;
+
+use crate::model::{SignalEdge, SignalId, Stg};
+use crate::state_graph::StateGraph;
+
+/// A pair of states with identical binary codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodingConflict {
+    /// The two state indices (ascending).
+    pub states: (usize, usize),
+    /// The shared binary code.
+    pub code: Vec<bool>,
+    /// Non-input signals whose excitation differs between the two states —
+    /// empty for harmless USC conflicts, non-empty for CSC conflicts.
+    pub conflicting_signals: Vec<SignalId>,
+}
+
+impl EncodingConflict {
+    /// `true` if this conflict violates *Complete State Coding*.
+    #[must_use]
+    pub fn is_csc(&self) -> bool {
+        !self.conflicting_signals.is_empty()
+    }
+}
+
+/// All pairs of states with equal codes (*Unique State Coding* violations),
+/// annotated with the non-input signals whose excitation disagrees.
+#[must_use]
+pub fn encoding_conflicts(stg: &Stg, sg: &StateGraph) -> Vec<EncodingConflict> {
+    let mut by_code: HashMap<Vec<bool>, Vec<usize>> = HashMap::new();
+    for i in 0..sg.num_states() {
+        by_code.entry(sg.state(i).code.clone()).or_default().push(i);
+    }
+    let non_inputs = stg.non_input_signals();
+    let mut out = Vec::new();
+    let mut groups: Vec<(Vec<bool>, Vec<usize>)> = by_code.into_iter().collect();
+    groups.sort();
+    for (code, states) in groups {
+        for (a_idx, &a) in states.iter().enumerate() {
+            for &b in &states[a_idx + 1..] {
+                let conflicting_signals: Vec<SignalId> = non_inputs
+                    .iter()
+                    .copied()
+                    .filter(|&s| excitation_of(stg, sg, a, s) != excitation_of(stg, sg, b, s))
+                    .collect();
+                out.push(EncodingConflict {
+                    states: (a, b),
+                    code: code.clone(),
+                    conflicting_signals,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn excitation_of(stg: &Stg, sg: &StateGraph, state: usize, s: SignalId) -> Option<SignalEdge> {
+    sg.excitations(stg, state)
+        .into_iter()
+        .find(|&(_, sig, _)| sig == s)
+        .map(|(_, _, e)| e)
+}
+
+/// `true` if the STG has *Unique State Coding*: no two states share a code.
+#[must_use]
+pub fn has_usc(stg: &Stg, sg: &StateGraph) -> bool {
+    encoding_conflicts(stg, sg).is_empty()
+}
+
+/// `true` if the STG has *Complete State Coding*: states sharing a code
+/// agree on all non-input excitations (§3.1 — the property logic synthesis
+/// requires).
+#[must_use]
+pub fn has_csc(stg: &Stg, sg: &StateGraph) -> bool {
+    encoding_conflicts(stg, sg).iter().all(|c| !c.is_csc())
+}
+
+/// Only the CSC-violating conflicts.
+#[must_use]
+pub fn csc_conflicts(stg: &Stg, sg: &StateGraph) -> Vec<EncodingConflict> {
+    encoding_conflicts(stg, sg)
+        .into_iter()
+        .filter(EncodingConflict::is_csc)
+        .collect()
+}

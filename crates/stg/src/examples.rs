@@ -1,0 +1,270 @@
+//! The paper's running examples: the VME-bus controller (Figs. 1–7).
+//!
+//! Signal order everywhere matches the paper's state vectors:
+//! `<DSr, (DSw,) DTACK, LDTACK, LDS, D (, csc0)>`.
+
+use crate::model::{SignalEdge, SignalKind, Stg, StgBuilder};
+
+/// The READ-cycle STG of Fig. 3.
+///
+/// Behaviour (§1.1): a read request arrives on `DSr`; the controller asks
+/// the device with `LDS`; when the device has the data ready (`LDTACK`)
+/// the transceiver is opened (`D`), the bus is acknowledged (`DTACK`), and
+/// all signals return to zero with maximum parallelism between the bus and
+/// device handshakes.
+///
+/// Its state graph has the 14 states of Fig. 4 and the two famous CSC
+/// conflict states with code `10110`.
+///
+/// # Example
+///
+/// ```
+/// use stg::{examples, StateGraph};
+/// let sg = StateGraph::build(&examples::vme_read())?;
+/// assert_eq!(sg.num_states(), 14);
+/// # Ok::<(), stg::StgError>(())
+/// ```
+#[must_use]
+pub fn vme_read() -> Stg {
+    let mut b = StgBuilder::new("vme-read");
+    let dsr = b.add_signal("DSr", SignalKind::Input);
+    let dtack = b.add_signal("DTACK", SignalKind::Output);
+    let ldtack = b.add_signal("LDTACK", SignalKind::Input);
+    let lds = b.add_signal("LDS", SignalKind::Output);
+    let d = b.add_signal("D", SignalKind::Output);
+
+    let dsr_p = b.add_edge(dsr, SignalEdge::Rise);
+    let dsr_m = b.add_edge(dsr, SignalEdge::Fall);
+    let dtack_p = b.add_edge(dtack, SignalEdge::Rise);
+    let dtack_m = b.add_edge(dtack, SignalEdge::Fall);
+    let ldtack_p = b.add_edge(ldtack, SignalEdge::Rise);
+    let ldtack_m = b.add_edge(ldtack, SignalEdge::Fall);
+    let lds_p = b.add_edge(lds, SignalEdge::Rise);
+    let lds_m = b.add_edge(lds, SignalEdge::Fall);
+    let d_p = b.add_edge(d, SignalEdge::Rise);
+    let d_m = b.add_edge(d, SignalEdge::Fall);
+
+    b.connect(dsr_p, lds_p);
+    b.connect(lds_p, ldtack_p);
+    b.connect(ldtack_p, d_p);
+    b.connect(d_p, dtack_p);
+    b.connect(dtack_p, dsr_m);
+    b.connect(dsr_m, d_m);
+    b.connect(d_m, dtack_m);
+    b.connect(d_m, lds_m);
+    b.connect(lds_m, ldtack_m);
+    // Return-to-zero closes the two handshakes: the next request can only
+    // be served after DTACK-, and LDS can only rise again after LDTACK-.
+    let p0 = b.connect(dtack_m, dsr_p);
+    let p8 = b.connect(ldtack_m, lds_p);
+    b.mark_place(p0, 1);
+    b.mark_place(p8, 1);
+    b.build()
+}
+
+/// The READ+WRITE STG of Fig. 5, with the two choice places (`p0`
+/// selecting between `DSr+` and `DSw+`, `p3` routing the shared `LDS+`
+/// return path) and the merge places (`p1` into `DTACK-`, `p2` into
+/// `LDS-`).
+///
+/// In the write cycle data is transferred to the device first (`D+` before
+/// `LDS+`), and the transceiver is closed (`D-`) once the device
+/// acknowledges (`LDTACK+`), isolating the device from the bus.
+#[must_use]
+pub fn vme_read_write() -> Stg {
+    let mut b = StgBuilder::new("vme-read-write");
+    let dsr = b.add_signal("DSr", SignalKind::Input);
+    let dsw = b.add_signal("DSw", SignalKind::Input);
+    let dtack = b.add_signal("DTACK", SignalKind::Output);
+    let ldtack = b.add_signal("LDTACK", SignalKind::Input);
+    let lds = b.add_signal("LDS", SignalKind::Output);
+    let d = b.add_signal("D", SignalKind::Output);
+
+    // READ branch (instance /1 of the doubled signals).
+    let dsr_p = b.add_edge(dsr, SignalEdge::Rise);
+    let dsr_m = b.add_edge(dsr, SignalEdge::Fall);
+    let lds_p_r = b.add_edge(lds, SignalEdge::Rise);
+    let ldtack_p_r = b.add_edge(ldtack, SignalEdge::Rise);
+    let d_p_r = b.add_edge(d, SignalEdge::Rise);
+    let dtack_p_r = b.add_edge(dtack, SignalEdge::Rise);
+    let d_m_r = b.add_edge(d, SignalEdge::Fall);
+
+    // WRITE branch (instance /2).
+    let dsw_p = b.add_edge(dsw, SignalEdge::Rise);
+    let dsw_m = b.add_edge(dsw, SignalEdge::Fall);
+    let d_p_w = b.add_edge(d, SignalEdge::Rise);
+    let lds_p_w = b.add_edge(lds, SignalEdge::Rise);
+    let ldtack_p_w = b.add_edge(ldtack, SignalEdge::Rise);
+    let d_m_w = b.add_edge(d, SignalEdge::Fall);
+    let dtack_p_w = b.add_edge(dtack, SignalEdge::Rise);
+
+    // Shared return-to-zero.
+    let lds_m = b.add_edge(lds, SignalEdge::Fall);
+    let ldtack_m = b.add_edge(ldtack, SignalEdge::Fall);
+    let dtack_m = b.add_edge(dtack, SignalEdge::Fall);
+
+    // READ cycle sequencing.
+    b.connect(dsr_p, lds_p_r);
+    b.connect(lds_p_r, ldtack_p_r);
+    b.connect(ldtack_p_r, d_p_r);
+    b.connect(d_p_r, dtack_p_r);
+    b.connect(dtack_p_r, dsr_m);
+    b.connect(dsr_m, d_m_r);
+
+    // WRITE cycle sequencing.
+    b.connect(dsw_p, d_p_w);
+    b.connect(d_p_w, lds_p_w);
+    b.connect(lds_p_w, ldtack_p_w);
+    b.connect(ldtack_p_w, d_m_w);
+    b.connect(d_m_w, dtack_p_w);
+    b.connect(dtack_p_w, dsw_m);
+
+    // Merge place p1 into DTACK- (from D-/1 in read, DSw- in write).
+    let p1 = b.add_place("p1", 0);
+    b.arc_tp(d_m_r, p1);
+    b.arc_tp(dsw_m, p1);
+    b.arc_pt(p1, dtack_m);
+
+    // Merge place p2 into LDS- (from D-/1 in read, D-/2 in write).
+    let p2 = b.add_place("p2", 0);
+    b.arc_tp(d_m_r, p2);
+    b.arc_tp(d_m_w, p2);
+    b.arc_pt(p2, lds_m);
+
+    b.connect(lds_m, ldtack_m);
+
+    // Choice place p0: serve a read or a write next (§1.5).
+    let p0 = b.add_place("p0", 1);
+    b.arc_tp(dtack_m, p0);
+    b.arc_pt(p0, dsr_p);
+    b.arc_pt(p0, dsw_p);
+
+    // Choice place p3: the shared LDS+ return path re-arms either branch.
+    let p3 = b.add_place("p3", 1);
+    b.arc_tp(ldtack_m, p3);
+    b.arc_pt(p3, lds_p_r);
+    b.arc_pt(p3, lds_p_w);
+
+    b.build()
+}
+
+/// The READ-cycle STG with the state signal `csc0` inserted as in Fig. 7:
+/// `csc0+` fires right before `LDS+` (triggered by `DSr+` and the previous
+/// cycle's `LDTACK-`), and `csc0-` fires after `DSr-`, gating `D-`.
+///
+/// Its state graph has 16 states and satisfies CSC, yielding the equations
+/// of §3.2:
+///
+/// ```text
+/// D     = LDTACK · csc0
+/// LDS   = D + csc0
+/// DTACK = D
+/// csc0  = DSr · (csc0 + LDTACK')
+/// ```
+#[must_use]
+pub fn vme_read_csc() -> Stg {
+    let mut b = StgBuilder::new("vme-read-csc");
+    let dsr = b.add_signal("DSr", SignalKind::Input);
+    let dtack = b.add_signal("DTACK", SignalKind::Output);
+    let ldtack = b.add_signal("LDTACK", SignalKind::Input);
+    let lds = b.add_signal("LDS", SignalKind::Output);
+    let d = b.add_signal("D", SignalKind::Output);
+    let csc0 = b.add_signal("csc0", SignalKind::Internal);
+
+    let dsr_p = b.add_edge(dsr, SignalEdge::Rise);
+    let dsr_m = b.add_edge(dsr, SignalEdge::Fall);
+    let dtack_p = b.add_edge(dtack, SignalEdge::Rise);
+    let dtack_m = b.add_edge(dtack, SignalEdge::Fall);
+    let ldtack_p = b.add_edge(ldtack, SignalEdge::Rise);
+    let ldtack_m = b.add_edge(ldtack, SignalEdge::Fall);
+    let lds_p = b.add_edge(lds, SignalEdge::Rise);
+    let lds_m = b.add_edge(lds, SignalEdge::Fall);
+    let d_p = b.add_edge(d, SignalEdge::Rise);
+    let d_m = b.add_edge(d, SignalEdge::Fall);
+    let csc_p = b.add_edge(csc0, SignalEdge::Rise);
+    let csc_m = b.add_edge(csc0, SignalEdge::Fall);
+
+    // csc0+ splits the DSr+ → LDS+ arc.
+    b.connect(dsr_p, csc_p);
+    b.connect(csc_p, lds_p);
+    b.connect(lds_p, ldtack_p);
+    b.connect(ldtack_p, d_p);
+    b.connect(d_p, dtack_p);
+    b.connect(dtack_p, dsr_m);
+    // csc0- splits the DSr- → D- arc.
+    b.connect(dsr_m, csc_m);
+    b.connect(csc_m, d_m);
+    b.connect(d_m, dtack_m);
+    b.connect(d_m, lds_m);
+    b.connect(lds_m, ldtack_m);
+    let p0 = b.connect(dtack_m, dsr_p);
+    // The next csc0+ additionally waits for LDTACK- of this cycle.
+    let p8 = b.connect(ldtack_m, csc_p);
+    b.mark_place(p0, 1);
+    b.mark_place(p8, 1);
+    b.build()
+}
+
+/// A simple two-signal toggle (environment raises `a`, circuit answers
+/// `x`), used in tests and doc examples.
+#[must_use]
+pub fn toggle() -> Stg {
+    let mut b = StgBuilder::new("toggle");
+    let a = b.add_signal("a", SignalKind::Input);
+    let x = b.add_signal("x", SignalKind::Output);
+    let a_p = b.add_edge(a, SignalEdge::Rise);
+    let x_p = b.add_edge(x, SignalEdge::Rise);
+    let a_m = b.add_edge(a, SignalEdge::Fall);
+    let x_m = b.add_edge(x, SignalEdge::Fall);
+    b.connect(a_p, x_p);
+    b.connect(x_p, a_m);
+    b.connect(a_m, x_m);
+    let p = b.connect(x_m, a_p);
+    b.mark_place(p, 1);
+    b.build()
+}
+
+/// An `n`-stage micropipeline control: stage `i` handshakes `ri/ai` with
+/// the next stage; all stages run concurrently. Input `r0`, outputs
+/// `a0..`, `r1..`. Scales the synthesis benchmarks.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn micropipeline(n: usize) -> Stg {
+    assert!(n > 0);
+    let mut b = StgBuilder::new(format!("micropipeline-{n}"));
+    let mut req = Vec::new();
+    let mut ack = Vec::new();
+    for i in 0..=n {
+        let kind = if i == 0 { SignalKind::Input } else { SignalKind::Output };
+        req.push(b.add_signal(format!("r{i}"), kind));
+        ack.push(b.add_signal(format!("a{i}"), SignalKind::Output));
+    }
+    // Stage i: ri+ → ai+ → ri- → ai- ring, and ai+ → r(i+1)+ forward
+    // coupling with back-pressure r(i+1)- → ai+ of the next round.
+    let mut r_p = Vec::new();
+    let mut r_m = Vec::new();
+    let mut a_p = Vec::new();
+    let mut a_m = Vec::new();
+    for i in 0..=n {
+        r_p.push(b.add_edge(req[i], SignalEdge::Rise));
+        r_m.push(b.add_edge(req[i], SignalEdge::Fall));
+        a_p.push(b.add_edge(ack[i], SignalEdge::Rise));
+        a_m.push(b.add_edge(ack[i], SignalEdge::Fall));
+    }
+    for i in 0..=n {
+        b.connect(r_p[i], a_p[i]);
+        b.connect(a_p[i], r_m[i]);
+        b.connect(r_m[i], a_m[i]);
+        let p = b.connect(a_m[i], r_p[i]);
+        b.mark_place(p, 1);
+        if i < n {
+            b.connect(a_p[i], r_p[i + 1]);
+            let back = b.connect(a_m[i + 1], a_p[i]);
+            b.mark_place(back, 1);
+        }
+    }
+    b.build()
+}

@@ -1,0 +1,44 @@
+//! Signal Transition Graphs (STGs): Petri nets whose transitions are
+//! interpreted as rising/falling signal edges (§1.1 of the DAC'98 tutorial:
+//! *"Petri Nets with such signal interpretations are called Signal
+//! Transition Graphs"*).
+//!
+//! This crate layers the signal interpretation on top of the [`petri`]
+//! kernel and provides everything §1–§2 of the paper needs:
+//!
+//! * [`Stg`] — the model: typed signals (input/output/internal/dummy),
+//!   labelled transitions, construction API ([`StgBuilder`]);
+//! * [`parse`] — reader/writer for the `.g` (astg, petrify) text format;
+//! * [`StateGraph`] — binary-encoded state graphs with consistency
+//!   checking (§1.4, Fig. 4);
+//! * [`encoding`] — USC/CSC conflict detection (§2.1, §3.1);
+//! * [`persistency`] — output-persistency analysis (§2.1);
+//! * [`properties`] — the aggregated implementability report;
+//! * [`examples`] — the VME-bus controller specifications of Figs. 3/5/7;
+//! * [`waveform`] — ASCII waveform rendering of firing traces (Fig. 2).
+//!
+//! # Example
+//!
+//! ```
+//! use stg::{examples, StateGraph};
+//!
+//! let vme = examples::vme_read();
+//! let sg = StateGraph::build(&vme)?;
+//! assert_eq!(sg.num_states(), 14); // Fig. 4 of the paper
+//! # Ok::<(), stg::StgError>(())
+//! ```
+
+pub mod encoding;
+pub mod examples;
+mod model;
+pub mod parse;
+pub mod persistency;
+pub mod properties;
+mod state_graph;
+pub mod waveform;
+
+pub use model::{SignalId, SignalKind, SignalEdge, Stg, StgBuilder, TransitionLabel};
+pub use state_graph::{SgState, StateGraph, StgError};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,304 @@
+//! Reader and writer for the `.g` (astg / petrify / SIS) text format —
+//! the interchange format of the tool the paper's flow is built around
+//! (§7 mentions `petrify`; its input format is reproduced here).
+//!
+//! Supported sections: `.model`, `.inputs`, `.outputs`, `.internal`,
+//! `.dummy`, `.graph`, `.marking`, `.end`; transition tokens `sig+`,
+//! `sig-`, `sig+/2`; explicit places (any other token on the left of a
+//! `.graph` line); markings `{ p1 <a+,b-> }`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use petri::{PlaceId, TransitionId};
+
+use crate::model::{SignalEdge, SignalId, SignalKind, Stg, StgBuilder};
+
+/// Errors from `.g` parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGError {
+    /// 1-based line of the offending construct (0 = global).
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseGError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseGError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseGError {
+    ParseGError { line, message: message.into() }
+}
+
+/// A parsed transition token: signal name, edge, instance.
+fn parse_transition_token(tok: &str) -> Option<(String, SignalEdge, u32)> {
+    let (base, instance) = match tok.split_once('/') {
+        Some((b, i)) => (b, i.parse().ok()?),
+        None => (tok, 1),
+    };
+    let edge = if base.ends_with('+') {
+        SignalEdge::Rise
+    } else if base.ends_with('-') {
+        SignalEdge::Fall
+    } else {
+        return None;
+    };
+    let name = &base[..base.len() - 1];
+    if name.is_empty() {
+        return None;
+    }
+    Some((name.to_owned(), edge, instance))
+}
+
+/// Parses an STG from `.g` text.
+///
+/// # Errors
+///
+/// Returns a [`ParseGError`] describing the first malformed construct:
+/// unknown signals in the graph section, re-declared signals, bad marking
+/// tokens, missing `.graph`.
+pub fn parse_g(text: &str) -> Result<Stg, ParseGError> {
+    let mut name = "stg".to_owned();
+    let mut declared: Vec<(String, SignalKind)> = Vec::new();
+    let mut dummies: Vec<String> = Vec::new();
+    let mut signal_ids: HashMap<String, SignalId> = HashMap::new();
+    let mut transitions: HashMap<String, TransitionId> = HashMap::new();
+    let mut places: HashMap<String, PlaceId> = HashMap::new();
+    // Arcs recorded as (from-token, to-token, line) and resolved after the
+    // graph section so forward references work.
+    let mut graph_lines: Vec<(usize, Vec<String>)> = Vec::new();
+    let mut marking_tokens: Vec<(usize, String)> = Vec::new();
+    let mut in_graph = false;
+    let mut saw_graph = false;
+
+    for (lineno0, raw) in text.lines().enumerate() {
+        let lineno = lineno0 + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".model") {
+            name = rest.trim().to_owned();
+        } else if let Some(rest) = line.strip_prefix(".inputs") {
+            for tok in rest.split_whitespace() {
+                declared.push((tok.to_owned(), SignalKind::Input));
+            }
+        } else if let Some(rest) = line.strip_prefix(".outputs") {
+            for tok in rest.split_whitespace() {
+                declared.push((tok.to_owned(), SignalKind::Output));
+            }
+        } else if let Some(rest) = line.strip_prefix(".internal") {
+            for tok in rest.split_whitespace() {
+                declared.push((tok.to_owned(), SignalKind::Internal));
+            }
+        } else if let Some(rest) = line.strip_prefix(".dummy") {
+            for tok in rest.split_whitespace() {
+                dummies.push(tok.to_owned());
+            }
+        } else if line.starts_with(".graph") {
+            in_graph = true;
+            saw_graph = true;
+        } else if let Some(rest) = line.strip_prefix(".marking") {
+            in_graph = false;
+            let inner = rest.trim().trim_start_matches('{').trim_end_matches('}');
+            // Tokens are either plain place names or `<a+,b->` pairs; the
+            // latter contain no spaces in well-formed files.
+            for tok in inner.split_whitespace() {
+                marking_tokens.push((lineno, tok.to_owned()));
+            }
+        } else if line.starts_with(".end") {
+            in_graph = false;
+        } else if line.starts_with('.') {
+            return Err(err(lineno, format!("unknown directive {line:?}")));
+        } else if in_graph {
+            let toks: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
+            if toks.len() < 2 {
+                return Err(err(lineno, "graph line needs a source and at least one target"));
+            }
+            graph_lines.push((lineno, toks));
+        } else {
+            return Err(err(lineno, format!("unexpected text outside sections: {line:?}")));
+        }
+    }
+    if !saw_graph {
+        return Err(err(0, "missing .graph section"));
+    }
+
+    // Build signals.
+    let mut b = StgBuilder::new(name);
+    for (n, kind) in &declared {
+        if signal_ids.contains_key(n) {
+            return Err(err(0, format!("signal {n:?} declared twice")));
+        }
+        let id = b.add_signal(n.clone(), *kind);
+        signal_ids.insert(n.clone(), id);
+    }
+
+    // First pass: create transitions (and remember explicit places).
+    let ensure_node = |b: &mut StgBuilder,
+                           tok: &str,
+                           lineno: usize,
+                           transitions: &mut HashMap<String, TransitionId>,
+                           places: &mut HashMap<String, PlaceId>|
+     -> Result<(), ParseGError> {
+        if transitions.contains_key(tok) || places.contains_key(tok) {
+            return Ok(());
+        }
+        if let Some((sig, edge, _instance)) = parse_transition_token(tok) {
+            if let Some(&id) = signal_ids.get(&sig) {
+                let t = b.add_edge(id, edge);
+                transitions.insert(tok.to_owned(), t);
+                return Ok(());
+            }
+            // A +/- suffixed token with unknown signal is an error, not a
+            // place: places may not end in +/-.
+            return Err(err(lineno, format!("undeclared signal in transition {tok:?}")));
+        }
+        if dummies.contains(&tok.to_owned()) {
+            let t = b.add_dummy(tok);
+            transitions.insert(tok.to_owned(), t);
+        } else {
+            let p = b.add_place(tok, 0);
+            places.insert(tok.to_owned(), p);
+        }
+        Ok(())
+    };
+
+    for (lineno, toks) in &graph_lines {
+        for tok in toks {
+            ensure_node(&mut b, tok, *lineno, &mut transitions, &mut places)?;
+        }
+    }
+
+    // Second pass: arcs. Place→transition, transition→place, or
+    // transition→transition (implicit place).
+    let mut implicit: HashMap<(TransitionId, TransitionId), PlaceId> = HashMap::new();
+    for (lineno, toks) in &graph_lines {
+        let src = &toks[0];
+        for dst in &toks[1..] {
+            match (transitions.get(src), places.get(src), transitions.get(dst), places.get(dst)) {
+                (Some(&t1), _, Some(&t2), _) => {
+                    let p = b.connect(t1, t2);
+                    implicit.insert((t1, t2), p);
+                }
+                (Some(&t), _, _, Some(&p)) => b.arc_tp(t, p),
+                (_, Some(&p), Some(&t), _) => b.arc_pt(p, t),
+                (_, Some(_), _, Some(_)) => {
+                    return Err(err(*lineno, format!("place-to-place arc {src} -> {dst}")));
+                }
+                _ => return Err(err(*lineno, format!("unresolved arc {src} -> {dst}"))),
+            }
+        }
+    }
+
+    // Markings.
+    for (lineno, tok) in &marking_tokens {
+        if let Some(inner) = tok.strip_prefix('<').and_then(|t| t.strip_suffix('>')) {
+            let Some((a, bb)) = inner.split_once(',') else {
+                return Err(err(*lineno, format!("malformed implicit-place marking {tok:?}")));
+            };
+            let (Some(&t1), Some(&t2)) = (transitions.get(a), transitions.get(bb)) else {
+                return Err(err(*lineno, format!("unknown transitions in marking {tok:?}")));
+            };
+            let Some(&p) = implicit.get(&(t1, t2)) else {
+                return Err(err(*lineno, format!("no implicit place for marking {tok:?}")));
+            };
+            b.mark_place(p, 1);
+        } else if let Some(&p) = places.get(tok.as_str()) {
+            b.mark_place(p, 1);
+        } else {
+            return Err(err(*lineno, format!("unknown place {tok:?} in marking")));
+        }
+    }
+
+    Ok(b.build())
+}
+
+/// Serialises an STG to `.g` text; `parse_g(&write_g(&stg))` reproduces an
+/// equivalent STG (same signals, transitions, arcs, marking).
+#[must_use]
+pub fn write_g(stg: &Stg) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", stg.name());
+    for (directive, kind) in [
+        (".inputs", SignalKind::Input),
+        (".outputs", SignalKind::Output),
+        (".internal", SignalKind::Internal),
+    ] {
+        let names: Vec<&str> = stg
+            .signals()
+            .filter(|&s| stg.signal_kind(s) == kind)
+            .map(|s| stg.signal_name(s))
+            .collect();
+        if !names.is_empty() {
+            let _ = writeln!(out, "{directive} {}", names.join(" "));
+        }
+    }
+    let dummies: Vec<String> = stg
+        .net()
+        .transitions()
+        .filter(|&t| stg.label(t).is_none())
+        .map(|t| stg.net().transition_name(t).to_owned())
+        .collect();
+    if !dummies.is_empty() {
+        let _ = writeln!(out, ".dummy {}", dummies.join(" "));
+    }
+    let _ = writeln!(out, ".graph");
+    let net = stg.net();
+    // Emit arcs. Implicit places (single producer, single consumer, name
+    // starting with '<') print as transition→transition arcs; everything
+    // else prints explicitly.
+    let is_implicit = |p: petri::PlaceId| {
+        net.place_name(p).starts_with('<')
+            && net.place_preset(p).len() == 1
+            && net.place_postset(p).len() == 1
+    };
+    for t in net.transitions() {
+        let mut targets: Vec<String> = Vec::new();
+        for &p in net.postset(t) {
+            if is_implicit(p) {
+                targets.push(stg.label_string(net.place_postset(p)[0]));
+            } else {
+                targets.push(net.place_name(p).to_owned());
+            }
+        }
+        if !targets.is_empty() {
+            let _ = writeln!(out, "{} {}", stg.label_string(t), targets.join(" "));
+        }
+    }
+    for p in net.places() {
+        if is_implicit(p) {
+            continue;
+        }
+        let targets: Vec<String> = net
+            .place_postset(p)
+            .iter()
+            .map(|&t| stg.label_string(t))
+            .collect();
+        if !targets.is_empty() {
+            let _ = writeln!(out, "{} {}", net.place_name(p), targets.join(" "));
+        }
+    }
+    // Marking.
+    let mut marks: Vec<String> = Vec::new();
+    for p in net.places() {
+        if net.initial_tokens(p) > 0 {
+            if is_implicit(p) {
+                let t1 = net.place_preset(p)[0];
+                let t2 = net.place_postset(p)[0];
+                marks.push(format!("<{},{}>", stg.label_string(t1), stg.label_string(t2)));
+            } else {
+                marks.push(net.place_name(p).to_owned());
+            }
+        }
+    }
+    let _ = writeln!(out, ".marking {{ {} }}", marks.join(" "));
+    let _ = writeln!(out, ".end");
+    out
+}

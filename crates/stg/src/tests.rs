@@ -1,0 +1,318 @@
+//! Unit tests for the STG layer, anchored to the paper's figures.
+
+use petri::classify;
+
+use crate::encoding::{csc_conflicts, encoding_conflicts, has_csc, has_usc};
+use crate::examples::{micropipeline, toggle, vme_read, vme_read_csc, vme_read_write};
+use crate::model::{SignalEdge, SignalKind, StgBuilder};
+use crate::parse::{parse_g, write_g};
+use crate::persistency::{is_persistent, persistency_violations, ViolationKind};
+use crate::properties::check_implementability;
+use crate::state_graph::{StateGraph, StgError};
+use crate::waveform::{canonical_cycle, render_waveforms};
+
+#[test]
+fn vme_read_structure_fig3() {
+    let stg = vme_read();
+    assert_eq!(stg.num_signals(), 5);
+    // Fig. 3 is a marked graph: no choice.
+    let class = classify::classify(stg.net());
+    assert!(class.marked_graph);
+    assert!(class.free_choice);
+    assert_eq!(stg.net().num_transitions(), 10);
+}
+
+#[test]
+fn vme_read_state_graph_fig4() {
+    let stg = vme_read();
+    let sg = StateGraph::build(&stg).unwrap();
+    // Fig. 4: the RG/SG of the READ cycle has 14 states.
+    assert_eq!(sg.num_states(), 14);
+    // Initial state: all signals low, DSr excited: "0*0000" in the paper's
+    // <DSr,DTACK,LDTACK,LDS,D> order.
+    assert_eq!(sg.plain_code_string(0), "00000");
+    assert!(sg.code_string(&stg, 0).starts_with("0*"));
+    // Consistency and determinism hold.
+    assert!(sg.ts().is_deterministic());
+}
+
+#[test]
+fn vme_read_csc_conflict_code_10110() {
+    let stg = vme_read();
+    let sg = StateGraph::build(&stg).unwrap();
+    // §2.1: the two underlined conflict states share code 10110 in
+    // <DSr,DTACK,LDTACK,LDS,D> order, with different LDS/D excitation.
+    let conflicts = csc_conflicts(&stg, &sg);
+    assert_eq!(conflicts.len(), 1, "exactly one CSC conflict pair");
+    let c = &conflicts[0];
+    let code: String = c.code.iter().map(|&b| if b { '1' } else { '0' }).collect();
+    assert_eq!(code, "10110");
+    let names: Vec<&str> = c
+        .conflicting_signals
+        .iter()
+        .map(|&s| stg.signal_name(s))
+        .collect();
+    assert!(names.contains(&"LDS"), "LDS excitation differs: {names:?}");
+    assert!(!has_usc(&stg, &sg));
+    assert!(!has_csc(&stg, &sg));
+}
+
+#[test]
+fn vme_read_is_persistent_but_lacks_csc() {
+    let stg = vme_read();
+    let report = check_implementability(&stg);
+    assert!(report.bounded);
+    assert!(report.consistent);
+    assert!(report.persistent, "Fig. 3 is a marked graph: no disabling");
+    assert!(!report.complete_state_coding);
+    assert!(!report.is_implementable());
+    assert!(report.deadlock_free);
+}
+
+#[test]
+fn vme_read_csc_fig7() {
+    let stg = vme_read_csc();
+    let sg = StateGraph::build(&stg).unwrap();
+    // Fig. 7: inserting csc0 yields 16 states and restores CSC.
+    assert_eq!(sg.num_states(), 16);
+    assert!(has_csc(&stg, &sg));
+    let report = check_implementability(&stg);
+    assert!(report.is_implementable(), "{report}");
+}
+
+#[test]
+fn vme_read_write_fig5() {
+    let stg = vme_read_write();
+    let sg = StateGraph::build(&stg).unwrap();
+    assert!(sg.num_states() > 14, "read+write explores both branches");
+    // Choice places p0 and p3 exist (§1.5).
+    let choices = classify::choice_places(stg.net());
+    assert_eq!(choices.len(), 2);
+    // The DSr+/DSw+ conflict is an input choice: persistency violations
+    // exist but all are InputChoice.
+    let violations = persistency_violations(&stg, &sg);
+    assert!(violations.iter().any(|v| v.kind == ViolationKind::InputChoice));
+    assert!(is_persistent(&stg, &sg), "input choice is allowed");
+    // Consistent and bounded.
+    let report = check_implementability(&stg);
+    assert!(report.bounded && report.consistent, "{report}");
+}
+
+#[test]
+fn toggle_is_fully_implementable() {
+    let report = check_implementability(&toggle());
+    assert!(report.is_implementable(), "{report}");
+    assert_eq!(report.num_states, 4);
+}
+
+#[test]
+fn micropipeline_scales_and_stays_consistent() {
+    for n in 1..4 {
+        let stg = micropipeline(n);
+        let sg = StateGraph::build(&stg).unwrap();
+        assert!(sg.num_states() >= 4, "n={n}");
+        assert!(sg.ts().deadlocks().is_empty(), "n={n}");
+    }
+}
+
+#[test]
+fn inconsistent_stg_detected() {
+    // a+ followed by a+ again: inconsistent.
+    let mut b = StgBuilder::new("bad");
+    let a = b.add_signal("a", SignalKind::Input);
+    let a1 = b.add_edge(a, SignalEdge::Rise);
+    let a2 = b.add_edge(a, SignalEdge::Rise);
+    b.connect(a1, a2);
+    let p = b.connect(a2, a1);
+    b.mark_place(p, 1);
+    let stg = b.build();
+    match StateGraph::build(&stg) {
+        Err(StgError::InconsistentEdge { .. }) => {}
+        other => panic!("expected inconsistency, got {other:?}"),
+    }
+}
+
+#[test]
+fn explicit_initial_values_respected() {
+    let mut b = StgBuilder::new("init");
+    let a = b.add_signal("a", SignalKind::Input);
+    let a_m = b.add_edge(a, SignalEdge::Fall);
+    let a_p = b.add_edge(a, SignalEdge::Rise);
+    b.connect(a_m, a_p);
+    let p = b.connect(a_p, a_m);
+    b.mark_place(p, 1);
+    b.set_initial_values(vec![true]);
+    let stg = b.build();
+    let sg = StateGraph::build(&stg).unwrap();
+    assert!(sg.value(0, a));
+}
+
+#[test]
+fn initial_value_inference_from_falling_edge() {
+    // Same net, no explicit values: first edge is a-, so a starts at 1.
+    let mut b = StgBuilder::new("init");
+    let a = b.add_signal("a", SignalKind::Input);
+    let a_m = b.add_edge(a, SignalEdge::Fall);
+    let a_p = b.add_edge(a, SignalEdge::Rise);
+    b.connect(a_m, a_p);
+    let p = b.connect(a_p, a_m);
+    b.mark_place(p, 1);
+    let stg = b.build();
+    let sg = StateGraph::build(&stg).unwrap();
+    assert!(sg.value(0, a));
+}
+
+#[test]
+fn parse_g_roundtrip_vme() {
+    let stg = vme_read();
+    let text = write_g(&stg);
+    let parsed = parse_g(&text).unwrap();
+    assert_eq!(parsed.num_signals(), stg.num_signals());
+    assert_eq!(parsed.net().num_transitions(), stg.net().num_transitions());
+    // Equivalent behaviour: same state-graph size and properties.
+    let sg1 = StateGraph::build(&stg).unwrap();
+    let sg2 = StateGraph::build(&parsed).unwrap();
+    assert_eq!(sg1.num_states(), sg2.num_states());
+    // Trace equivalence over label strings.
+    let t1 = sg1.ts().map_labels(|&t| stg.label_string(t));
+    let t2 = sg2.ts().map_labels(|&t| parsed.label_string(t));
+    assert!(t1.trace_equivalent(&t2));
+}
+
+#[test]
+fn parse_g_explicit_places_and_choice() {
+    let text = "\
+.model choice
+.inputs a b
+.outputs x
+.graph
+p0 a+ b+
+a+ x+/1
+b+ x+/2
+x+/1 a-
+x+/2 b-
+a- x-/1
+b- x-/2
+x-/1 p0
+x-/2 p0
+.marking { p0 }
+.end
+";
+    let stg = parse_g(text).unwrap();
+    assert_eq!(stg.num_signals(), 3);
+    let sg = StateGraph::build(&stg).unwrap();
+    assert!(sg.num_states() >= 4);
+}
+
+#[test]
+fn parse_g_instances() {
+    let text = "\
+.model inst
+.inputs a
+.outputs x
+.graph
+a+ x+/1
+x+/1 a-
+a- x-/1
+x-/1 a+
+.marking { <x-/1,a+> }
+.end
+";
+    let stg = parse_g(text).unwrap();
+    let sg = StateGraph::build(&stg).unwrap();
+    assert_eq!(sg.num_states(), 4);
+}
+
+#[test]
+fn parse_g_errors() {
+    assert!(parse_g(".model x\n.graph\nfoo+ bar+\n.end\n").is_err(), "undeclared signal");
+    assert!(parse_g(".model x\n.inputs a\n.end\n").is_err(), "missing graph");
+    let bad_marking = ".model x\n.inputs a\n.graph\na+ a-\na- a+\n.marking { nosuch }\n.end\n";
+    assert!(parse_g(bad_marking).is_err());
+}
+
+#[test]
+fn waveforms_render_read_cycle() {
+    let stg = vme_read();
+    let sg = StateGraph::build(&stg).unwrap();
+    let cycle = canonical_cycle(&sg, 32);
+    assert_eq!(cycle.len(), 10, "one full READ cycle fires all 10 edges");
+    let wave = render_waveforms(&stg, &sg, &cycle);
+    // Five rows, one per signal.
+    assert_eq!(wave.lines().count(), 5);
+    // DSr rises then falls within the cycle.
+    let dsr_row = wave.lines().find(|l| l.contains("DSr")).unwrap();
+    assert!(dsr_row.contains("/~") && dsr_row.contains("\\_"));
+}
+
+#[test]
+fn encoding_conflicts_listing_is_deterministic() {
+    let stg = vme_read();
+    let sg = StateGraph::build(&stg).unwrap();
+    let a = encoding_conflicts(&stg, &sg);
+    let b = encoding_conflicts(&stg, &sg);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn label_strings() {
+    let stg = vme_read_write();
+    // Doubled signals print instances: there must be a "D+/2" somewhere.
+    let labels: Vec<String> = stg
+        .net()
+        .transitions()
+        .map(|t| stg.label_string(t))
+        .collect();
+    assert!(labels.iter().any(|l| l == "D+/2"), "{labels:?}");
+    assert!(labels.iter().any(|l| l == "D+"), "{labels:?}");
+}
+
+#[test]
+fn write_g_parse_g_roundtrip_read_write() {
+    // The choice-rich Fig. 5 spec survives serialisation.
+    let stg = vme_read_write();
+    let text = write_g(&stg);
+    let parsed = parse_g(&text).unwrap();
+    let sg1 = StateGraph::build(&stg).unwrap();
+    let sg2 = StateGraph::build(&parsed).unwrap();
+    assert_eq!(sg1.num_states(), sg2.num_states());
+    let t1 = sg1.ts().map_labels(|&t| stg.label_string(t));
+    let t2 = sg2.ts().map_labels(|&t| parsed.label_string(t));
+    assert!(t1.trace_equivalent(&t2));
+}
+
+#[test]
+fn dummy_transitions_parse_and_run() {
+    let text = "\
+.model dummies
+.inputs a
+.outputs x
+.dummy tau
+.graph
+a+ tau
+tau x+
+x+ a-
+a- x-
+x- a+
+.marking { <x-,a+> }
+.end
+";
+    let stg = parse_g(text).unwrap();
+    let sg = StateGraph::build(&stg).unwrap();
+    // 4 signal edges + 1 dummy = 5 states in the cycle.
+    assert_eq!(sg.num_states(), 5);
+    // The dummy does not change any code.
+    let report = check_implementability(&stg);
+    assert!(report.consistent);
+}
+
+#[test]
+fn excitations_and_regions_of_initial_state() {
+    let stg = vme_read();
+    let sg = StateGraph::build(&stg).unwrap();
+    let exc = sg.excitations(&stg, 0);
+    assert_eq!(exc.len(), 1);
+    let (_, sig, edge) = exc[0];
+    assert_eq!(stg.signal_name(sig), "DSr");
+    assert_eq!(edge, crate::SignalEdge::Rise);
+}

@@ -1,0 +1,434 @@
+//! Complete-state-coding resolution (§2.1, §3.1).
+//!
+//! The paper gives two methods for eliminating CSC conflicts:
+//!
+//! 1. *"inserting an additional state signal whose value should
+//!    distinguish two conflict states"* — [`resolve_by_signal_insertion`]
+//!    searches transition-splitting insertions of a fresh internal signal
+//!    (Fig. 7 inserts `csc0+` right before `LDS+` and `csc0-` right before
+//!    `D-`);
+//! 2. *"concurrency reduction"* — [`resolve_by_concurrency_reduction`]
+//!    adds an ordering arc that removes the conflicting state (the paper
+//!    delays `DTACK-` until `LDS-` fires). *"The environment should
+//!    usually stay untouched ... therefore delaying input signals is not
+//!    allowed."*
+
+use petri::TransitionId;
+use stg::{SignalEdge, SignalKind, StateGraph, Stg};
+
+/// Outcome of a successful CSC resolution.
+#[derive(Debug, Clone)]
+pub struct CscResolution {
+    /// The transformed STG (CSC holds on its state graph).
+    pub stg: Stg,
+    /// Human-readable description of the applied transformation.
+    pub description: String,
+    /// State count of the new state graph.
+    pub num_states: usize,
+}
+
+/// Attempts to restore CSC by inserting one internal state signal.
+///
+/// The search space is pairs `(t⁺, t⁻)` of non-input transitions: the new
+/// signal's rising edge is inserted *before* `t⁺` (splitting all of its
+/// input arcs) and its falling edge before `t⁻`. A candidate is accepted
+/// when the transformed STG is consistent, safe, CSC, deadlock-free and
+/// output-persistent. Among acceptable candidates the one with the fewest
+/// states is returned (deterministic tie-break on transition ids).
+///
+/// Returns `None` when no single-signal insertion of this shape works —
+/// larger controllers may need multiple signals; apply repeatedly.
+#[must_use]
+pub fn resolve_by_signal_insertion(stg: &Stg) -> Option<CscResolution> {
+    let sg = StateGraph::build(stg).ok()?;
+    if stg::encoding::has_csc(stg, &sg) {
+        return Some(CscResolution {
+            stg: stg.clone(),
+            description: "CSC already holds; no insertion needed".to_owned(),
+            num_states: sg.num_states(),
+        });
+    }
+    insertion_candidates(stg).into_iter().next()
+}
+
+/// All acceptable single-signal insertions, best first.
+///
+/// Candidates are ranked by `(state count, synthesised literal cost,
+/// transition ids)`: among equally small state graphs the insertion with
+/// the cheapest logic wins. Several rankings can tie up to signal
+/// polarity (the paper's `csc0` and its complement are both returned);
+/// downstream architecture-specific validation picks between them (see
+/// the flow driver).
+#[must_use]
+pub fn insertion_candidates(stg: &Stg) -> Vec<CscResolution> {
+    let splittable: Vec<TransitionId> = stg
+        .net()
+        .transitions()
+        .filter(|&t| {
+            stg.label(t)
+                .is_some_and(|l| stg.signal_kind(l.signal).is_non_input())
+        })
+        .collect();
+    let mut ranked: Vec<((usize, usize, TransitionId, TransitionId), Stg)> = Vec::new();
+    for &tp in &splittable {
+        for &tm in &splittable {
+            if tp == tm {
+                continue;
+            }
+            let candidate = insert_state_signal(stg, tp, tm);
+            let Ok(csg) = StateGraph::build_bounded(&candidate, 100_000) else {
+                continue;
+            };
+            if !stg::encoding::has_csc(&candidate, &csg) {
+                continue;
+            }
+            if !csg.ts().deadlocks().is_empty() {
+                continue;
+            }
+            if !stg::persistency::is_persistent(&candidate, &csg) {
+                continue;
+            }
+            let states = csg.num_states();
+            let Ok(equations) = crate::nextstate::all_equations(&candidate, &csg) else {
+                continue;
+            };
+            let cost: usize = equations.iter().map(|e| e.cover.literal_count()).sum();
+            ranked.push(((states, cost, tp, tm), candidate));
+        }
+    }
+    ranked.sort_by(|a, b| a.0.cmp(&b.0));
+    ranked
+        .into_iter()
+        .map(|((num_states, _, tp, tm), new_stg)| CscResolution {
+            description: format!(
+                "inserted csc signal: + before {}, - before {}",
+                stg.label_string(tp),
+                stg.label_string(tm)
+            ),
+            num_states,
+            stg: new_stg,
+        })
+        .collect()
+}
+
+/// Builds the STG with a fresh internal signal whose rising edge precedes
+/// `before_plus` and whose falling edge precedes `before_minus` (the
+/// transition-splitting insertion of §2.1/§3.1).
+#[must_use]
+pub fn insert_state_signal(
+    stg: &Stg,
+    before_plus: TransitionId,
+    before_minus: TransitionId,
+) -> Stg {
+    // Rebuild the STG from scratch, mirroring nets and labels, adding the
+    // new signal. Rebuilding keeps `StgBuilder` the only mutation path.
+    let mut b = stg::StgBuilder::new(format!("{}-csc", stg.name()));
+    // Signals.
+    let mut signal_map = Vec::with_capacity(stg.num_signals());
+    for s in stg.signals() {
+        signal_map.push(b.add_signal(stg.signal_name(s), stg.signal_kind(s)));
+    }
+    let csc = b.add_signal(next_csc_name(stg), SignalKind::Internal);
+    // Transitions.
+    let net = stg.net();
+    let mut t_map = Vec::with_capacity(net.num_transitions());
+    for t in net.transitions() {
+        let nt = match stg.label(t) {
+            Some(l) => b.add_edge(signal_map[l.signal.index()], l.edge),
+            None => b.add_dummy(net.transition_name(t)),
+        };
+        t_map.push(nt);
+    }
+    let csc_plus = b.add_edge(csc, SignalEdge::Rise);
+    let csc_minus = b.add_edge(csc, SignalEdge::Fall);
+    // Places and arcs. Input places of the split transitions are
+    // redirected to the inserted edge; a fresh place then links it to the
+    // original. Shared places (choice places — more than one consumer)
+    // are left untouched so the insertion never competes with, and can
+    // never disable, the other branch of a choice.
+    for p in net.places() {
+        let np = b.add_place(net.place_name(p), net.initial_tokens(p));
+        let shared = net.place_postset(p).len() > 1;
+        for &t in net.place_preset(p) {
+            b.arc_tp(t_map[t.index()], np);
+        }
+        for &t in net.place_postset(p) {
+            let target = if t == before_plus && !shared {
+                csc_plus
+            } else if t == before_minus && !shared {
+                csc_minus
+            } else {
+                t_map[t.index()]
+            };
+            b.arc_pt(np, target);
+        }
+    }
+    // Link the inserted edges to the originals.
+    let link_p = b.add_place("csc_plus_link", 0);
+    b.arc_tp(csc_plus, link_p);
+    b.arc_pt(link_p, t_map[before_plus.index()]);
+    let link_m = b.add_place("csc_minus_link", 0);
+    b.arc_tp(csc_minus, link_m);
+    b.arc_pt(link_m, t_map[before_minus.index()]);
+    b.build()
+}
+
+fn next_csc_name(stg: &Stg) -> String {
+    let mut i = 0;
+    loop {
+        let name = format!("csc{i}");
+        if stg.signal_by_name(&name).is_none() {
+            return name;
+        }
+        i += 1;
+    }
+}
+
+/// Attempts to restore CSC by concurrency reduction: adding one causal arc
+/// `a → b` (with `b` non-input, so the environment is untouched) that
+/// removes the conflicting states.
+///
+/// Accepts the first candidate (in deterministic transition order) whose
+/// transformed STG is consistent, safe, CSC, deadlock-free,
+/// output-persistent and whose language is a subset of the original's
+/// (checked on determinised label traces).
+#[must_use]
+pub fn resolve_by_concurrency_reduction(stg: &Stg) -> Option<CscResolution> {
+    let sg = StateGraph::build(stg).ok()?;
+    if stg::encoding::has_csc(stg, &sg) {
+        return Some(CscResolution {
+            stg: stg.clone(),
+            description: "CSC already holds; no reduction needed".to_owned(),
+            num_states: sg.num_states(),
+        });
+    }
+    let transitions: Vec<TransitionId> = stg.net().transitions().collect();
+    for &a in &transitions {
+        for &b_t in &transitions {
+            if a == b_t {
+                continue;
+            }
+            // Only non-input transitions may be delayed.
+            let delayable = stg
+                .label(b_t)
+                .is_some_and(|l| stg.signal_kind(l.signal).is_non_input());
+            if !delayable {
+                continue;
+            }
+            let candidate = add_ordering_arc(stg, a, b_t);
+            let Ok(csg) = StateGraph::build_bounded(&candidate, 100_000) else {
+                continue;
+            };
+            if !stg::encoding::has_csc(&candidate, &csg) {
+                continue;
+            }
+            if !csg.ts().deadlocks().is_empty() {
+                continue;
+            }
+            if !stg::persistency::is_persistent(&candidate, &csg) {
+                continue;
+            }
+            if csg.num_states() >= sg.num_states() {
+                continue; // not a reduction
+            }
+            return Some(CscResolution {
+                description: format!(
+                    "concurrency reduction: {} now waits for {}",
+                    stg.label_string(b_t),
+                    stg.label_string(a)
+                ),
+                num_states: csg.num_states(),
+                stg: candidate,
+            });
+        }
+    }
+    None
+}
+
+/// Adds a causal place `a → b`, marked so the *first* firing of `b` is
+/// already permitted when `a` precedes it in the initial marking's future
+/// (heuristic: unmarked; candidates that deadlock are rejected upstream).
+#[must_use]
+pub fn add_ordering_arc(stg: &Stg, a: TransitionId, b_t: TransitionId) -> Stg {
+    let mut b = stg.clone().into_builder();
+    b.connect(a, b_t);
+    b.build()
+}
+
+/// Iterative multi-signal CSC resolution: inserts state signals one at a
+/// time, each step picking the insertion that most reduces the number of
+/// CSC-conflicting state pairs (ties broken by state count and synthesised
+/// literal cost), until CSC holds or `max_signals` insertions were made.
+///
+/// Controllers like the READ+WRITE specification of Fig. 5 need more than
+/// one state signal; this is the standard greedy loop around the
+/// single-signal search.
+#[must_use]
+pub fn resolve_iteratively(stg: &Stg, max_signals: usize) -> Option<CscResolution> {
+    let mut current = stg.clone();
+    let mut descriptions: Vec<String> = Vec::new();
+    for _ in 0..max_signals {
+        let sg = StateGraph::build_bounded(&current, 200_000).ok()?;
+        let conflicts = stg::encoding::csc_conflicts(&current, &sg).len();
+        if conflicts == 0 {
+            return Some(CscResolution {
+                stg: current,
+                description: if descriptions.is_empty() {
+                    "CSC already holds; no insertion needed".to_owned()
+                } else {
+                    descriptions.join("; ")
+                },
+                num_states: sg.num_states(),
+            });
+        }
+        let splittable: Vec<TransitionId> = current
+            .net()
+            .transitions()
+            .filter(|&t| {
+                current
+                    .label(t)
+                    .is_some_and(|l| current.signal_kind(l.signal).is_non_input())
+            })
+            .collect();
+        let mut best: Option<((usize, usize, usize), Stg, String)> = None;
+        for &tp in &splittable {
+            for &tm in &splittable {
+                if tp == tm {
+                    continue;
+                }
+                let candidate = insert_state_signal(&current, tp, tm);
+                let Ok(csg) = StateGraph::build_bounded(&candidate, 200_000) else {
+                    continue;
+                };
+                if !csg.ts().deadlocks().is_empty() {
+                    continue;
+                }
+                if !stg::persistency::is_persistent(&candidate, &csg) {
+                    continue;
+                }
+                let remaining = stg::encoding::csc_conflicts(&candidate, &csg).len();
+                if remaining >= conflicts {
+                    continue; // must make progress
+                }
+                let key = (remaining, csg.num_states(), tp.index() * 1000 + tm.index());
+                if best.as_ref().is_none_or(|(bk, _, _)| key < *bk) {
+                    let desc = format!(
+                        "inserted csc signal: + before {}, - before {}",
+                        current.label_string(tp),
+                        current.label_string(tm)
+                    );
+                    best = Some((key, candidate, desc));
+                }
+            }
+        }
+        let (_, next, desc) = best?;
+        descriptions.push(desc);
+        current = next;
+    }
+    // Out of budget: accept only if CSC now holds.
+    let sg = StateGraph::build_bounded(&current, 200_000).ok()?;
+    if stg::encoding::has_csc(&current, &sg) {
+        Some(CscResolution {
+            stg: current,
+            description: descriptions.join("; "),
+            num_states: sg.num_states(),
+        })
+    } else {
+        None
+    }
+}
+
+/// Mixed greedy CSC resolution: at every step considers both concurrency
+/// reductions (ordering arcs) and state-signal insertions, applies the
+/// candidate that removes the most CSC-conflicting pairs, and repeats
+/// until CSC holds (or `max_steps` transformations were applied).
+///
+/// This combines the paper's two §2.1 methods; controllers with choice
+/// (the READ+WRITE specification of Fig. 5) typically need a reduction
+/// for the cross-branch conflicts and an insertion for the in-branch one.
+#[must_use]
+pub fn resolve_mixed(stg: &Stg, max_steps: usize) -> Option<CscResolution> {
+    let mut current = stg.clone();
+    let mut descriptions: Vec<String> = Vec::new();
+    for _ in 0..=max_steps {
+        let sg = StateGraph::build_bounded(&current, 200_000).ok()?;
+        let conflicts = stg::encoding::csc_conflicts(&current, &sg).len();
+        if conflicts == 0 {
+            return Some(CscResolution {
+                stg: current,
+                description: if descriptions.is_empty() {
+                    "CSC already holds".to_owned()
+                } else {
+                    descriptions.join("; ")
+                },
+                num_states: sg.num_states(),
+            });
+        }
+        if descriptions.len() == max_steps {
+            return None;
+        }
+        // Candidate moves, scored by (remaining conflicts, states).
+        let mut best: Option<((usize, usize), Stg, String)> = None;
+        let consider = |cand: Stg, desc: String, best: &mut Option<((usize, usize), Stg, String)>| {
+            let Ok(csg) = StateGraph::build_bounded(&cand, 200_000) else {
+                return;
+            };
+            if !csg.ts().deadlocks().is_empty() {
+                return;
+            }
+            if !stg::persistency::is_persistent(&cand, &csg) {
+                return;
+            }
+            let rem = stg::encoding::csc_conflicts(&cand, &csg).len();
+            if rem >= conflicts {
+                return;
+            }
+            let key = (rem, csg.num_states());
+            if best.as_ref().is_none_or(|(bk, _, _)| key < *bk) {
+                *best = Some((key, cand, desc));
+            }
+        };
+        let transitions: Vec<TransitionId> = current.net().transitions().collect();
+        let splittable: Vec<TransitionId> = transitions
+            .iter()
+            .copied()
+            .filter(|&t| {
+                current
+                    .label(t)
+                    .is_some_and(|l| current.signal_kind(l.signal).is_non_input())
+            })
+            .collect();
+        for &a in &transitions {
+            for &b_t in &splittable {
+                if a == b_t {
+                    continue;
+                }
+                let cand = add_ordering_arc(&current, a, b_t);
+                let desc = format!(
+                    "concurrency reduction: {} waits for {}",
+                    current.label_string(b_t),
+                    current.label_string(a)
+                );
+                consider(cand, desc, &mut best);
+            }
+        }
+        for &tp in &splittable {
+            for &tm in &splittable {
+                if tp == tm {
+                    continue;
+                }
+                let cand = insert_state_signal(&current, tp, tm);
+                let desc = format!(
+                    "inserted csc signal: + before {}, - before {}",
+                    current.label_string(tp),
+                    current.label_string(tm)
+                );
+                consider(cand, desc, &mut best);
+            }
+        }
+        let (_, next, desc) = best?;
+        descriptions.push(desc);
+        current = next;
+    }
+    None
+}

@@ -1,0 +1,50 @@
+//! Logic synthesis of speed-independent circuits from STGs (§3 of the
+//! DAC'98 tutorial).
+//!
+//! The synthesis pipeline mirrors §3's "main steps":
+//!
+//! 1. *Encode the SG so complete state coding holds* — [`csc`] resolves
+//!    CSC conflicts by state-signal insertion (Fig. 7) or concurrency
+//!    reduction (§2.1's two methods);
+//! 2. *Derive the next-state functions* — [`regions`] computes
+//!    excitation/quiescent regions, [`nextstate`] turns them into
+//!    incompletely specified functions and minimised covers (§3.2);
+//! 3. *Map the functions onto a netlist of gates* — [`complex_gate`]
+//!    (atomic complex gates), [`latch_arch`] (C-element and RS-latch
+//!    architectures, Fig. 8), [`decompose`] + [`library`] (fan-in bounded
+//!    decomposition and technology mapping, §3.4, Fig. 9).
+//!
+//! The [`Netlist`] IR produced here is consumed by the `verify` crate
+//! (speed-independence / conformance checking) and the `sim` crate
+//! (event-driven simulation with hazard monitors).
+//!
+//! # Example: complex-gate synthesis of the VME READ controller
+//!
+//! ```
+//! use stg::{examples, StateGraph};
+//! use synth::complex_gate::synthesize_complex_gates;
+//!
+//! let spec = examples::vme_read_csc(); // CSC already resolved (Fig. 7)
+//! let sg = StateGraph::build(&spec)?;
+//! let circuit = synth::complex_gate::synthesize_complex_gates(&spec, &sg)?;
+//! // §3.2: DTACK = D.
+//! let dtack = spec.signal_by_name("DTACK").unwrap();
+//! let eq = circuit.equation(dtack).unwrap();
+//! assert_eq!(eq.cover.cubes().len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod complex_gate;
+pub mod csc;
+pub mod decompose;
+pub mod latch_arch;
+pub mod library;
+mod netlist;
+pub mod nextstate;
+pub mod regions;
+
+pub use netlist::{Gate, GateKind, NetId, Netlist};
+pub use nextstate::{derive_function, Equation, SynthesisError};
+
+#[cfg(test)]
+mod tests;

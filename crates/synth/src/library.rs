@@ -1,0 +1,223 @@
+//! A simple standard-cell library and technology mapper (§3.4).
+//!
+//! The mapper classifies every gate of a netlist against a fan-in-bounded
+//! cell set (INV/BUF, AND/NAND, OR/NOR, AOI/OAI complexes, C-elements and
+//! RS latches) and reports the cell binding, or the offending gates when a
+//! function *"is too complex to be mapped into one gate available in the
+//! library"* (§3.2's obstacle (a)).
+
+use std::fmt;
+
+use boolmin::Expr;
+
+use crate::netlist::{GateKind, Netlist};
+
+/// A gate library: which cells exist and the fan-in cap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Library {
+    /// Maximum inputs of any combinational cell.
+    pub max_fanin: usize,
+    /// Complex AOI/OAI cells (sum-of-products / product-of-sums up to the
+    /// fan-in cap) are available, not just flat AND/OR.
+    pub has_complex_cells: bool,
+    /// C-elements are available.
+    pub has_c_element: bool,
+    /// RS latches are available.
+    pub has_rs_latch: bool,
+}
+
+impl Library {
+    /// The two-input library of Fig. 9 (*"mapping the control for READ
+    /// cycle into two inputs gate library"*), with latches available.
+    #[must_use]
+    pub fn two_input() -> Self {
+        Library {
+            max_fanin: 2,
+            has_complex_cells: false,
+            has_c_element: true,
+            has_rs_latch: true,
+        }
+    }
+
+    /// A richer library with 4-input AOI cells.
+    #[must_use]
+    pub fn standard() -> Self {
+        Library {
+            max_fanin: 4,
+            has_complex_cells: true,
+            has_c_element: true,
+            has_rs_latch: true,
+        }
+    }
+}
+
+/// The cell a gate was bound to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cell {
+    /// Buffer (`BUF`) or inverter (`INV`).
+    Inverter(bool),
+    /// `ANDn` / `NANDn` (`negated` = NAND).
+    And { fanin: usize, negated: bool },
+    /// `ORn` / `NORn` (`negated` = NOR).
+    Or { fanin: usize, negated: bool },
+    /// A sum-of-products complex cell (`AOI`-class).
+    Aoi { literals: usize },
+    /// Muller C-element.
+    CElement,
+    /// RS latch.
+    RsLatch,
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Inverter(buf) => write!(f, "{}", if *buf { "BUF" } else { "INV" }),
+            Cell::And { fanin, negated } => {
+                write!(f, "{}{}", if *negated { "NAND" } else { "AND" }, fanin)
+            }
+            Cell::Or { fanin, negated } => {
+                write!(f, "{}{}", if *negated { "NOR" } else { "OR" }, fanin)
+            }
+            Cell::Aoi { literals } => write!(f, "AOI[{literals}]"),
+            Cell::CElement => write!(f, "C"),
+            Cell::RsLatch => write!(f, "SR"),
+        }
+    }
+}
+
+/// A successful mapping: one cell per gate, netlist order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    /// Cell bindings, indexed like `netlist.gates()`.
+    pub cells: Vec<Cell>,
+}
+
+impl Mapping {
+    /// Total cell count.
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Rough area: literals for combinational cells, 3 for latches.
+    #[must_use]
+    pub fn area(&self) -> usize {
+        self.cells
+            .iter()
+            .map(|c| match c {
+                Cell::Inverter(_) => 1,
+                Cell::And { fanin, .. } | Cell::Or { fanin, .. } => *fanin,
+                Cell::Aoi { literals } => *literals,
+                Cell::CElement | Cell::RsLatch => 3,
+            })
+            .sum()
+    }
+}
+
+/// A gate that did not fit any cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnmappedGate {
+    /// Index into `netlist.gates()`.
+    pub gate: usize,
+    /// Why it failed.
+    pub reason: String,
+}
+
+/// Binds every gate of `netlist` to a cell of `library`.
+///
+/// # Errors
+///
+/// Returns the list of gates that fit no cell (too wide, disallowed latch,
+/// or a complex function without complex cells).
+pub fn map_to_library(netlist: &Netlist, library: &Library) -> Result<Mapping, Vec<UnmappedGate>> {
+    let mut cells = Vec::with_capacity(netlist.num_gates());
+    let mut failures = Vec::new();
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        match classify(&gate.kind, gate.inputs.len(), library) {
+            Ok(cell) => cells.push(cell),
+            Err(reason) => failures.push(UnmappedGate { gate: i, reason }),
+        }
+    }
+    if failures.is_empty() {
+        Ok(Mapping { cells })
+    } else {
+        Err(failures)
+    }
+}
+
+fn classify(kind: &GateKind, fanin: usize, lib: &Library) -> Result<Cell, String> {
+    match kind {
+        GateKind::CElement => {
+            if lib.has_c_element {
+                Ok(Cell::CElement)
+            } else {
+                Err("library has no C-element".to_owned())
+            }
+        }
+        GateKind::SrLatch => {
+            if lib.has_rs_latch {
+                Ok(Cell::RsLatch)
+            } else {
+                Err("library has no RS latch".to_owned())
+            }
+        }
+        GateKind::Complex(e) => {
+            if fanin > lib.max_fanin {
+                return Err(format!("fan-in {fanin} exceeds library cap {}", lib.max_fanin));
+            }
+            classify_expr(e, lib)
+        }
+    }
+}
+
+fn classify_expr(e: &Expr, lib: &Library) -> Result<Cell, String> {
+    if let Some(cell) = simple_cell(e) {
+        return Ok(cell);
+    }
+    if lib.has_complex_cells && is_sop(e) {
+        return Ok(Cell::Aoi { literals: e.literal_count() });
+    }
+    Err(format!("no cell implements {e}"))
+}
+
+/// Recognises BUF/INV/AND/OR/NAND/NOR shapes (literal inputs only).
+fn simple_cell(e: &Expr) -> Option<Cell> {
+    let is_literal = |x: &Expr| {
+        matches!(x, Expr::Var(_)) || matches!(x, Expr::Not(i) if matches!(**i, Expr::Var(_)))
+    };
+    match e {
+        Expr::Var(_) => Some(Cell::Inverter(true)),
+        Expr::Not(inner) => match &**inner {
+            Expr::Var(_) => Some(Cell::Inverter(false)),
+            Expr::And(parts) if parts.iter().all(is_literal) => {
+                Some(Cell::And { fanin: parts.len(), negated: true })
+            }
+            Expr::Or(parts) if parts.iter().all(is_literal) => {
+                Some(Cell::Or { fanin: parts.len(), negated: true })
+            }
+            _ => None,
+        },
+        Expr::And(parts) if parts.iter().all(is_literal) => {
+            Some(Cell::And { fanin: parts.len(), negated: false })
+        }
+        Expr::Or(parts) if parts.iter().all(is_literal) => {
+            Some(Cell::Or { fanin: parts.len(), negated: false })
+        }
+        _ => None,
+    }
+}
+
+/// `true` for two-level or-of-ands over literals.
+fn is_sop(e: &Expr) -> bool {
+    let is_literal = |x: &Expr| {
+        matches!(x, Expr::Var(_)) || matches!(x, Expr::Not(i) if matches!(**i, Expr::Var(_)))
+    };
+    let is_product = |x: &Expr| match x {
+        Expr::And(parts) => parts.iter().all(is_literal),
+        other => is_literal(other),
+    };
+    match e {
+        Expr::Or(parts) => parts.iter().all(is_product),
+        other => is_product(other),
+    }
+}

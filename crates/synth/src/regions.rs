@@ -1,0 +1,92 @@
+//! Excitation and quiescent regions (§3.2).
+//!
+//! *"Given a signal z, we can classify the states of the SG into four sets:
+//! positive and negative excitation regions (ER(z+) and ER(z−)) and
+//! positive and negative quiescent regions (QR(z+) and QR(z−))."*
+
+use stg::{SignalEdge, SignalId, StateGraph, Stg};
+
+/// The four-region classification of the state graph for one signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalRegions {
+    /// The signal.
+    pub signal: SignalId,
+    /// States where `z = 0` and `z+` is enabled (`0*`).
+    pub er_plus: Vec<usize>,
+    /// States where `z = 1` and `z−` is enabled (`1*`).
+    pub er_minus: Vec<usize>,
+    /// Stable-1 states.
+    pub qr_plus: Vec<usize>,
+    /// Stable-0 states.
+    pub qr_minus: Vec<usize>,
+}
+
+impl SignalRegions {
+    /// The region of a particular state, as `(value, excited)`.
+    #[must_use]
+    pub fn classify_state(&self, state: usize) -> (bool, bool) {
+        if self.er_plus.contains(&state) {
+            (false, true)
+        } else if self.er_minus.contains(&state) {
+            (true, true)
+        } else if self.qr_plus.contains(&state) {
+            (true, false)
+        } else {
+            (false, false)
+        }
+    }
+
+    /// States where the next-state function is 1: `ER(z+) ∪ QR(z+)`.
+    #[must_use]
+    pub fn on_states(&self) -> Vec<usize> {
+        let mut v = self.er_plus.clone();
+        v.extend(&self.qr_plus);
+        v.sort_unstable();
+        v
+    }
+
+    /// States where the next-state function is 0: `ER(z−) ∪ QR(z−)`.
+    #[must_use]
+    pub fn off_states(&self) -> Vec<usize> {
+        let mut v = self.er_minus.clone();
+        v.extend(&self.qr_minus);
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Computes the four regions of `signal` over the state graph.
+#[must_use]
+pub fn signal_regions(stg: &Stg, sg: &StateGraph, signal: SignalId) -> SignalRegions {
+    let mut r = SignalRegions {
+        signal,
+        er_plus: Vec::new(),
+        er_minus: Vec::new(),
+        qr_plus: Vec::new(),
+        qr_minus: Vec::new(),
+    };
+    for s in 0..sg.num_states() {
+        let value = sg.value(s, signal);
+        let excited_edge = sg
+            .excitations(stg, s)
+            .into_iter()
+            .find(|&(_, sig, _)| sig == signal)
+            .map(|(_, _, e)| e);
+        match (value, excited_edge) {
+            (false, Some(SignalEdge::Rise)) => r.er_plus.push(s),
+            (true, Some(SignalEdge::Fall)) => r.er_minus.push(s),
+            (true, _) => r.qr_plus.push(s),
+            (false, _) => r.qr_minus.push(s),
+        }
+    }
+    r
+}
+
+/// Regions for every non-input signal, in signal order.
+#[must_use]
+pub fn all_output_regions(stg: &Stg, sg: &StateGraph) -> Vec<SignalRegions> {
+    stg.non_input_signals()
+        .into_iter()
+        .map(|s| signal_regions(stg, sg, s))
+        .collect()
+}

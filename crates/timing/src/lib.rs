@@ -1,0 +1,26 @@
+//! Timing analysis and optimisation (§5 and the performance bullet of
+//! §2.1 of the DAC'98 tutorial).
+//!
+//! Three capabilities:
+//!
+//! * [`tmg`] — timed marked graphs with min/max delay intervals per
+//!   transition;
+//! * [`perf`] — cycle time (max cycle ratio) and time-separation-of-events
+//!   bounds via bounded unrolling (the Hulgaard/Burns-style analysis the
+//!   paper cites for *"performance analysis and separation between
+//!   events"*);
+//! * [`relative`] — relative-timing assumptions `sep(a,b) < 0` (*"a is
+//!   always earlier than b"*) applied to an STG as environment ordering
+//!   arcs, shrinking the state graph and enlarging the don't-care set for
+//!   logic optimisation (Fig. 11).
+
+pub mod perf;
+pub mod relative;
+pub mod tmg;
+
+pub use perf::{cycle_time, max_separation, SeparationQuery};
+pub use relative::{apply_assumptions, retime_trigger, TimingAssumption};
+pub use tmg::TimedMarkedGraph;
+
+#[cfg(test)]
+mod tests;

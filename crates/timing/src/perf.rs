@@ -1,0 +1,212 @@
+//! Performance analysis: cycle time and time separation of events.
+//!
+//! §2.1: *"Performance analysis and separation between events is required
+//! (a) for determining latency and throughput of the device and (b) for
+//! logic optimization based on timing information."*
+
+use std::collections::HashMap;
+
+use petri::TransitionId;
+
+use crate::tmg::TimedMarkedGraph;
+
+/// Cycle time of a strongly connected timed marked graph under maximum
+/// delays: the maximum over directed cycles of
+/// `Σ delay(transition) / Σ tokens(place)` — the steady-state period.
+///
+/// Computed by parametric binary search: `λ` is feasible iff the graph
+/// with arc weights `delay(target) − λ·tokens(place)` has no positive
+/// cycle (Bellman-Ford detection).
+///
+/// # Panics
+///
+/// Panics if the marked graph has no tokens on some cycle (cycle time
+/// would be infinite).
+#[must_use]
+pub fn cycle_time(tmg: &TimedMarkedGraph) -> f64 {
+    let net = tmg.net();
+    let n = net.num_transitions();
+    if n == 0 {
+        return 0.0;
+    }
+    // Arcs between transitions through places.
+    let mut arcs: Vec<(usize, usize, f64, f64)> = Vec::new(); // (from, to, delay(to), tokens)
+    for p in net.places() {
+        for &src in net.place_preset(p) {
+            for &dst in net.place_postset(p) {
+                arcs.push((
+                    src.index(),
+                    dst.index(),
+                    tmg.max_delay(dst),
+                    f64::from(net.initial_tokens(p)),
+                ));
+            }
+        }
+    }
+    let has_positive_cycle = |lambda: f64| -> bool {
+        // Bellman-Ford with weights d - λ·m, looking for positive cycles
+        // (run on negated weights to reuse shortest-path relaxation).
+        let mut dist = vec![0.0f64; n];
+        for _ in 0..n {
+            let mut changed = false;
+            for &(u, v, d, m) in &arcs {
+                let w = d - lambda * m;
+                if dist[u] + w > dist[v] + 1e-12 {
+                    dist[v] = dist[u] + w;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return false;
+            }
+        }
+        true
+    };
+    // Upper bound: sum of all max delays (a cycle visits each transition
+    // at most once and every cycle has ≥ 1 token in a live MG).
+    let mut hi: f64 = net.transitions().map(|t| tmg.max_delay(t)).sum::<f64>().max(1.0);
+    assert!(
+        !has_positive_cycle(hi * 2.0),
+        "marked graph has a token-free cycle: unbounded cycle time"
+    );
+    let mut lo = 0.0f64;
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if has_positive_cycle(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+/// A separation query: the maximum of `τ(from) − τ(to)` over all
+/// executions, approximated over `periods` unrolled iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeparationQuery {
+    /// The event whose lateness we maximise.
+    pub from: TransitionId,
+    /// The reference event.
+    pub to: TransitionId,
+    /// Occurrence-index offset: `from` at iteration `k` is compared with
+    /// `to` at iteration `k + offset` (e.g. `sep(LDTACK−, DSr+)` of the
+    /// paper compares this cycle's `LDTACK−` with the *next* request, so
+    /// `offset = 1`).
+    pub offset: i64,
+}
+
+/// Maximum separation `max(τ(from@k) − τ(to@k+offset))` over executions of
+/// a live timed marked graph, estimated over `periods` unrolled iterations.
+///
+/// Both occurrence times are computed on a **shared timeline** (the same
+/// delay assignment governs both events), so the estimate does not diverge
+/// on cyclic graphs. Delay-interval uncertainty is explored by corner
+/// search: every transition's delay is pinned to its interval's low or
+/// high endpoint, all `2^T` corners are evaluated exhaustively for up to
+/// 12 varying transitions, and a deterministic pseudo-random sample of
+/// 4096 corners beyond that. This is exact for fixed delays and the
+/// standard endpoint heuristic for intervals (per-occurrence delay
+/// variation, which full Hulgaard-style TSE would capture, is documented
+/// as out of scope in `DESIGN.md`).
+///
+/// Negative result ⇒ `from` always fires before `to` — the form of the
+/// paper's `sep(LDTACK−, DSr+) < 0` assumption check.
+#[must_use]
+pub fn max_separation(tmg: &TimedMarkedGraph, query: SeparationQuery, periods: usize) -> f64 {
+    let net = tmg.net();
+    let n = net.num_transitions();
+    let varying: Vec<usize> = (0..n)
+        .filter(|&t| {
+            let tid = TransitionId::from_index(t);
+            tmg.max_delay(tid) > tmg.min_delay(tid)
+        })
+        .collect();
+    let corner_delays = |bits: u64| -> Vec<f64> {
+        (0..n)
+            .map(|t| {
+                let tid = TransitionId::from_index(t);
+                match varying.iter().position(|&v| v == t) {
+                    Some(pos) if bits >> pos & 1 == 1 => tmg.max_delay(tid),
+                    Some(_) => tmg.min_delay(tid),
+                    None => tmg.max_delay(tid),
+                }
+            })
+            .collect()
+    };
+    let corners: Vec<u64> = if varying.len() <= 12 {
+        (0..(1u64 << varying.len())).collect()
+    } else {
+        // Deterministic LCG sample of corners.
+        let mut state = 0x9e37_79b9_97f4_a7c1u64;
+        (0..4096)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                state
+            })
+            .collect()
+    };
+    let mut worst = f64::NEG_INFINITY;
+    for bits in corners {
+        let delays = corner_delays(bits);
+        let sep = separation_fixed(net, &delays, query, periods);
+        if sep > worst {
+            worst = sep;
+        }
+    }
+    worst
+}
+
+/// Exact separation for one fixed delay assignment via the occurrence-time
+/// recurrence `τ(t, k) = max over input places p (from s, m tokens) of
+/// τ(s, k − m) + d(t)`, with `τ(·, k<0) = 0`.
+fn separation_fixed(
+    net: &petri::PetriNet,
+    delays: &[f64],
+    query: SeparationQuery,
+    periods: usize,
+) -> f64 {
+    let mut memo: HashMap<(usize, i64), f64> = HashMap::new();
+    fn occ(
+        net: &petri::PetriNet,
+        delays: &[f64],
+        t: usize,
+        k: i64,
+        memo: &mut HashMap<(usize, i64), f64>,
+    ) -> f64 {
+        if k < 0 {
+            return 0.0;
+        }
+        if let Some(&v) = memo.get(&(t, k)) {
+            return v;
+        }
+        let tid = TransitionId::from_index(t);
+        let d = delays[t];
+        let mut best = d;
+        for &p in net.preset(tid) {
+            let tokens = i64::from(net.initial_tokens(p));
+            for &src in net.place_preset(p) {
+                let v = occ(net, delays, src.index(), k - tokens, memo) + d;
+                if v > best {
+                    best = v;
+                }
+            }
+        }
+        memo.insert((t, k), best);
+        best
+    }
+    let mut worst = f64::NEG_INFINITY;
+    let start = periods / 2; // skip the transient
+    for k in start..periods {
+        let k = i64::try_from(k).expect("period fits i64");
+        let a = occ(net, delays, query.from.index(), k, &mut memo);
+        let b = occ(net, delays, query.to.index(), k + query.offset, &mut memo);
+        let sep = a - b;
+        if sep > worst {
+            worst = sep;
+        }
+    }
+    worst
+}

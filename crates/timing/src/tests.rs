@@ -1,0 +1,132 @@
+//! Timing analysis tests: hand-checked cycle times, separations, and the
+//! Fig. 11 transformations.
+
+use petri::generators;
+use stg::examples::vme_read;
+use stg::StateGraph;
+
+use crate::perf::{cycle_time, max_separation, SeparationQuery};
+use crate::relative::{apply_assumptions, retime_trigger, TimingAssumption};
+use crate::tmg::TimedMarkedGraph;
+
+#[test]
+fn cycle_time_of_simple_ring() {
+    // A 4-stage ring with one token and unit delays: period = 4.
+    let net = generators::pipeline(4);
+    let tmg = TimedMarkedGraph::with_fixed_delay(net, 1.0);
+    let ct = cycle_time(&tmg);
+    assert!((ct - 4.0).abs() < 1e-6, "got {ct}");
+}
+
+#[test]
+fn cycle_time_scales_with_tokens() {
+    // 6 stages, 2 tokens: the FIFO ring's period is bounded by the
+    // slowest cycle; with unit delays it is 6/2 = 3 per token... the ring
+    // of `pipeline_with_tokens` has cycles with both polarities, so just
+    // check monotonicity: more tokens => no slower.
+    let t1 = TimedMarkedGraph::with_fixed_delay(generators::pipeline_with_tokens(6, 1), 1.0);
+    let t2 = TimedMarkedGraph::with_fixed_delay(generators::pipeline_with_tokens(6, 2), 1.0);
+    assert!(cycle_time(&t2) <= cycle_time(&t1) + 1e-9);
+}
+
+#[test]
+fn cycle_time_dominated_by_slowest_cycle() {
+    let net = generators::pipeline(3);
+    let slow = net.transition_by_name("t1").unwrap();
+    let mut delays = vec![(1.0, 1.0); 3];
+    delays[slow.index()] = (5.0, 5.0);
+    let tmg = TimedMarkedGraph::new(net.clone(), delays);
+    let ct = cycle_time(&tmg);
+    assert!((ct - 7.0).abs() < 1e-6, "1 + 5 + 1 = 7, got {ct}");
+
+}
+
+#[test]
+fn separation_on_fixed_delay_ring() {
+    // Ring t0 → t1 → t2 → t0 (token before t0), unit delays: within an
+    // iteration, t2 fires 2 after t0, so sep(t0, t2) = -2 and
+    // sep(t2, t0) = +2 in the same iteration.
+    let net = generators::pipeline(3);
+    let t0 = net.transition_by_name("t0").unwrap();
+    let t2 = net.transition_by_name("t2").unwrap();
+    let tmg = TimedMarkedGraph::with_fixed_delay(net, 1.0);
+    let sep_02 = max_separation(&tmg, SeparationQuery { from: t0, to: t2, offset: 0 }, 12);
+    assert!((sep_02 + 2.0).abs() < 1e-6, "got {sep_02}");
+    let sep_20 = max_separation(&tmg, SeparationQuery { from: t2, to: t0, offset: 0 }, 12);
+    assert!((sep_20 - 2.0).abs() < 1e-6, "got {sep_20}");
+}
+
+#[test]
+fn separation_uses_interval_bounds() {
+    // With delay intervals, the conservative bound uses max for `from`
+    // and min for `to`.
+    let net = generators::pipeline(2);
+    let t0 = net.transition_by_name("t0").unwrap();
+    let t1 = net.transition_by_name("t1").unwrap();
+    let tmg = TimedMarkedGraph::new(net, vec![(1.0, 3.0), (1.0, 3.0)]);
+    // t1 fires between 1 and 3 after t0; sep(t1, t0) within an iteration
+    // is at most 3 (t1 latest minus t0 earliest with the same prefix).
+    let sep = max_separation(&tmg, SeparationQuery { from: t1, to: t0, offset: 0 }, 12);
+    assert!(sep >= 3.0 - 1e-6, "got {sep}");
+}
+
+#[test]
+fn vme_read_separation_with_fast_device() {
+    // §5: if the device handshake (right side) is much faster than the
+    // bus, LDTACK- precedes the next DSr+ — the separation is negative.
+    let stg = vme_read();
+    let net = stg.net().clone();
+    let mut delays = vec![(1.0, 2.0); net.num_transitions()];
+    // Make the next request slow (DSr+ takes ≥ 50 time units).
+    let dsr_p = net.transition_by_name("DSr+").unwrap();
+    delays[dsr_p.index()] = (50.0, 60.0);
+    let ldtack_m = net.transition_by_name("LDTACK-").unwrap();
+    let tmg = TimedMarkedGraph::new(net, delays);
+    let sep = max_separation(
+        &tmg,
+        SeparationQuery { from: ldtack_m, to: dsr_p, offset: 1 },
+        16,
+    );
+    assert!(sep < 0.0, "LDTACK- must precede the next DSr+: sep = {sep}");
+}
+
+#[test]
+fn timing_assumption_removes_states_fig11a() {
+    // sep(LDTACK-, DSr+) < 0 applied to the READ STG: the SG shrinks and
+    // the CSC conflict disappears without any extra signal.
+    let stg = vme_read();
+    let before = StateGraph::build(&stg).unwrap();
+    assert_eq!(before.num_states(), 14);
+    let timed = apply_assumptions(
+        &stg,
+        &[TimingAssumption::new("LDTACK-", "DSr+")],
+    )
+    .unwrap();
+    let after = StateGraph::build(&timed).unwrap();
+    assert!(after.num_states() < 14, "states: {}", after.num_states());
+    assert!(
+        stg::encoding::has_csc(&timed, &after),
+        "Fig. 11a: no state signal needed under the timing assumption"
+    );
+}
+
+#[test]
+fn lazy_retiming_fig11b() {
+    // Fig. 11b: LDS- starts from DSr- instead of D-, relying on
+    // sep(D-, LDS-) < 0.
+    let stg = vme_read();
+    let lazy = retime_trigger(&stg, "LDS-", "D-", "DSr-").unwrap();
+    let sg = StateGraph::build(&lazy).unwrap();
+    assert!(sg.ts().deadlocks().is_empty());
+    // LDS- is now concurrent with D-: more states before the constraint
+    // prunes them.
+    let base = StateGraph::build(&stg).unwrap();
+    assert!(sg.num_states() >= base.num_states());
+}
+
+#[test]
+fn unknown_labels_rejected() {
+    let stg = vme_read();
+    assert!(apply_assumptions(&stg, &[TimingAssumption::new("nope+", "DSr+")]).is_err());
+    assert!(retime_trigger(&stg, "LDS-", "nope-", "DSr-").is_err());
+}

@@ -1,0 +1,70 @@
+//! Timed marked graphs: a safe marked graph plus a delay interval per
+//! transition (§1.6's "min/max delay intervals associated with
+//! transitions").
+
+use petri::{PetriNet, TransitionId};
+
+/// A timed marked graph: every transition `t` fires between `min` and
+/// `max` time units after it becomes enabled.
+#[derive(Debug, Clone)]
+pub struct TimedMarkedGraph {
+    net: PetriNet,
+    delays: Vec<(f64, f64)>,
+}
+
+impl TimedMarkedGraph {
+    /// Wraps a marked graph with per-transition delay intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net is not a marked graph, if the interval count does
+    /// not match the transition count, or if any interval has
+    /// `min > max` or negative bounds.
+    #[must_use]
+    pub fn new(net: PetriNet, delays: Vec<(f64, f64)>) -> Self {
+        assert!(
+            petri::classify::is_marked_graph(&net),
+            "timed analysis requires a marked graph"
+        );
+        assert_eq!(delays.len(), net.num_transitions(), "one interval per transition");
+        for &(lo, hi) in &delays {
+            assert!(lo >= 0.0 && hi >= lo, "bad delay interval [{lo}, {hi}]");
+        }
+        TimedMarkedGraph { net, delays }
+    }
+
+    /// Uniform fixed delay `d` on every transition.
+    ///
+    /// # Panics
+    ///
+    /// See [`TimedMarkedGraph::new`].
+    #[must_use]
+    pub fn with_fixed_delay(net: PetriNet, d: f64) -> Self {
+        let n = net.num_transitions();
+        Self::new(net, vec![(d, d); n])
+    }
+
+    /// The underlying net.
+    #[must_use]
+    pub fn net(&self) -> &PetriNet {
+        &self.net
+    }
+
+    /// Delay interval of a transition.
+    #[must_use]
+    pub fn delay(&self, t: TransitionId) -> (f64, f64) {
+        self.delays[t.index()]
+    }
+
+    /// Minimum delay of a transition.
+    #[must_use]
+    pub fn min_delay(&self, t: TransitionId) -> f64 {
+        self.delays[t.index()].0
+    }
+
+    /// Maximum delay of a transition.
+    #[must_use]
+    pub fn max_delay(&self, t: TransitionId) -> f64 {
+        self.delays[t.index()].1
+    }
+}

@@ -1,0 +1,28 @@
+//! Implementation verification (§2.1: *"After design is done ... it is
+//! often desirable to check that the implementation is correct with
+//! respect to the given specification"*).
+//!
+//! The core is the Muller-model composition of a gate [`synth::Netlist`]
+//! with its STG environment: the joint state space of (specification
+//! marking, net values) is explored exhaustively, checking
+//!
+//! * **semimodularity** — an excited gate must never be de-excited by
+//!   another event firing first (this is exactly the absence of hazards
+//!   under the unbounded gate-delay model, §2.1's persistency argument
+//!   lifted to the implementation);
+//! * **conformance** — the circuit only produces output edges the
+//!   specification allows, and reaches no stable state while the
+//!   specification still requires outputs.
+//!
+//! Together these make the circuit *speed-independent* with respect to its
+//! environment. The Fig. 9 experiment (accepting decomposition (a),
+//! rejecting (b)) runs on this checker.
+
+mod circuit;
+
+pub use circuit::{
+    verify_circuit, CircuitState, HazardWitness, VerificationReport, Violation,
+};
+
+#[cfg(test)]
+mod tests;

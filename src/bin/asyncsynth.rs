@@ -1,0 +1,143 @@
+//! Command-line front end: check, synthesise and inspect STGs in the `.g`
+//! (astg/petrify) format.
+//!
+//! ```text
+//! asyncsynth check  <file.g>             # §2.1 implementability report
+//! asyncsynth synth  <file.g> [options]   # full flow, prints equations+netlist
+//! asyncsynth wave   <file.g>             # one canonical cycle as waveforms
+//! asyncsynth reduce <file.g>             # structural reductions + invariants
+//!
+//! synth options:
+//!   --arch complex|celement|rs|decomposed   (default: complex)
+//!   --fanin N                               (decomposed fan-in bound)
+//!   --assume "a-<b+"                        relative-timing assumption
+//! ```
+
+use std::process::ExitCode;
+
+use asyncsynth::flow::{run_flow, Architecture, FlowOptions};
+use stg::parse::parse_g;
+use stg::StateGraph;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let usage = "usage: asyncsynth <check|synth|wave|reduce> <file.g> [options]";
+    let cmd = args.first().ok_or(usage)?;
+    let path = args.get(1).ok_or(usage)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let spec = parse_g(&text).map_err(|e| format!("{path}: {e}"))?;
+    match cmd.as_str() {
+        "check" => check(&spec),
+        "synth" => synth(&spec, &args[2..]),
+        "wave" => wave(&spec),
+        "reduce" => reduce(&spec),
+        other => Err(format!("unknown command {other:?}\n{usage}")),
+    }
+}
+
+fn check(spec: &stg::Stg) -> Result<(), String> {
+    let report = stg::properties::check_implementability(spec);
+    println!("model: {}", spec.name());
+    println!("{report}");
+    if let Ok(sg) = StateGraph::build(spec) {
+        let conflicts = stg::encoding::csc_conflicts(spec, &sg);
+        for c in conflicts {
+            let code: String = c.code.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            println!(
+                "  CSC conflict: states s{} / s{} share code {code}",
+                c.states.0, c.states.1
+            );
+        }
+    }
+    Ok(())
+}
+
+fn synth(spec: &stg::Stg, opts: &[String]) -> Result<(), String> {
+    let mut options = FlowOptions::default();
+    let mut assumptions: Vec<timing::TimingAssumption> = Vec::new();
+    let mut i = 0;
+    while i < opts.len() {
+        match opts[i].as_str() {
+            "--arch" => {
+                i += 1;
+                let v = opts.get(i).ok_or("--arch needs a value")?;
+                options.architecture = match v.as_str() {
+                    "complex" => Architecture::ComplexGate,
+                    "celement" => Architecture::CElement,
+                    "rs" => Architecture::RsLatch,
+                    "decomposed" => Architecture::Decomposed,
+                    other => return Err(format!("unknown architecture {other:?}")),
+                };
+            }
+            "--fanin" => {
+                i += 1;
+                let v = opts.get(i).ok_or("--fanin needs a value")?;
+                options.max_fanin = Some(v.parse().map_err(|_| "bad --fanin value")?);
+            }
+            "--assume" => {
+                i += 1;
+                let v = opts.get(i).ok_or("--assume needs earlier<later")?;
+                let (a, b) = v.split_once('<').ok_or("assumption syntax: earlier<later")?;
+                assumptions.push(timing::TimingAssumption::new(a.trim(), b.trim()));
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+    let spec = if assumptions.is_empty() {
+        spec.clone()
+    } else {
+        timing::apply_assumptions(spec, &assumptions).map_err(|e| e.to_string())?
+    };
+    let result = run_flow(&spec, &options).map_err(|e| e.to_string())?;
+    println!("model: {}", result.spec.name());
+    if let Some(t) = &result.csc_transformation {
+        println!("csc: {t}");
+    }
+    println!("states: {}", result.state_graph.num_states());
+    println!("\nequations:\n{}", result.equations_text);
+    println!("\nnetlist:\n{}", result.circuit.netlist().describe());
+    if let Some(v) = &result.verification {
+        println!("verification: {}", v.summary());
+    }
+    Ok(())
+}
+
+fn wave(spec: &stg::Stg) -> Result<(), String> {
+    let sg = StateGraph::build(spec).map_err(|e| e.to_string())?;
+    let cycle = stg::waveform::canonical_cycle(&sg, 1000);
+    if cycle.is_empty() {
+        return Err("no cycle through the initial state".to_owned());
+    }
+    println!("trace: {}", stg::waveform::render_trace_header(spec, &cycle));
+    print!("{}", stg::waveform::render_waveforms(spec, &sg, &cycle));
+    Ok(())
+}
+
+fn reduce(spec: &stg::Stg) -> Result<(), String> {
+    let (reduced, stats) = petri::reduce::reduce_linear(spec.net().clone());
+    println!(
+        "reduced: {} places, {} transitions ({} rule applications)",
+        reduced.num_places(),
+        reduced.num_transitions(),
+        stats.total()
+    );
+    print!("{}", reduced.describe());
+    println!("\nplace invariants:");
+    for inv in petri::invariant::place_invariants(&reduced) {
+        println!("  {}", inv.display(&reduced));
+    }
+    let comps = petri::invariant::sm_components(&reduced);
+    println!("state-machine components: {}", comps.len());
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! `asyncsynth` — Asynchronous interface specification, analysis and
+//! synthesis.
+//!
+//! A from-scratch Rust reproduction of the DAC'98 tutorial
+//! *"Asynchronous Interface Specification, Analysis and Synthesis"*
+//! (Kishinevsky, Cortadella, Kondratyev, Lavagno): the Petri-net / Signal
+//! Transition Graph design flow for speed-independent interface
+//! controllers, in the style of the `petrify` tool family.
+//!
+//! The workspace is organised bottom-up:
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`petri`] | net kernel: token game, reachability, invariants, reductions, unfoldings, BDD traversal |
+//! | [`bdd`] | hash-consed ROBDD package |
+//! | [`boolmin`] | two-level logic: covers, exact/heuristic minimisation, factoring |
+//! | [`stg`] | Signal Transition Graphs: `.g` parsing, state graphs, consistency, CSC, persistency |
+//! | [`synth`] | logic synthesis: regions, next-state functions, CSC resolution, latch architectures, decomposition, mapping |
+//! | [`regions`] | theory of regions: PN extraction / back-annotation |
+//! | [`timing`] | time separation of events, cycle time, relative-timing optimisation |
+//! | [`sim`] | event-driven gate-level simulation with glitch monitors |
+//! | [`verify`] | speed-independence and conformance checking |
+//!
+//! This crate ties them together in [`flow`]: one call runs the entire
+//! §3 pipeline (property checking → CSC resolution → synthesis in three
+//! architectures → decomposition with hazard repair → verification).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use asyncsynth::flow::{run_flow, FlowOptions};
+//!
+//! let spec = stg::examples::vme_read(); // Fig. 3 of the paper
+//! let result = run_flow(&spec, &FlowOptions::default())?;
+//! assert!(result.verified, "the synthesised circuit is speed-independent");
+//! println!("{}", result.equations_text);
+//! # Ok::<(), asyncsynth::flow::FlowError>(())
+//! ```
+
+pub mod flow;
+
+pub use flow::{run_flow, FlowError, FlowOptions, FlowResult};

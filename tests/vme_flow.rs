@@ -1,0 +1,93 @@
+//! End-to-end integration tests on the paper's running example: the flow
+//! reproduces Figs. 3–9 of the DAC'98 tutorial.
+
+use asyncsynth::flow::{run_flow, Architecture, CscStrategy, FlowOptions};
+use stg::examples::{vme_read, vme_read_csc, vme_read_write};
+use stg::StateGraph;
+
+#[test]
+fn flow_resolves_csc_and_verifies_complex_gates() {
+    let result = run_flow(&vme_read(), &FlowOptions::default()).expect("flow succeeds");
+    assert!(result.verified);
+    assert!(result.csc_transformation.is_some(), "Fig. 3 needs a csc signal");
+    assert_eq!(result.state_graph.num_states(), 16, "Fig. 7's SG");
+    assert!(result.report.is_implementable());
+    // §3.2 equations, up to the inserted signal's name.
+    assert!(result.equations_text.contains("DTACK = D"));
+    assert!(result.equations_text.contains("LDS = D + csc0"));
+    assert!(result.equations_text.contains("D = LDTACK csc0"));
+}
+
+#[test]
+fn flow_all_architectures_verify() {
+    for arch in [
+        Architecture::ComplexGate,
+        Architecture::CElement,
+        Architecture::RsLatch,
+        Architecture::Decomposed,
+    ] {
+        let options = FlowOptions { architecture: arch, ..FlowOptions::default() };
+        let result = run_flow(&vme_read(), &options)
+            .unwrap_or_else(|e| panic!("{arch:?} failed: {e}"));
+        assert!(result.verified, "{arch:?} not verified");
+        if arch == Architecture::Decomposed {
+            assert!(result.circuit.netlist().max_fanin() <= 2, "{arch:?} fan-in");
+        }
+    }
+}
+
+#[test]
+fn flow_with_concurrency_reduction_strategy() {
+    let options = FlowOptions {
+        csc: CscStrategy::ConcurrencyReduction,
+        ..FlowOptions::default()
+    };
+    let result = run_flow(&vme_read(), &options).expect("reduction works for the READ cycle");
+    assert!(result.verified);
+    // Concurrency reduction removes states rather than adding a signal.
+    assert!(result.state_graph.num_states() < 14);
+    assert_eq!(result.spec.num_signals(), 5, "no new signal added");
+}
+
+#[test]
+fn flow_fail_strategy_errors_on_csc_conflict() {
+    let options = FlowOptions { csc: CscStrategy::Fail, ..FlowOptions::default() };
+    assert!(run_flow(&vme_read(), &options).is_err());
+}
+
+#[test]
+fn flow_on_already_clean_spec_is_direct() {
+    let result = run_flow(&vme_read_csc(), &FlowOptions::default()).expect("clean spec");
+    assert!(result.csc_transformation.is_none());
+    assert!(result.verified);
+}
+
+#[test]
+fn read_write_controller_flow() {
+    // The full Fig. 5 controller: bigger state space, input choice, CSC
+    // conflicts resolved automatically.
+    let spec = vme_read_write();
+    let result = run_flow(&spec, &FlowOptions::default());
+    match result {
+        Ok(r) => {
+            assert!(r.verified);
+            assert!(r.report.complete_state_coding);
+        }
+        Err(e) => panic!("read+write flow failed: {e}"),
+    }
+}
+
+#[test]
+fn mapping_reported_for_standard_library() {
+    let result = run_flow(&vme_read(), &FlowOptions::default()).unwrap();
+    let mapping = result.mapping.expect("complex gates fit the standard library");
+    assert_eq!(mapping.num_cells(), result.circuit.netlist().num_gates());
+}
+
+#[test]
+fn state_graph_codes_match_paper_initial_state() {
+    let spec = vme_read();
+    let sg = StateGraph::build(&spec).unwrap();
+    // <DSr, DTACK, LDTACK, LDS, D> = 00000 with DSr excited.
+    assert_eq!(sg.plain_code_string(0), "00000");
+}
