@@ -122,8 +122,16 @@ impl Manager {
             num_vars: 0,
         };
         // Index 0: constant false. Index 1: constant true.
-        m.nodes.push(Node { var: TERMINAL_VAR, lo: Bdd(0), hi: Bdd(0) });
-        m.nodes.push(Node { var: TERMINAL_VAR, lo: Bdd(1), hi: Bdd(1) });
+        m.nodes.push(Node {
+            var: TERMINAL_VAR,
+            lo: Bdd(0),
+            hi: Bdd(0),
+        });
+        m.nodes.push(Node {
+            var: TERMINAL_VAR,
+            lo: Bdd(1),
+            hi: Bdd(1),
+        });
         m
     }
 

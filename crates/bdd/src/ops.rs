@@ -309,7 +309,11 @@ impl Manager {
         // sat_count_rec counts over the variable suffix starting at the
         // root; scale by variables above the root and by any extra
         // variables the caller has beyond the manager's own count.
-        let root_var = if f.is_const() { self.num_vars } else { self.node(f).var };
+        let root_var = if f.is_const() {
+            self.num_vars
+        } else {
+            self.node(f).var
+        };
         (total << root_var) << (num_vars - self.num_vars)
     }
 
@@ -436,7 +440,10 @@ fn var_mask(vars: &[VarId]) -> VarMask {
         fp ^= u64::from(v).wrapping_add(0x9e37_79b9_7f4a_7c15);
         fp = fp.wrapping_mul(0x100_0000_01b3);
     }
-    VarMask { vars: vs, fingerprint: fp }
+    VarMask {
+        vars: vs,
+        fingerprint: fp,
+    }
 }
 
 /// Iterator over satisfying assignments; see [`Manager::sat_assignments`].
@@ -480,7 +487,9 @@ impl Iterator for SatAssignments<'_> {
 impl SatAssignments<'_> {
     fn expand(&mut self, partial: &[(VarId, bool)]) {
         let specified: std::collections::HashMap<VarId, bool> = partial.iter().copied().collect();
-        let free: Vec<VarId> = (0..self.num_vars).filter(|v| !specified.contains_key(v)).collect();
+        let free: Vec<VarId> = (0..self.num_vars)
+            .filter(|v| !specified.contains_key(v))
+            .collect();
         let combos: usize = 1usize
             .checked_shl(u32::try_from(free.len()).unwrap_or(u32::MAX))
             .expect("too many don't-care variables to expand");

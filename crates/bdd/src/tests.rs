@@ -33,7 +33,10 @@ fn canonical_handles() {
     let b = m.var(1);
     let f1 = m.and(a, b);
     let f2 = m.and(b, a);
-    assert_eq!(f1, f2, "conjunction is canonical regardless of argument order");
+    assert_eq!(
+        f1, f2,
+        "conjunction is canonical regardless of argument order"
+    );
     let g1 = m.or(a, b);
     let na = m.not(a);
     let nb = m.not(b);
@@ -151,8 +154,7 @@ fn sat_assignments_enumerates_exactly() {
     let mut got: Vec<Vec<bool>> = m.sat_assignments(f, 3).collect();
     got.sort();
     got.dedup();
-    let expect: Vec<Vec<bool>> =
-        assignments(3).filter(|asg| m.eval(f, asg)).collect();
+    let expect: Vec<Vec<bool>> = assignments(3).filter(|asg| m.eval(f, asg)).collect();
     let mut expect = expect;
     expect.sort();
     assert_eq!(got, expect);
@@ -232,8 +234,7 @@ mod properties {
                     .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
                 (inner.clone(), inner.clone())
                     .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-                (inner.clone(), inner)
-                    .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+                (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
             ]
         })
     }

@@ -1,7 +1,7 @@
-//! End-to-end synthesis benchmarks: the flow of §3 per architecture on the
-//! paper's controllers.
+//! End-to-end synthesis benchmarks: the staged pipeline of §3 per
+//! architecture and per state-space backend on the paper's controllers.
 
-use asyncsynth::flow::{run_flow, Architecture, FlowOptions};
+use asyncsynth::{Architecture, Backend, Synthesis};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stg::StateGraph;
 
@@ -16,9 +16,34 @@ fn bench_flow(c: &mut Criterion) {
         ("decomposed", Architecture::Decomposed),
     ] {
         group.bench_with_input(BenchmarkId::new("vme-read", name), &arch, |b, &arch| {
-            let options = FlowOptions { architecture: arch, ..FlowOptions::default() };
-            b.iter(|| run_flow(&read, &options).unwrap().verified);
+            b.iter(|| {
+                Synthesis::new(read.clone())
+                    .architecture(arch)
+                    .run()
+                    .unwrap()
+                    .verification
+                    .passed()
+            });
         });
+    }
+    // Backend comparison on the full pipeline.
+    for (name, backend) in [
+        ("explicit", Backend::Explicit),
+        ("symbolic", Backend::Symbolic),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("backend", name),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    Synthesis::new(read.clone())
+                        .backend(backend)
+                        .run()
+                        .unwrap()
+                        .num_states()
+                });
+            },
+        );
     }
     // State-graph generation scaling on micropipelines.
     for n in [1usize, 2, 3] {

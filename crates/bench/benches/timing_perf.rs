@@ -16,7 +16,15 @@ fn bench_timing(c: &mut Criterion) {
         let t1 = tmg.net().transition_by_name("t1").unwrap();
         group.bench_with_input(BenchmarkId::new("separation", n), &tmg, |b, tmg| {
             b.iter(|| {
-                max_separation(tmg, SeparationQuery { from: t1, to: t0, offset: 0 }, 12)
+                max_separation(
+                    tmg,
+                    SeparationQuery {
+                        from: t1,
+                        to: t0,
+                        offset: 0,
+                    },
+                    12,
+                )
             });
         });
     }

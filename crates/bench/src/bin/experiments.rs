@@ -6,7 +6,7 @@
 
 use std::time::Instant;
 
-use asyncsynth::flow::{run_flow, CscStrategy, FlowOptions};
+use asyncsynth::{CscStrategy, Synthesis};
 use petri::invariant::{dense_encoding, place_invariants, sm_components};
 use petri::reach::ReachabilityGraph;
 use petri::reduce::reduce_linear;
@@ -58,7 +58,10 @@ fn f2_waveforms() -> Result<(), Box<dyn std::error::Error>> {
     let spec = vme_read();
     let sg = StateGraph::build(&spec)?;
     let cycle = stg::waveform::canonical_cycle(&sg, 100);
-    println!("trace: {}", stg::waveform::render_trace_header(&spec, &cycle));
+    println!(
+        "trace: {}",
+        stg::waveform::render_trace_header(&spec, &cycle)
+    );
     print!("{}", stg::waveform::render_waveforms(&spec, &sg, &cycle));
     Ok(())
 }
@@ -90,7 +93,11 @@ fn f4_state_graph() -> Result<(), Box<dyn std::error::Error>> {
     let sg = StateGraph::build(&spec)?;
     println!("states: {}  <DSr,DTACK,LDTACK,LDS,D>", sg.num_states());
     for i in 0..sg.num_states() {
-        println!("  s{i:<3} {:<12} {}", sg.code_string(&spec, i), sg.state(i).marking);
+        println!(
+            "  s{i:<3} {:<12} {}",
+            sg.code_string(&spec, i),
+            sg.state(i).marking
+        );
     }
     let conflicts = stg::encoding::csc_conflicts(&spec, &sg);
     for c in &conflicts {
@@ -128,7 +135,10 @@ fn f5_read_write() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn f6_reduction_invariants() -> Result<(), Box<dyn std::error::Error>> {
-    heading("F6", "Fig. 6 — linear reduction, SM components, invariants, dense encoding");
+    heading(
+        "F6",
+        "Fig. 6 — linear reduction, SM components, invariants, dense encoding",
+    );
     let spec = vme_read_write();
     let (reduced, stats) = reduce_linear(spec.net().clone());
     println!(
@@ -145,7 +155,11 @@ fn f6_reduction_invariants() -> Result<(), Box<dyn std::error::Error>> {
     let comps = sm_components(&reduced);
     println!("state-machine components: {}", comps.len());
     for (i, c) in comps.iter().enumerate() {
-        let ts: Vec<&str> = c.transitions.iter().map(|&t| reduced.transition_name(t)).collect();
+        let ts: Vec<&str> = c
+            .transitions
+            .iter()
+            .map(|&t| reduced.transition_name(t))
+            .collect();
         println!("  SM{i}: transitions {{{}}}", ts.join(", "));
     }
     let enc = dense_encoding(&reduced);
@@ -169,22 +183,29 @@ fn f6_reduction_invariants() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn f7_csc_resolution() -> Result<(), Box<dyn std::error::Error>> {
-    heading("F7", "Fig. 7 — SG with complete state coding (paper: csc0, 16 states)");
-    let spec = vme_read();
-    let result = run_flow(&spec, &FlowOptions::default())?;
-    println!(
-        "automatic resolution: {}",
-        result.csc_transformation.as_deref().unwrap_or("none")
+    heading(
+        "F7",
+        "Fig. 7 — SG with complete state coding (paper: csc0, 16 states)",
     );
-    println!("states: {} (paper: 16)", result.state_graph.num_states());
+    let spec = vme_read();
+    let result = Synthesis::new(spec).run()?;
+    match &result.transformation {
+        Some(t) => println!("automatic resolution: {t}"),
+        None => println!("automatic resolution: none"),
+    }
+    println!("states: {} (paper: 16)", result.num_states());
     println!(
         "CSC holds: {}",
-        stg::encoding::has_csc(&result.spec, &result.state_graph)
+        stg::encoding::has_csc(&result.spec, result.state_space())
     );
     // The manual Fig. 7 STG for comparison.
     let manual = vme_read_csc();
     let msg = StateGraph::build(&manual)?;
-    println!("manual Fig. 7 STG: {} states, CSC: {}", msg.num_states(), stg::encoding::has_csc(&manual, &msg));
+    println!(
+        "manual Fig. 7 STG: {} states, CSC: {}",
+        msg.num_states(),
+        stg::encoding::has_csc(&manual, &msg)
+    );
     Ok(())
 }
 
@@ -235,7 +256,10 @@ fn f8_latch_implementations() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn f9_decomposition() -> Result<(), Box<dyn std::error::Error>> {
-    heading("F9", "Fig. 9 — two-input decomposition: (a) accepted, (b) rejected");
+    heading(
+        "F9",
+        "Fig. 9 — two-input decomposition: (a) accepted, (b) rejected",
+    );
     let spec = vme_read_csc();
     let sg = StateGraph::build(&spec)?;
     let circuit = synthesize_complex_gates(&spec, &sg)?;
@@ -246,7 +270,10 @@ fn f9_decomposition() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", naive.netlist().describe());
     println!("verdict: {}", naive_report.summary());
     for h in naive_report.hazards.iter().take(3) {
-        println!("  hazard witness: {} de-excited by {}", h.gate_output, h.caused_by);
+        println!(
+            "  hazard witness: {} de-excited by {}",
+            h.gate_output, h.caused_by
+        );
     }
     let resub = resubstitute(&spec, &sg, &naive);
     let rnets: Vec<NetId> = spec.signals().map(|s| resub.signal_net(s)).collect();
@@ -256,7 +283,11 @@ fn f9_decomposition() -> Result<(), Box<dyn std::error::Error>> {
     println!("verdict: {}", resub_report.summary());
     let lib = synth::library::Library::two_input();
     match synth::library::map_to_library(resub.netlist(), &lib) {
-        Ok(m) => println!("two-input library mapping: {} cells, area {}", m.num_cells(), m.area()),
+        Ok(m) => println!(
+            "two-input library mapping: {} cells, area {}",
+            m.num_cells(),
+            m.area()
+        ),
         Err(e) => println!("mapping failed: {e:?}"),
     }
     Ok(())
@@ -292,7 +323,7 @@ fn f11_timing_optimisation() -> Result<(), Box<dyn std::error::Error>> {
         sg_a.num_states(),
         stg::encoding::has_csc(&timed, &sg_a)
     );
-    let r = run_flow(&timed, &FlowOptions { csc: CscStrategy::Fail, ..FlowOptions::default() })?;
+    let r = Synthesis::new(timed.clone()).csc(CscStrategy::Fail).run()?;
     println!("{}", r.equations_text);
     // (b) lazy LDS- under sep(D-, LDS-) < 0.
     let lazy = retime_trigger(&spec, "LDS-", "D-", "DSr-")?;
@@ -308,7 +339,7 @@ fn f11_timing_optimisation() -> Result<(), Box<dyn std::error::Error>> {
         sg_c.num_states(),
         stg::encoding::has_csc(&both, &sg_c)
     );
-    if let Ok(r) = run_flow(&both, &FlowOptions { csc: CscStrategy::Fail, ..FlowOptions::default() }) {
+    if let Ok(r) = Synthesis::new(both.clone()).csc(CscStrategy::Fail).run() {
         println!("{}", r.equations_text);
     }
     Ok(())
@@ -330,9 +361,15 @@ fn t_props() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn a1_explicit_vs_symbolic() -> Result<(), Box<dyn std::error::Error>> {
-    heading("A1", "§2.2 ablation — explicit vs BDD reachability (FIFO rings)");
+    heading(
+        "A1",
+        "§2.2 ablation — explicit vs BDD reachability (FIFO rings)",
+    );
     println!("-- FIFO rings (modest concurrency) --");
-    println!("{:<8} {:>10} {:>12} {:>12} {:>10}", "n", "states", "explicit", "symbolic", "bdd nodes");
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>10}",
+        "n", "states", "explicit", "symbolic", "bdd nodes"
+    );
     for n in [6usize, 8, 10, 12, 14] {
         let net = generators::pipeline_with_tokens(n, n / 2);
         let t0 = Instant::now();
@@ -380,8 +417,14 @@ fn a1_explicit_vs_symbolic() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn a2_unfolding_vs_rg() -> Result<(), Box<dyn std::error::Error>> {
-    heading("A2", "§2.2 ablation — unfolding prefix vs reachability graph");
-    println!("{:<6} {:>10} {:>10} {:>10}", "m", "RG states", "events", "conditions");
+    heading(
+        "A2",
+        "§2.2 ablation — unfolding prefix vs reachability graph",
+    );
+    println!(
+        "{:<6} {:>10} {:>10} {:>10}",
+        "m", "RG states", "events", "conditions"
+    );
     for m in [2usize, 4, 6, 8] {
         let net = generators::parallel_handshakes(m);
         let rg = ReachabilityGraph::build(&net)?;
@@ -399,8 +442,14 @@ fn a2_unfolding_vs_rg() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn a3_invariant_approximation() -> Result<(), Box<dyn std::error::Error>> {
-    heading("A3", "§2.2 ablation — invariant conjunction as an upper approximation");
-    println!("{:<24} {:>10} {:>10} {:>10}", "net", "exact", "approx", "contained");
+    heading(
+        "A3",
+        "§2.2 ablation — invariant conjunction as an upper approximation",
+    );
+    println!(
+        "{:<24} {:>10} {:>10} {:>10}",
+        "net", "exact", "approx", "contained"
+    );
     for (name, net) in [
         ("pipeline(6)", generators::pipeline(6)),
         ("handshakes(4)", generators::parallel_handshakes(4)),
@@ -414,7 +463,10 @@ fn a3_invariant_approximation() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn a4_minimisation() -> Result<(), Box<dyn std::error::Error>> {
-    heading("A4", "§3.2 ablation — exact vs heuristic two-level minimisation");
+    heading(
+        "A4",
+        "§3.2 ablation — exact vs heuristic two-level minimisation",
+    );
     println!(
         "{:<10} {:>8} {:>8} {:>10} {:>10}",
         "function", "exact", "heur", "t_exact", "t_heur"
@@ -440,32 +492,50 @@ fn a4_minimisation() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn p1_performance() -> Result<(), Box<dyn std::error::Error>> {
-    heading("P1", "§5 — cycle time and separation bounds of the timed READ cycle");
+    heading(
+        "P1",
+        "§5 — cycle time and separation bounds of the timed READ cycle",
+    );
     let spec = vme_read();
     let net = spec.net().clone();
     let mut delays = vec![(1.0, 2.0); net.num_transitions()];
     let dsr_p = net.transition_by_name("DSr+").unwrap();
     delays[dsr_p.index()] = (20.0, 30.0);
     let tmg = TimedMarkedGraph::new(net, delays);
-    println!("cycle time (max delays, slow bus master): {:.1}", cycle_time(&tmg));
+    println!(
+        "cycle time (max delays, slow bus master): {:.1}",
+        cycle_time(&tmg)
+    );
     let ldtack_m = tmg.net().transition_by_name("LDTACK-").unwrap();
     let dsr_p = tmg.net().transition_by_name("DSr+").unwrap();
     let sep = max_separation(
         &tmg,
-        SeparationQuery { from: ldtack_m, to: dsr_p, offset: 1 },
+        SeparationQuery {
+            from: ldtack_m,
+            to: dsr_p,
+            offset: 1,
+        },
         16,
     );
     println!("sep(LDTACK-, next DSr+) = {sep:.1}  (< 0 discharges the Fig. 11a assumption)");
     let d_m = tmg.net().transition_by_name("D-").unwrap();
     let lds_m = tmg.net().transition_by_name("LDS-").unwrap();
-    let sep_b = max_separation(&tmg, SeparationQuery { from: d_m, to: lds_m, offset: 0 }, 16);
+    let sep_b = max_separation(
+        &tmg,
+        SeparationQuery {
+            from: d_m,
+            to: lds_m,
+            offset: 0,
+        },
+        16,
+    );
     println!("sep(D-, LDS-) = {sep_b:.1}  (Fig. 11b requires < 0 after retiming)");
     // Simulation-based throughput of the synthesised circuit.
-    let result = run_flow(&spec, &FlowOptions::default())?;
+    let result = Synthesis::new(spec.clone()).run()?;
     let nets = result.circuit.signal_nets(&result.spec);
     let mut simulator = sim::Simulator::new(
         &result.spec,
-        &result.state_graph,
+        result.state_space(),
         result.circuit.netlist().clone(),
         nets,
         sim::SimConfig::default(),

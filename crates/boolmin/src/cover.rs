@@ -29,13 +29,19 @@ impl Cover {
     /// The empty cover (constant false) over `n` variables.
     #[must_use]
     pub fn empty(n: usize) -> Self {
-        Cover { num_vars: n, cubes: Vec::new() }
+        Cover {
+            num_vars: n,
+            cubes: Vec::new(),
+        }
     }
 
     /// The universal cover (constant true) over `n` variables.
     #[must_use]
     pub fn universe(n: usize) -> Self {
-        Cover { num_vars: n, cubes: vec![Cube::universe(n)] }
+        Cover {
+            num_vars: n,
+            cubes: vec![Cube::universe(n)],
+        }
     }
 
     /// Builds a cover from cubes.
@@ -119,7 +125,10 @@ impl Cover {
         assert_eq!(self.num_vars, other.num_vars);
         let mut cubes = self.cubes.clone();
         cubes.extend(other.cubes.iter().cloned());
-        Cover { num_vars: self.num_vars, cubes }
+        Cover {
+            num_vars: self.num_vars,
+            cubes,
+        }
     }
 
     /// Pairwise intersection of two covers.
@@ -138,7 +147,10 @@ impl Cover {
                 }
             }
         }
-        let mut out = Cover { num_vars: self.num_vars, cubes };
+        let mut out = Cover {
+            num_vars: self.num_vars,
+            cubes,
+        };
         out.remove_contained();
         out
     }
@@ -166,7 +178,10 @@ impl Cover {
             .iter()
             .filter_map(|c| c.cofactor_literal(var, value))
             .collect();
-        Cover { num_vars: self.num_vars, cubes }
+        Cover {
+            num_vars: self.num_vars,
+            cubes,
+        }
     }
 
     /// Cofactor of the cover with respect to a cube (Shannon generalised).
@@ -249,7 +264,10 @@ impl Cover {
         for c in c1.cubes {
             cubes.push(c.with(var, Literal::One));
         }
-        let mut out = Cover { num_vars: self.num_vars, cubes };
+        let mut out = Cover {
+            num_vars: self.num_vars,
+            cubes,
+        };
         out.remove_contained();
         out
     }
@@ -266,7 +284,10 @@ impl Cover {
             };
             cubes.push(Cube::universe(self.num_vars).with(var, flipped));
         }
-        Cover { num_vars: self.num_vars, cubes }
+        Cover {
+            num_vars: self.num_vars,
+            cubes,
+        }
     }
 
     /// The variable appearing most often in both phases, or `None` if the

@@ -43,7 +43,9 @@ impl Cube {
     /// The universal cube (all don't-cares) over `n` variables.
     #[must_use]
     pub fn universe(n: usize) -> Self {
-        Cube { vals: vec![Literal::DontCare; n] }
+        Cube {
+            vals: vec![Literal::DontCare; n],
+        }
     }
 
     /// Builds a cube from explicit literal values.
@@ -192,9 +194,7 @@ impl Cube {
         let mut vals = Vec::with_capacity(self.vals.len());
         for (a, b) in self.vals.iter().zip(&other.vals) {
             vals.push(match (a, b) {
-                (Literal::Zero, Literal::One) | (Literal::One, Literal::Zero) => {
-                    Literal::DontCare
-                }
+                (Literal::Zero, Literal::One) | (Literal::One, Literal::Zero) => Literal::DontCare,
                 (Literal::DontCare, x) | (x, Literal::DontCare) => *x,
                 (x, _) => *x,
             });

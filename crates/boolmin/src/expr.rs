@@ -66,7 +66,11 @@ impl Expr {
     }
 
     /// Builds a negation, collapsing double negations.
+    ///
+    /// A static constructor, deliberately not `std::ops::Not` (it takes
+    /// the operand by value, like [`Expr::and`] / [`Expr::or`]).
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(e: Expr) -> Expr {
         match e {
             Expr::Not(inner) => *inner,
@@ -104,9 +108,7 @@ impl Expr {
             Expr::Const(_) => 0,
             Expr::Var(_) => 1,
             Expr::Not(e) => e.literal_count(),
-            Expr::And(parts) | Expr::Or(parts) => {
-                parts.iter().map(Expr::literal_count).sum()
-            }
+            Expr::And(parts) | Expr::Or(parts) => parts.iter().map(Expr::literal_count).sum(),
         }
     }
 

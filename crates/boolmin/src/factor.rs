@@ -95,9 +95,9 @@ fn best_literal(cover: &Cover) -> Option<(usize, Literal)> {
         }
     }
     let mut best: Option<(usize, Literal, usize)> = None;
-    for v in 0..n {
+    for (v, phases) in counts.iter().enumerate().take(n) {
         for (phase, lit) in [(0, Literal::Zero), (1, Literal::One)] {
-            let cnt = counts[v][phase];
+            let cnt = phases[phase];
             if cnt >= 2 && best.as_ref().is_none_or(|&(_, _, bc)| cnt > bc) {
                 best = Some((v, lit, cnt));
             }
@@ -134,7 +134,11 @@ fn split_tree(mut parts: Vec<Expr>, max_fanin: usize, is_and: bool) -> Expr {
         let mut next = Vec::with_capacity(parts.len().div_ceil(max_fanin));
         for chunk in parts.chunks(max_fanin) {
             let group = chunk.to_vec();
-            next.push(if is_and { Expr::and(group) } else { Expr::or(group) });
+            next.push(if is_and {
+                Expr::and(group)
+            } else {
+                Expr::or(group)
+            });
         }
         parts = next;
     }

@@ -46,7 +46,10 @@ impl IncompleteFunction {
     #[must_use]
     pub fn completely_specified(on: Cover) -> Self {
         let n = on.num_vars();
-        IncompleteFunction { on, dc: Cover::empty(n) }
+        IncompleteFunction {
+            on,
+            dc: Cover::empty(n),
+        }
     }
 
     /// Number of input variables.

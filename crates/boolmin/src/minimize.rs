@@ -159,7 +159,10 @@ pub fn minimize_exact(f: &IncompleteFunction) -> Cover {
     chosen.dedup();
     let mut out = Cover::from_cubes(n, chosen.into_iter().map(|j| primes[j].clone()).collect());
     out.remove_contained();
-    debug_assert!(f.is_implemented_by(&out), "exact minimisation must implement f");
+    debug_assert!(
+        f.is_implemented_by(&out),
+        "exact minimisation must implement f"
+    );
     out
 }
 
@@ -204,7 +207,10 @@ pub fn minimize_heuristic(f: &IncompleteFunction) -> Cover {
         }
     }
     let out = Cover::from_cubes(n, kept);
-    debug_assert!(f.is_implemented_by(&out), "heuristic minimisation must implement f");
+    debug_assert!(
+        f.is_implemented_by(&out),
+        "heuristic minimisation must implement f"
+    );
     out
 }
 

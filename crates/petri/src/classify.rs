@@ -58,14 +58,18 @@ pub fn is_free_choice(net: &PetriNet) -> bool {
 /// places `p0` and `p3` in Fig. 5).
 #[must_use]
 pub fn choice_places(net: &PetriNet) -> Vec<PlaceId> {
-    net.places().filter(|&p| net.place_postset(p).len() > 1).collect()
+    net.places()
+        .filter(|&p| net.place_postset(p).len() > 1)
+        .collect()
 }
 
 /// The *merge places*: places with more than one producer (Fig. 5's `p1`
 /// and `p2`, merging alternative branches).
 #[must_use]
 pub fn merge_places(net: &PetriNet) -> Vec<PlaceId> {
-    net.places().filter(|&p| net.place_preset(p).len() > 1).collect()
+    net.places()
+        .filter(|&p| net.place_preset(p).len() > 1)
+        .collect()
 }
 
 /// Full structural classification.

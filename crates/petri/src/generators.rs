@@ -13,7 +13,9 @@ use crate::net::{PetriNet, PlaceId, TransitionId};
 pub fn pipeline(n: usize) -> PetriNet {
     assert!(n > 0);
     let mut net = PetriNet::new();
-    let ts: Vec<TransitionId> = (0..n).map(|i| net.add_transition(format!("t{i}"))).collect();
+    let ts: Vec<TransitionId> = (0..n)
+        .map(|i| net.add_transition(format!("t{i}")))
+        .collect();
     for i in 0..n {
         let j = (i + 1) % n;
         let p = net.add_place(format!("p{i}"), u32::from(i == n - 1));
@@ -37,7 +39,9 @@ pub fn pipeline(n: usize) -> PetriNet {
 pub fn pipeline_with_tokens(n: usize, k: usize) -> PetriNet {
     assert!(n > 0 && k <= n);
     let mut net = PetriNet::new();
-    let ts: Vec<TransitionId> = (0..n).map(|i| net.add_transition(format!("t{i}"))).collect();
+    let ts: Vec<TransitionId> = (0..n)
+        .map(|i| net.add_transition(format!("t{i}")))
+        .collect();
     for i in 0..n {
         let j = (i + 1) % n;
         let full = net.add_place(format!("f{i}"), u32::from(i < k));

@@ -117,7 +117,10 @@ pub fn place_invariants(net: &PetriNet) -> Vec<PlaceInvariant> {
                 .zip(m0.as_counts())
                 .map(|(&w, &c)| w * u64::from(c))
                 .sum();
-            PlaceInvariant { weights, token_count }
+            PlaceInvariant {
+                weights,
+                token_count,
+            }
         })
         .collect()
 }
@@ -171,18 +174,16 @@ fn farkas(a: &[Vec<i64>]) -> Vec<Vec<u64>> {
                 let alpha = rp.0[col];
                 let beta = -rn.0[col];
                 // beta·rp + alpha·rn cancels column `col`.
-                let comb_a: Vec<i64> = rp
-                    .0
-                    .iter()
-                    .zip(&rn.0)
-                    .map(|(&x, &y)| beta * x + alpha * y)
-                    .collect();
-                let comb_id: Vec<i64> = rp
-                    .1
-                    .iter()
-                    .zip(&rn.1)
-                    .map(|(&x, &y)| beta * x + alpha * y)
-                    .collect();
+                let comb_a: Vec<i64> =
+                    rp.0.iter()
+                        .zip(&rn.0)
+                        .map(|(&x, &y)| beta * x + alpha * y)
+                        .collect();
+                let comb_id: Vec<i64> =
+                    rp.1.iter()
+                        .zip(&rn.1)
+                        .map(|(&x, &y)| beta * x + alpha * y)
+                        .collect();
                 let mut row = (comb_a, comb_id);
                 normalise(&mut row);
                 if !next.contains(&row) {
@@ -198,7 +199,11 @@ fn farkas(a: &[Vec<i64>]) -> Vec<Vec<u64>> {
     let mut out: Vec<Vec<u64>> = rows
         .into_iter()
         .filter(|(_, id)| id.iter().any(|&v| v != 0))
-        .map(|(_, id)| id.into_iter().map(|v| u64::try_from(v).expect("farkas keeps rows non-negative")).collect())
+        .map(|(_, id)| {
+            id.into_iter()
+                .map(|v| u64::try_from(v).expect("farkas keeps rows non-negative"))
+                .collect()
+        })
         .collect();
     out.sort();
     out.dedup();
@@ -239,9 +244,7 @@ fn prune_non_minimal(rows: &mut Vec<(Vec<i64>, Vec<i64>)>) {
     let keep: Vec<bool> = (0..rows.len())
         .map(|i| {
             !supports.iter().enumerate().any(|(j, sj)| {
-                j != i
-                    && sj.len() < supports[i].len()
-                    && sj.iter().all(|x| supports[i].contains(x))
+                j != i && sj.len() < supports[i].len() && sj.iter().all(|x| supports[i].contains(x))
             })
         })
         .collect();
@@ -277,7 +280,11 @@ pub fn sm_components(net: &PetriNet) -> Vec<SmComponent> {
         let mut ok = true;
         for t in net.transitions() {
             let ins = net.preset(t).iter().filter(|p| support.contains(p)).count();
-            let outs = net.postset(t).iter().filter(|p| support.contains(p)).count();
+            let outs = net
+                .postset(t)
+                .iter()
+                .filter(|p| support.contains(p))
+                .count();
             if ins != outs || ins > 1 {
                 ok = false;
                 break;
@@ -287,7 +294,10 @@ pub fn sm_components(net: &PetriNet) -> Vec<SmComponent> {
             }
         }
         if ok && !support.is_empty() {
-            out.push(SmComponent { places: support, transitions });
+            out.push(SmComponent {
+                places: support,
+                transitions,
+            });
         }
     }
     out
@@ -344,7 +354,11 @@ pub fn dense_encoding(net: &PetriNet) -> DenseEncoding {
     let mut num_vars = 0usize;
     for c in &comps {
         let k = c.places.len();
-        let bits = if k <= 1 { 0 } else { (usize::BITS - (k - 1).leading_zeros()) as usize };
+        let bits = if k <= 1 {
+            0
+        } else {
+            (usize::BITS - (k - 1).leading_zeros()) as usize
+        };
         for (i, &p) in c.places.iter().enumerate() {
             let mut code = Vec::with_capacity(bits);
             for b in 0..bits {
@@ -358,5 +372,9 @@ pub fn dense_encoding(net: &PetriNet) -> DenseEncoding {
         }
         num_vars += bits;
     }
-    DenseEncoding { num_vars, place_codes, components: comps }
+    DenseEncoding {
+        num_vars,
+        place_codes,
+        components: comps,
+    }
 }

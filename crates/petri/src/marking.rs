@@ -81,7 +81,10 @@ impl Marking {
     ///
     /// Panics if the place is empty (the caller must check enabledness).
     pub fn remove_token(&mut self, p: PlaceId) {
-        assert!(self.counts[p.index()] > 0, "removing token from empty place");
+        assert!(
+            self.counts[p.index()] > 0,
+            "removing token from empty place"
+        );
         self.counts[p.index()] -= 1;
     }
 
@@ -135,7 +138,13 @@ impl fmt::Display for Marking {
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| if c == 1 { format!("p{i}") } else { format!("p{i}×{c}") })
+            .map(|(i, &c)| {
+                if c == 1 {
+                    format!("p{i}")
+                } else {
+                    format!("p{i}×{c}")
+                }
+            })
             .collect();
         write!(f, "{{{}}}", parts.join(","))
     }

@@ -137,7 +137,11 @@ impl PetriNet {
     /// Convenience: adds an implicit place between two transitions
     /// (`t1 → p → t2`), the arc notation of Fig. 5 in the paper.
     pub fn add_causal_arc(&mut self, t1: TransitionId, t2: TransitionId) -> PlaceId {
-        let name = format!("<{},{}>", self.transition_name(t1), self.transition_name(t2));
+        let name = format!(
+            "<{},{}>",
+            self.transition_name(t1),
+            self.transition_name(t2)
+        );
         let p = self.add_place(name, 0);
         self.add_arc_transition_to_place(t1, p);
         self.add_arc_place_to_transition(p, t2);
@@ -251,7 +255,9 @@ impl PetriNet {
     /// All transitions enabled at `m`.
     #[must_use]
     pub fn enabled_transitions(&self, m: &Marking) -> Vec<TransitionId> {
-        self.transitions().filter(|&t| self.is_enabled(m, t)).collect()
+        self.transitions()
+            .filter(|&t| self.is_enabled(m, t))
+            .collect()
     }
 
     /// Fires `t` at `m`, returning the successor marking, or `None` if `t`
@@ -336,7 +342,11 @@ impl PetriNet {
         );
         for t in self.transitions() {
             let pre: Vec<&str> = self.preset(t).iter().map(|&p| self.place_name(p)).collect();
-            let post: Vec<&str> = self.postset(t).iter().map(|&p| self.place_name(p)).collect();
+            let post: Vec<&str> = self
+                .postset(t)
+                .iter()
+                .map(|&p| self.place_name(p))
+                .collect();
             let _ = writeln!(
                 s,
                 "  {}: {{{}}} -> {{{}}}",

@@ -82,7 +82,9 @@ impl ReachabilityGraph {
         while let Some(s) = queue.pop_front() {
             let m = markings[s].clone();
             for t in net.transitions() {
-                let Some(next) = net.fire(&m, t) else { continue };
+                let Some(next) = net.fire(&m, t) else {
+                    continue;
+                };
                 if !next.is_k_bounded(bound) {
                     return Err(ReachError::BoundExceeded(next));
                 }
@@ -106,7 +108,11 @@ impl ReachabilityGraph {
         for (from, t, to) in arcs {
             ts.add_arc(from, t, to);
         }
-        Ok(ReachabilityGraph { markings, index, ts })
+        Ok(ReachabilityGraph {
+            markings,
+            index,
+            ts,
+        })
     }
 
     /// Number of reachable markings.

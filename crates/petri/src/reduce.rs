@@ -121,7 +121,12 @@ fn fuse_one_series_place(net: &mut PetriNet) -> bool {
         }
         // Fuse: p1 absorbs p2's consumers and producers; tokens add up.
         let tokens = net.initial_tokens(p1) + net.initial_tokens(p2);
-        let p2_pre: Vec<TransitionId> = net.place_preset(p2).iter().copied().filter(|&u| u != t).collect();
+        let p2_pre: Vec<TransitionId> = net
+            .place_preset(p2)
+            .iter()
+            .copied()
+            .filter(|&u| u != t)
+            .collect();
         let p2_post: Vec<TransitionId> = net.place_postset(p2).to_vec();
         for u in p2_pre {
             net.add_arc_transition_to_place(u, p1);

@@ -14,6 +14,7 @@
 use bdd::{Bdd, Manager, VarId};
 
 use crate::invariant::{place_invariants, PlaceInvariant};
+use crate::marking::Marking;
 use crate::net::{PetriNet, PlaceId};
 
 /// Result of a symbolic reachability run.
@@ -38,6 +39,20 @@ fn next_var(p: PlaceId) -> VarId {
     2 * p.0 + 1
 }
 
+/// The current-state BDD variable of a place. Part of the public encoding
+/// contract so other crates (e.g. the symbolic state-space backend in
+/// `stg`) can decode satisfying assignments of [`SymbolicReachability::reached`].
+#[must_use]
+pub fn current_var(p: PlaceId) -> VarId {
+    cur_var(p)
+}
+
+/// The next-state BDD variable of a place (see [`current_var`]).
+#[must_use]
+pub fn next_state_var(p: PlaceId) -> VarId {
+    next_var(p)
+}
+
 /// Computes the reachability set of a safe net symbolically.
 ///
 /// Builds one transition relation per net transition (enabling conjunction
@@ -51,6 +66,22 @@ fn next_var(p: PlaceId) -> VarId {
 /// explicitly with the explicit checker when in doubt).
 #[must_use]
 pub fn symbolic_reachability(net: &PetriNet) -> SymbolicReachability {
+    symbolic_reachability_bounded(net, u128::MAX).expect("unbounded call cannot hit the limit")
+}
+
+/// [`symbolic_reachability`] with a marking-count limit checked after
+/// every image iteration, so state-exploding nets abort mid-traversal
+/// instead of paying the full fixed point (mirrors the explicit
+/// builder's mid-BFS cutoff).
+///
+/// # Errors
+///
+/// [`crate::reach::ReachError::StateLimit`] when the reached set exceeds
+/// `max_markings` at any iteration.
+pub fn symbolic_reachability_bounded(
+    net: &PetriNet,
+    max_markings: u128,
+) -> Result<SymbolicReachability, crate::reach::ReachError> {
     let mut m = Manager::new();
     // Touch all variables to fix the universe.
     for p in net.places() {
@@ -94,14 +125,22 @@ pub fn symbolic_reachability(net: &PetriNet) -> SymbolicReachability {
 
     // Initial marking.
     let m0 = net.initial_marking();
-    let literals: Vec<(VarId, bool)> =
-        net.places().map(|p| (cur_var(p), m0.is_marked(p))).collect();
+    let literals: Vec<(VarId, bool)> = net
+        .places()
+        .map(|p| (cur_var(p), m0.is_marked(p)))
+        .collect();
     let init = m.cube(&literals);
 
     // Fixed point.
     let mut reached = init;
     let mut frontier = init;
     let mut iterations = 0usize;
+    let count_markings = |m: &mut Manager, reached: Bdd| {
+        // Count over current variables only: quantify out next vars first.
+        let only_cur = m.exists(reached, &next_vars);
+        let total = m.sat_count(only_cur, m.var_count());
+        total >> next_vars.len()
+    };
     while !frontier.is_zero() {
         iterations += 1;
         let mut image_next = Manager::zero();
@@ -112,15 +151,69 @@ pub fn symbolic_reachability(net: &PetriNet) -> SymbolicReachability {
         let image = m.rename(image_next, &next_vars, &cur_vars);
         frontier = m.diff(image, reached);
         reached = m.or(reached, frontier);
+        if max_markings < u128::MAX && count_markings(&mut m, reached) > max_markings {
+            let limit = usize::try_from(max_markings).unwrap_or(usize::MAX);
+            return Err(crate::reach::ReachError::StateLimit(limit));
+        }
     }
 
-    let num_markings = {
-        // Count over current variables only: quantify out next vars first.
-        let only_cur = m.exists(reached, &next_vars);
-        let total = m.sat_count(only_cur, m.var_count());
-        total >> next_vars.len()
-    };
-    SymbolicReachability { manager: m, reached, num_markings, iterations }
+    let num_markings = count_markings(&mut m, reached);
+    Ok(SymbolicReachability {
+        manager: m,
+        reached,
+        num_markings,
+        iterations,
+    })
+}
+
+/// Symbolic safeness check over an already-computed reachability set.
+///
+/// The symbolic transition encoding *excludes* token-accumulating firings
+/// (a produced place must have been empty), so on an unsafe net
+/// [`symbolic_reachability`] silently computes only the safe fragment.
+/// This check closes the gap: it looks for a reached marking that enables
+/// a transition while one of its pure output places is already marked —
+/// the firing that would put two tokens on that place. Along any real
+/// firing sequence the marking *before* the first unsafe firing lies in
+/// the safe fragment, so an unsafe net always yields a witness.
+///
+/// Returns the offending (two-token) successor marking, mirroring the
+/// explicit checker's bound-violation report.
+#[must_use]
+pub fn unsafe_witness(net: &PetriNet, sym: &mut SymbolicReachability) -> Option<Marking> {
+    for t in net.transitions() {
+        let pre = net.preset(t).to_vec();
+        let post = net.postset(t).to_vec();
+        let m = &mut sym.manager;
+        let mut enabled = sym.reached;
+        for &p in &pre {
+            let v = m.var(cur_var(p));
+            enabled = m.and(enabled, v);
+        }
+        for &p in &post {
+            if pre.contains(&p) {
+                continue;
+            }
+            let pv = m.var(cur_var(p));
+            let clash = m.and(enabled, pv);
+            if clash.is_zero() {
+                continue;
+            }
+            let asg = m
+                .any_sat(clash, m.var_count())
+                .expect("non-zero BDD is satisfiable");
+            let counts: Vec<u32> = net
+                .places()
+                .map(|q| u32::from(asg[cur_var(q) as usize]))
+                .collect();
+            let before = Marking::from_counts(counts);
+            let after = net
+                .fire(&before, t)
+                .expect("witness enables the transition");
+            return Some(after);
+        }
+    }
+    None
 }
 
 /// The invariant-based *upper approximation* of the reachability set

@@ -83,7 +83,11 @@ fn pipeline_with_tokens_counts() {
     for (n, k) in [(4usize, 2usize), (5, 2), (6, 3)] {
         let net = generators::pipeline_with_tokens(n, k);
         let rg = ReachabilityGraph::build(&net).unwrap();
-        assert_eq!(rg.num_states() as u64, binom(n as u64, k as u64), "n={n} k={k}");
+        assert_eq!(
+            rg.num_states() as u64,
+            binom(n as u64, k as u64),
+            "n={n} k={k}"
+        );
     }
 }
 

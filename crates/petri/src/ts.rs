@@ -143,7 +143,9 @@ impl<L: Clone + Eq + Hash> TransitionSystem<L> {
     /// States with no outgoing arcs (deadlocks).
     #[must_use]
     pub fn deadlocks(&self) -> Vec<usize> {
-        (0..self.num_states).filter(|&s| self.out[s].is_empty()).collect()
+        (0..self.num_states)
+            .filter(|&s| self.out[s].is_empty())
+            .collect()
     }
 
     /// All states reachable from the initial state.
@@ -224,8 +226,11 @@ impl<L: Clone + Eq + Hash> TransitionSystem<L> {
         let reach = self.reachable_states();
         let mut order: Vec<usize> = reach.into_iter().collect();
         order.sort_unstable();
-        let map: HashMap<usize, usize> =
-            order.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        let map: HashMap<usize, usize> = order
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
         let mut ts = TransitionSystem::new(order.len(), map[&self.initial]);
         for (from, l, to) in &self.arcs {
             if let (Some(&f), Some(&t)) = (map.get(from), map.get(to)) {

@@ -98,8 +98,7 @@ impl Unfolding {
         }
         // Possible-extensions loop. Keep a frontier of candidate events,
         // smallest local configuration first (McMillan order).
-        loop {
-            let Some((t, preset)) = u.find_extension(net) else { break };
+        while let Some((t, preset)) = u.find_extension(net) {
             if u.events.len() >= max_events {
                 return Err(format!("unfolding exceeded {max_events} events"));
             }
@@ -128,9 +127,7 @@ impl Unfolding {
             for &p in places {
                 let cs: Vec<CondId> = (0..self.conditions.len())
                     .map(|i| CondId(i as u32))
-                    .filter(|&c| {
-                        self.conditions[c.0 as usize].place == p && !self.below_cutoff(c)
-                    })
+                    .filter(|&c| self.conditions[c.0 as usize].place == p && !self.below_cutoff(c))
                     .collect();
                 if cs.is_empty() {
                     cands.clear();
@@ -177,9 +174,9 @@ impl Unfolding {
 
     fn event_exists(&self, t: TransitionId, preset: &[CondId]) -> bool {
         let set: BTreeSet<CondId> = preset.iter().copied().collect();
-        self.events.iter().any(|e| {
-            e.transition == t && e.preset.iter().copied().collect::<BTreeSet<_>>() == set
-        })
+        self.events
+            .iter()
+            .any(|e| e.transition == t && e.preset.iter().copied().collect::<BTreeSet<_>>() == set)
     }
 
     /// Size of the local configuration an event with this preset would have.
@@ -255,7 +252,8 @@ impl Unfolding {
             Some(eb) => {
                 // a ≤ some condition consumed to eventually produce b.
                 let cfg = &self.events[eb.0 as usize].local_config;
-                cfg.iter().any(|&e| self.events[e.0 as usize].preset.contains(&a))
+                cfg.iter()
+                    .any(|&e| self.events[e.0 as usize].preset.contains(&a))
                     || self.events[eb.0 as usize].preset.contains(&a)
             }
         }
@@ -271,9 +269,7 @@ impl Unfolding {
         // local configuration reaches the same marking — or the initial
         // marking itself is reached again.
         let cutoff = self.events.iter().any(|e| {
-            !e.cutoff
-                && e.cut_marking == cut_marking
-                && e.local_config.len() < local_config.len()
+            !e.cutoff && e.cut_marking == cut_marking && e.local_config.len() < local_config.len()
         }) || cut_marking == net.initial_marking();
         let mut ev = Event {
             transition: t,
@@ -402,8 +398,7 @@ impl Unfolding {
             return Ordering::Follows;
         }
         // Conflict: union of configs consumes a condition twice.
-        let union: BTreeSet<EventId> =
-            ea.local_config.union(&eb.local_config).copied().collect();
+        let union: BTreeSet<EventId> = ea.local_config.union(&eb.local_config).copied().collect();
         let mut consumed: HashSet<CondId> = HashSet::new();
         for &e in &union {
             for &c in &self.events[e.0 as usize].preset {

@@ -90,7 +90,10 @@ impl std::fmt::Display for RegionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RegionError::TooLarge { states, max } => {
-                write!(f, "TS has {states} states; exhaustive region search caps at {max}")
+                write!(
+                    f,
+                    "TS has {states} states; exhaustive region search caps at {max}"
+                )
             }
             RegionError::Nondeterministic => write!(f, "input TS is nondeterministic"),
         }
@@ -143,7 +146,10 @@ fn crossing(arcs: &[(usize, usize)], mask: u32) -> Crossing {
 pub fn minimal_regions(ts: &TransitionSystem<String>) -> Result<Vec<Region>, RegionError> {
     let n = ts.num_states();
     if n > MAX_STATES {
-        return Err(RegionError::TooLarge { states: n, max: MAX_STATES });
+        return Err(RegionError::TooLarge {
+            states: n,
+            max: MAX_STATES,
+        });
     }
     if !ts.is_deterministic() {
         return Err(RegionError::Nondeterministic);
@@ -171,9 +177,7 @@ pub fn minimal_regions(ts: &TransitionSystem<String>) -> Result<Vec<Region>, Reg
     // Keep only minimal regions (no proper subset is also a region).
     let mut minimal: Vec<u32> = Vec::new();
     for &m in &regions_masks {
-        let has_proper_subset = regions_masks
-            .iter()
-            .any(|&o| o != m && (o & m) == o);
+        let has_proper_subset = regions_masks.iter().any(|&o| o != m && (o & m) == o);
         if !has_proper_subset {
             minimal.push(m);
         }
@@ -199,7 +203,11 @@ pub fn synthesize_net(ts: &TransitionSystem<String>) -> Result<RegionNet, Region
     // the language identical.
     let (net, regions) = prune_redundant(ts, net, regions);
     let trace_equivalent = check_equivalence(ts, &net);
-    Ok(RegionNet { net, regions, trace_equivalent })
+    Ok(RegionNet {
+        net,
+        regions,
+        trace_equivalent,
+    })
 }
 
 fn net_from_regions(ts: &TransitionSystem<String>, regions: &[Region]) -> PetriNet {
@@ -247,9 +255,7 @@ fn check_equivalence(ts: &TransitionSystem<String>, net: &PetriNet) -> bool {
     let Ok(rg) = ReachabilityGraph::build_bounded(net, 1, 1 << 16) else {
         return false;
     };
-    let net_ts = rg
-        .ts()
-        .map_labels(|&t| net.transition_name(t).to_owned());
+    let net_ts = rg.ts().map_labels(|&t| net.transition_name(t).to_owned());
     net_ts.trace_equivalent(ts)
 }
 

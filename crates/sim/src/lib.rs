@@ -30,7 +30,7 @@ use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use stg::{SignalKind, StateGraph, Stg};
+use stg::{SignalKind, StateSpace, Stg};
 use synth::{NetId, Netlist};
 
 /// Simulation parameters.
@@ -46,7 +46,11 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { gate_delay: (1.0, 2.0), env_delay: (3.0, 8.0), seed: 0xD1_CE }
+        SimConfig {
+            gate_delay: (1.0, 2.0),
+            env_delay: (3.0, 8.0),
+            seed: 0xD1_CE,
+        }
     }
 }
 
@@ -104,7 +108,7 @@ impl PartialOrd for Pending {
 #[derive(Debug)]
 pub struct Simulator<'a> {
     stg: &'a Stg,
-    sg: &'a StateGraph,
+    sg: &'a dyn StateSpace,
     netlist: Netlist,
     signal_nets: Vec<NetId>,
     config: SimConfig,
@@ -132,7 +136,7 @@ impl<'a> Simulator<'a> {
     #[must_use]
     pub fn new(
         stg: &'a Stg,
-        sg: &'a StateGraph,
+        sg: &'a dyn StateSpace,
         netlist: Netlist,
         signal_nets: Vec<NetId>,
         config: SimConfig,
@@ -159,7 +163,10 @@ impl<'a> Simulator<'a> {
             if !changed {
                 break;
             }
-            assert!(round < netlist.num_gates(), "internal nets oscillate at time 0");
+            assert!(
+                round < netlist.num_gates(),
+                "internal nets oscillate at time 0"
+            );
         }
         let num_gates = netlist.num_gates();
         let num_transitions = stg.net().num_transitions();
@@ -355,6 +362,7 @@ impl<'a> Simulator<'a> {
 mod tests {
     use super::*;
     use stg::examples::{toggle, vme_read_csc};
+    use stg::StateGraph;
     use synth::complex_gate::synthesize_complex_gates;
     use synth::decompose::{decompose, resubstitute};
 
@@ -362,7 +370,13 @@ mod tests {
         let sg = StateGraph::build(stg).unwrap();
         let circuit = synthesize_complex_gates(stg, &sg).unwrap();
         let nets: Vec<NetId> = stg.signals().map(|s| circuit.signal_net(s)).collect();
-        let mut sim = Simulator::new(stg, &sg, circuit.netlist().clone(), nets, SimConfig::default());
+        let mut sim = Simulator::new(
+            stg,
+            &sg,
+            circuit.netlist().clone(),
+            nets,
+            SimConfig::default(),
+        );
         sim.run(horizon)
     }
 
@@ -391,7 +405,11 @@ mod tests {
         let circuit = synthesize_complex_gates(&stg, &sg).unwrap();
         let dec = decompose(&stg, &circuit, 2);
         let nets: Vec<NetId> = stg.signals().map(|s| dec.signal_net(s)).collect();
-        let config = SimConfig { gate_delay: (1.0, 8.0), env_delay: (1.0, 2.0), seed: 7 };
+        let config = SimConfig {
+            gate_delay: (1.0, 8.0),
+            env_delay: (1.0, 2.0),
+            seed: 7,
+        };
         let mut sim = Simulator::new(&stg, &sg, dec.netlist().clone(), nets, config);
         let stats = sim.run(20_000.0);
         assert!(stats.glitches > 0, "expected glitches: {stats:?}");
@@ -405,7 +423,11 @@ mod tests {
         let dec = decompose(&stg, &circuit, 2);
         let resub = resubstitute(&stg, &sg, &dec);
         let nets: Vec<NetId> = stg.signals().map(|s| resub.signal_net(s)).collect();
-        let config = SimConfig { gate_delay: (1.0, 8.0), env_delay: (1.0, 2.0), seed: 7 };
+        let config = SimConfig {
+            gate_delay: (1.0, 8.0),
+            env_delay: (1.0, 2.0),
+            seed: 7,
+        };
         let mut sim = Simulator::new(&stg, &sg, resub.netlist().clone(), nets, config);
         let stats = sim.run(20_000.0);
         assert_eq!(stats.glitches, 0, "{stats:?}");
@@ -423,7 +445,10 @@ mod tests {
                 &sg,
                 circuit.netlist().clone(),
                 nets.clone(),
-                SimConfig { seed: 42, ..SimConfig::default() },
+                SimConfig {
+                    seed: 42,
+                    ..SimConfig::default()
+                },
             );
             sim.run(500.0)
         };

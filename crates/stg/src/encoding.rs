@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use crate::model::{SignalEdge, SignalId, Stg};
-use crate::state_graph::StateGraph;
+use crate::state_space::StateSpace;
 
 /// A pair of states with identical binary codes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,10 +34,10 @@ impl EncodingConflict {
 /// All pairs of states with equal codes (*Unique State Coding* violations),
 /// annotated with the non-input signals whose excitation disagrees.
 #[must_use]
-pub fn encoding_conflicts(stg: &Stg, sg: &StateGraph) -> Vec<EncodingConflict> {
+pub fn encoding_conflicts<S: StateSpace + ?Sized>(stg: &Stg, sg: &S) -> Vec<EncodingConflict> {
     let mut by_code: HashMap<Vec<bool>, Vec<usize>> = HashMap::new();
     for i in 0..sg.num_states() {
-        by_code.entry(sg.state(i).code.clone()).or_default().push(i);
+        by_code.entry(sg.code(i).to_vec()).or_default().push(i);
     }
     let non_inputs = stg.non_input_signals();
     let mut out = Vec::new();
@@ -62,7 +62,12 @@ pub fn encoding_conflicts(stg: &Stg, sg: &StateGraph) -> Vec<EncodingConflict> {
     out
 }
 
-fn excitation_of(stg: &Stg, sg: &StateGraph, state: usize, s: SignalId) -> Option<SignalEdge> {
+fn excitation_of<S: StateSpace + ?Sized>(
+    stg: &Stg,
+    sg: &S,
+    state: usize,
+    s: SignalId,
+) -> Option<SignalEdge> {
     sg.excitations(stg, state)
         .into_iter()
         .find(|&(_, sig, _)| sig == s)
@@ -71,7 +76,7 @@ fn excitation_of(stg: &Stg, sg: &StateGraph, state: usize, s: SignalId) -> Optio
 
 /// `true` if the STG has *Unique State Coding*: no two states share a code.
 #[must_use]
-pub fn has_usc(stg: &Stg, sg: &StateGraph) -> bool {
+pub fn has_usc<S: StateSpace + ?Sized>(stg: &Stg, sg: &S) -> bool {
     encoding_conflicts(stg, sg).is_empty()
 }
 
@@ -79,13 +84,13 @@ pub fn has_usc(stg: &Stg, sg: &StateGraph) -> bool {
 /// agree on all non-input excitations (§3.1 — the property logic synthesis
 /// requires).
 #[must_use]
-pub fn has_csc(stg: &Stg, sg: &StateGraph) -> bool {
+pub fn has_csc<S: StateSpace + ?Sized>(stg: &Stg, sg: &S) -> bool {
     encoding_conflicts(stg, sg).iter().all(|c| !c.is_csc())
 }
 
 /// Only the CSC-violating conflicts.
 #[must_use]
-pub fn csc_conflicts(stg: &Stg, sg: &StateGraph) -> Vec<EncodingConflict> {
+pub fn csc_conflicts<S: StateSpace + ?Sized>(stg: &Stg, sg: &S) -> Vec<EncodingConflict> {
     encoding_conflicts(stg, sg)
         .into_iter()
         .filter(EncodingConflict::is_csc)

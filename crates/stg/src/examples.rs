@@ -238,7 +238,11 @@ pub fn micropipeline(n: usize) -> Stg {
     let mut req = Vec::new();
     let mut ack = Vec::new();
     for i in 0..=n {
-        let kind = if i == 0 { SignalKind::Input } else { SignalKind::Output };
+        let kind = if i == 0 {
+            SignalKind::Input
+        } else {
+            SignalKind::Output
+        };
         req.push(b.add_signal(format!("r{i}"), kind));
         ack.push(b.add_signal(format!("a{i}"), SignalKind::Output));
     }

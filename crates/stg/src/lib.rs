@@ -9,8 +9,10 @@
 //! * [`Stg`] — the model: typed signals (input/output/internal/dummy),
 //!   labelled transitions, construction API ([`StgBuilder`]);
 //! * [`parse`] — reader/writer for the `.g` (astg, petrify) text format;
-//! * [`StateGraph`] — binary-encoded state graphs with consistency
-//!   checking (§1.4, Fig. 4);
+//! * [`StateSpace`] — the pluggable state-space abstraction every
+//!   analysis and synthesis stage consumes, with two engines selected by
+//!   [`Backend`]: the explicit [`StateGraph`] (§1.4, Fig. 4) and the
+//!   BDD-backed [`SymbolicStateSpace`] (§2.2);
 //! * [`encoding`] — USC/CSC conflict detection (§2.1, §3.1);
 //! * [`persistency`] — output-persistency analysis (§2.1);
 //! * [`properties`] — the aggregated implementability report;
@@ -35,10 +37,14 @@ pub mod parse;
 pub mod persistency;
 pub mod properties;
 mod state_graph;
+mod state_space;
+mod symbolic;
 pub mod waveform;
 
-pub use model::{SignalId, SignalKind, SignalEdge, Stg, StgBuilder, TransitionLabel};
+pub use model::{SignalEdge, SignalId, SignalKind, Stg, StgBuilder, TransitionLabel};
 pub use state_graph::{SgState, StateGraph, StgError};
+pub use state_space::{Backend, StateSpace};
+pub use symbolic::{SymbolicStateSpace, SymbolicStats};
 
 #[cfg(test)]
 mod tests;

@@ -288,7 +288,10 @@ impl StgBuilder {
     /// Declares a signal.
     pub fn add_signal(&mut self, name: impl Into<String>, kind: SignalKind) -> SignalId {
         let id = SignalId(u32::try_from(self.signals.len()).expect("too many signals"));
-        self.signals.push(SignalInfo { name: name.into(), kind });
+        self.signals.push(SignalInfo {
+            name: name.into(),
+            kind,
+        });
         id
     }
 
@@ -307,7 +310,11 @@ impl StgBuilder {
             }
         };
         let t = self.net.add_transition(name);
-        self.labels.push(Some(TransitionLabel { signal, edge, instance }));
+        self.labels.push(Some(TransitionLabel {
+            signal,
+            edge,
+            instance,
+        }));
         t
     }
 

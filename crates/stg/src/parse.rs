@@ -32,7 +32,10 @@ impl fmt::Display for ParseGError {
 impl std::error::Error for ParseGError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseGError {
-    ParseGError { line, message: message.into() }
+    ParseGError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// A parsed transition token: signal name, edge, instance.
@@ -118,11 +121,17 @@ pub fn parse_g(text: &str) -> Result<Stg, ParseGError> {
         } else if in_graph {
             let toks: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
             if toks.len() < 2 {
-                return Err(err(lineno, "graph line needs a source and at least one target"));
+                return Err(err(
+                    lineno,
+                    "graph line needs a source and at least one target",
+                ));
             }
             graph_lines.push((lineno, toks));
         } else {
-            return Err(err(lineno, format!("unexpected text outside sections: {line:?}")));
+            return Err(err(
+                lineno,
+                format!("unexpected text outside sections: {line:?}"),
+            ));
         }
     }
     if !saw_graph {
@@ -141,10 +150,10 @@ pub fn parse_g(text: &str) -> Result<Stg, ParseGError> {
 
     // First pass: create transitions (and remember explicit places).
     let ensure_node = |b: &mut StgBuilder,
-                           tok: &str,
-                           lineno: usize,
-                           transitions: &mut HashMap<String, TransitionId>,
-                           places: &mut HashMap<String, PlaceId>|
+                       tok: &str,
+                       lineno: usize,
+                       transitions: &mut HashMap<String, TransitionId>,
+                       places: &mut HashMap<String, PlaceId>|
      -> Result<(), ParseGError> {
         if transitions.contains_key(tok) || places.contains_key(tok) {
             return Ok(());
@@ -157,7 +166,10 @@ pub fn parse_g(text: &str) -> Result<Stg, ParseGError> {
             }
             // A +/- suffixed token with unknown signal is an error, not a
             // place: places may not end in +/-.
-            return Err(err(lineno, format!("undeclared signal in transition {tok:?}")));
+            return Err(err(
+                lineno,
+                format!("undeclared signal in transition {tok:?}"),
+            ));
         }
         if dummies.contains(&tok.to_owned()) {
             let t = b.add_dummy(tok);
@@ -181,7 +193,12 @@ pub fn parse_g(text: &str) -> Result<Stg, ParseGError> {
     for (lineno, toks) in &graph_lines {
         let src = &toks[0];
         for dst in &toks[1..] {
-            match (transitions.get(src), places.get(src), transitions.get(dst), places.get(dst)) {
+            match (
+                transitions.get(src),
+                places.get(src),
+                transitions.get(dst),
+                places.get(dst),
+            ) {
                 (Some(&t1), _, Some(&t2), _) => {
                     let p = b.connect(t1, t2);
                     implicit.insert((t1, t2), p);
@@ -200,13 +217,22 @@ pub fn parse_g(text: &str) -> Result<Stg, ParseGError> {
     for (lineno, tok) in &marking_tokens {
         if let Some(inner) = tok.strip_prefix('<').and_then(|t| t.strip_suffix('>')) {
             let Some((a, bb)) = inner.split_once(',') else {
-                return Err(err(*lineno, format!("malformed implicit-place marking {tok:?}")));
+                return Err(err(
+                    *lineno,
+                    format!("malformed implicit-place marking {tok:?}"),
+                ));
             };
             let (Some(&t1), Some(&t2)) = (transitions.get(a), transitions.get(bb)) else {
-                return Err(err(*lineno, format!("unknown transitions in marking {tok:?}")));
+                return Err(err(
+                    *lineno,
+                    format!("unknown transitions in marking {tok:?}"),
+                ));
             };
             let Some(&p) = implicit.get(&(t1, t2)) else {
-                return Err(err(*lineno, format!("no implicit place for marking {tok:?}")));
+                return Err(err(
+                    *lineno,
+                    format!("no implicit place for marking {tok:?}"),
+                ));
             };
             b.mark_place(p, 1);
         } else if let Some(&p) = places.get(tok.as_str()) {
@@ -292,7 +318,11 @@ pub fn write_g(stg: &Stg) -> String {
             if is_implicit(p) {
                 let t1 = net.place_preset(p)[0];
                 let t2 = net.place_postset(p)[0];
-                marks.push(format!("<{},{}>", stg.label_string(t1), stg.label_string(t2)));
+                marks.push(format!(
+                    "<{},{}>",
+                    stg.label_string(t1),
+                    stg.label_string(t2)
+                ));
             } else {
                 marks.push(net.place_name(p).to_owned());
             }

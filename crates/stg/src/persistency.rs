@@ -10,7 +10,7 @@
 use petri::TransitionId;
 
 use crate::model::{SignalKind, Stg};
-use crate::state_graph::StateGraph;
+use crate::state_space::StateSpace;
 
 /// Classification of a disabling event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,7 +43,10 @@ pub struct PersistencyViolation {
 /// Dummy (unlabelled) transitions are treated as non-input: disabling
 /// internal sequencing is just as hazardous as disabling an output.
 #[must_use]
-pub fn persistency_violations(stg: &Stg, sg: &StateGraph) -> Vec<PersistencyViolation> {
+pub fn persistency_violations<S: StateSpace + ?Sized>(
+    stg: &Stg,
+    sg: &S,
+) -> Vec<PersistencyViolation> {
     let mut out = Vec::new();
     for s in 0..sg.num_states() {
         let enabled: Vec<TransitionId> = sg.ts().enabled_labels(s);
@@ -52,12 +55,19 @@ pub fn persistency_violations(stg: &Stg, sg: &StateGraph) -> Vec<PersistencyViol
                 if t == u {
                     continue;
                 }
-                let Some(next) = sg.successor(s, u) else { continue };
+                let Some(next) = sg.successor(s, u) else {
+                    continue;
+                };
                 if sg.successor(next, t).is_some() {
                     continue; // t still enabled: persistent w.r.t. u
                 }
                 let kind = classify(stg, t, u);
-                out.push(PersistencyViolation { state: s, disabled: t, by: u, kind });
+                out.push(PersistencyViolation {
+                    state: s,
+                    disabled: t,
+                    by: u,
+                    kind,
+                });
             }
         }
     }
@@ -81,7 +91,7 @@ fn classify(stg: &Stg, disabled: TransitionId, by: TransitionId) -> ViolationKin
 /// `true` if the STG is persistent in the paper's sense: the only
 /// disabling events are input-versus-input choices.
 #[must_use]
-pub fn is_persistent(stg: &Stg, sg: &StateGraph) -> bool {
+pub fn is_persistent<S: StateSpace + ?Sized>(stg: &Stg, sg: &S) -> bool {
     persistency_violations(stg, sg)
         .iter()
         .all(|v| v.kind == ViolationKind::InputChoice)
@@ -90,7 +100,7 @@ pub fn is_persistent(stg: &Stg, sg: &StateGraph) -> bool {
 /// The subset of violations that block implementability (everything except
 /// input choices).
 #[must_use]
-pub fn blocking_violations(stg: &Stg, sg: &StateGraph) -> Vec<PersistencyViolation> {
+pub fn blocking_violations<S: StateSpace + ?Sized>(stg: &Stg, sg: &S) -> Vec<PersistencyViolation> {
     persistency_violations(stg, sg)
         .into_iter()
         .filter(|v| v.kind != ViolationKind::InputChoice)

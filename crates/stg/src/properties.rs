@@ -9,6 +9,7 @@ use crate::encoding::{csc_conflicts, encoding_conflicts};
 use crate::model::Stg;
 use crate::persistency::blocking_violations;
 use crate::state_graph::{StateGraph, StgError};
+use crate::state_space::{Backend, StateSpace};
 
 /// The per-property outcome of the implementability analysis.
 #[derive(Debug, Clone)]
@@ -56,7 +57,11 @@ impl fmt::Display for ImplementabilityReport {
         writeln!(f, "bounded (safe):        {}", yes_no(self.bounded))?;
         writeln!(f, "consistent:            {}", yes_no(self.consistent))?;
         writeln!(f, "states:                {}", self.num_states)?;
-        writeln!(f, "unique state coding:   {}", yes_no(self.unique_state_coding))?;
+        writeln!(
+            f,
+            "unique state coding:   {}",
+            yes_no(self.unique_state_coding)
+        )?;
         writeln!(
             f,
             "complete state coding: {} ({} conflict pair(s))",
@@ -78,29 +83,46 @@ impl fmt::Display for ImplementabilityReport {
     }
 }
 
-/// Runs the full §2.1 property suite on an STG.
+/// Runs the full §2.1 property suite on an STG with the explicit backend.
 #[must_use]
 pub fn check_implementability(stg: &Stg) -> ImplementabilityReport {
     match StateGraph::build(stg) {
         Ok(sg) => report_from_sg(stg, &sg),
-        Err(e) => ImplementabilityReport {
-            bounded: !matches!(e, StgError::Reach(_)),
-            consistent: false,
-            error: Some(e),
-            num_states: 0,
-            unique_state_coding: false,
-            complete_state_coding: false,
-            csc_conflict_pairs: 0,
-            persistent: false,
-            persistency_violations: 0,
-            deadlock_free: false,
-        },
+        Err(e) => failure_report(e),
     }
 }
 
-/// The report for an already-built state graph.
+/// Runs the full §2.1 property suite with the chosen state-space backend.
 #[must_use]
-pub fn report_from_sg(stg: &Stg, sg: &StateGraph) -> ImplementabilityReport {
+pub fn check_implementability_with(stg: &Stg, backend: Backend) -> ImplementabilityReport {
+    match backend.build(stg) {
+        Ok(space) => report_from_sg(stg, &*space),
+        Err(e) => failure_report(e),
+    }
+}
+
+/// The all-failed report for a specification whose state space could not
+/// be built. Exposed so callers already holding the build error (e.g. the
+/// pipeline's check stage) need not rebuild the space to produce it.
+#[must_use]
+pub fn failure_report(e: StgError) -> ImplementabilityReport {
+    ImplementabilityReport {
+        bounded: !matches!(e, StgError::Reach(_)),
+        consistent: false,
+        error: Some(e),
+        num_states: 0,
+        unique_state_coding: false,
+        complete_state_coding: false,
+        csc_conflict_pairs: 0,
+        persistent: false,
+        persistency_violations: 0,
+        deadlock_free: false,
+    }
+}
+
+/// The report for an already-built state space (any backend).
+#[must_use]
+pub fn report_from_sg<S: StateSpace + ?Sized>(stg: &Stg, sg: &S) -> ImplementabilityReport {
     let conflicts = encoding_conflicts(stg, sg);
     let csc = csc_conflicts(stg, sg);
     let blocking = blocking_violations(stg, sg);

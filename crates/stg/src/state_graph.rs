@@ -10,6 +10,7 @@ use petri::reach::{ReachError, ReachabilityGraph};
 use petri::{Marking, TransitionId, TransitionSystem};
 
 use crate::model::{SignalEdge, SignalId, Stg};
+use crate::state_space::StateSpace;
 
 /// Errors raised while building a state graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,50 +106,16 @@ impl StateGraph {
         let rg = ReachabilityGraph::build_bounded(stg.net(), 1, max_states)?;
         let initial_values = match stg.initial_values() {
             Some(v) => v.to_vec(),
-            None => infer_initial_values(stg, &rg)?,
+            None => infer_initial_values(stg, rg.ts()),
         };
         let n = stg.num_signals();
-        let mut codes: Vec<Option<Vec<bool>>> = vec![None; rg.num_states()];
-        codes[0] = Some(initial_values.clone());
-        let mut queue = VecDeque::new();
-        queue.push_back(0usize);
-        while let Some(s) = queue.pop_front() {
-            let code = codes[s].clone().expect("queued states are coded");
-            for (&t, to) in rg.ts().successors(s) {
-                let mut next = code.clone();
-                if let Some(label) = stg.label(t) {
-                    let idx = label.signal.index();
-                    let expected_before = !label.edge.value_after();
-                    if next[idx] != expected_before {
-                        return Err(StgError::InconsistentEdge {
-                            transition: stg.label_string(t),
-                            state: s,
-                        });
-                    }
-                    next[idx] = label.edge.value_after();
-                }
-                match &codes[to] {
-                    Some(existing) => {
-                        if *existing != next {
-                            return Err(StgError::InconsistentCode { state: to });
-                        }
-                    }
-                    None => {
-                        codes[to] = Some(next);
-                        queue.push_back(to);
-                    }
-                }
-            }
-        }
+        let codes = propagate_codes(stg, rg.ts(), &initial_values)?;
         let states: Vec<SgState> = rg
             .markings()
             .iter()
             .cloned()
             .zip(codes)
-            .map(|(marking, code)| SgState {
-                marking,
-                code: code.expect("reachability graph is connected from state 0"),
-            })
+            .map(|(marking, code)| SgState { marking, code })
             .collect();
         Ok(StateGraph {
             states,
@@ -198,90 +165,92 @@ impl StateGraph {
         &self.initial_values
     }
 
+    // The query helpers below delegate to the `StateSpace` defaults so
+    // the logic exists exactly once and every backend renders/answers
+    // identically; the inherent copies survive only so callers need not
+    // import the trait.
+
     /// Value of signal `sig` in state `i`.
     #[must_use]
     pub fn value(&self, i: usize, sig: SignalId) -> bool {
-        self.states[i].code[sig.index()]
+        StateSpace::value(self, i, sig)
     }
 
     /// The signal edges enabled (excited) in state `i`, as
     /// `(transition, signal, edge)` triples; dummies are skipped.
     #[must_use]
     pub fn excitations(&self, stg: &Stg, i: usize) -> Vec<(TransitionId, SignalId, SignalEdge)> {
-        let mut out = Vec::new();
-        for (&t, _) in self.ts.successors(i) {
-            if let Some(l) = stg.label(t) {
-                out.push((t, l.signal, l.edge));
-            }
-        }
-        out.sort_by_key(|&(t, _, _)| t);
-        out.dedup();
-        out
+        StateSpace::excitations(self, stg, i)
     }
 
     /// `true` if signal `sig` is excited (has an enabled edge) in state `i`.
     #[must_use]
     pub fn is_excited(&self, stg: &Stg, i: usize, sig: SignalId) -> bool {
-        self.excitations(stg, i).iter().any(|&(_, s, _)| s == sig)
+        StateSpace::is_excited(self, stg, i, sig)
     }
 
     /// The paper's state rendering: binary code with `*` after each excited
     /// signal, e.g. `10.11*.0` — here without grouping dots: `1011*0`.
     #[must_use]
     pub fn code_string(&self, stg: &Stg, i: usize) -> String {
-        let excited: Vec<SignalId> =
-            self.excitations(stg, i).iter().map(|&(_, s, _)| s).collect();
-        let mut out = String::new();
-        for s in stg.signals() {
-            out.push(if self.states[i].code[s.index()] { '1' } else { '0' });
-            if excited.contains(&s) {
-                out.push('*');
-            }
-        }
-        out
+        StateSpace::code_string(self, stg, i)
     }
 
     /// The plain binary code of state `i` as a `0`/`1` string.
     #[must_use]
     pub fn plain_code_string(&self, i: usize) -> String {
-        self.states[i]
-            .code
-            .iter()
-            .map(|&b| if b { '1' } else { '0' })
-            .collect()
+        StateSpace::plain_code_string(self, i)
     }
 
     /// Successor state along a given transition, if enabled.
     #[must_use]
     pub fn successor(&self, state: usize, t: TransitionId) -> Option<usize> {
-        self.ts.successor_by_label(state, &t)
+        StateSpace::successor(self, state, t)
     }
 
     /// States whose code equals `code`.
     #[must_use]
     pub fn states_with_code(&self, code: &[bool]) -> Vec<usize> {
-        (0..self.states.len())
-            .filter(|&i| self.states[i].code == code)
-            .collect()
+        StateSpace::states_with_code(self, code)
+    }
+
+    /// Materialises any state space as an explicit `StateGraph` by
+    /// copying its states and transition structure — no reachability
+    /// re-exploration (used by the legacy `run_flow` shim).
+    #[must_use]
+    pub fn from_space(space: &dyn StateSpace) -> StateGraph {
+        StateGraph {
+            states: (0..space.num_states())
+                .map(|i| SgState {
+                    marking: space.marking(i).clone(),
+                    code: space.code(i).to_vec(),
+                })
+                .collect(),
+            ts: space.ts().clone(),
+            initial_values: space.initial_values().to_vec(),
+            num_signals: space.num_signals(),
+        }
     }
 }
 
 /// Infers initial signal values from first-edge polarities (a signal whose
 /// first reachable edge is rising starts at 0; falling starts at 1;
-/// never-switching signals default to 0).
-fn infer_initial_values(stg: &Stg, rg: &ReachabilityGraph) -> Result<Vec<bool>, StgError> {
+/// never-switching signals default to 0). Shared by every state-space
+/// backend.
+pub(crate) fn infer_initial_values(stg: &Stg, ts: &TransitionSystem<TransitionId>) -> Vec<bool> {
     let n = stg.num_signals();
     let mut first_edge: Vec<Option<SignalEdge>> = vec![None; n];
-    // BFS over the reachability graph; the first edge of each signal seen
-    // in BFS order decides. A genuinely contradictory STG will then fail
-    // the consistency propagation in `build`, which re-validates
-    // everything, so BFS order cannot smuggle in a wrong answer silently.
-    let mut visited = vec![false; rg.num_states()];
+    // BFS over the transition structure; the first edge of each signal
+    // seen in BFS order decides. A genuinely contradictory STG will then
+    // fail the consistency propagation in `propagate_codes`, which
+    // re-validates everything, so BFS order cannot smuggle in a wrong
+    // answer silently.
+    let mut visited = vec![false; ts.num_states()];
     let mut queue = VecDeque::new();
     visited[0] = true;
     queue.push_back(0usize);
     while let Some(s) = queue.pop_front() {
-        for (&t, to) in rg.ts().successors(s) {
+        for (&t, to) in ts.successors(s) {
             if let Some(l) = stg.label(t) {
                 let slot = &mut first_edge[l.signal.index()];
                 if slot.is_none() {
@@ -294,12 +263,59 @@ fn infer_initial_values(stg: &Stg, rg: &ReachabilityGraph) -> Result<Vec<bool>, 
             }
         }
     }
-    Ok(first_edge
+    first_edge
         .into_iter()
         .map(|e| match e {
             Some(SignalEdge::Rise) | None => false,
             Some(SignalEdge::Fall) => true,
         })
+        .collect()
+}
+
+/// Propagates binary codes from state `0` over the transition structure,
+/// validating consistency (§2.1) along the way. Shared by every
+/// state-space backend: each backend supplies its own reachable-state
+/// structure; the signal interpretation is identical.
+pub(crate) fn propagate_codes(
+    stg: &Stg,
+    ts: &TransitionSystem<TransitionId>,
+    initial_values: &[bool],
+) -> Result<Vec<Vec<bool>>, StgError> {
+    let mut codes: Vec<Option<Vec<bool>>> = vec![None; ts.num_states()];
+    codes[0] = Some(initial_values.to_vec());
+    let mut queue = VecDeque::new();
+    queue.push_back(0usize);
+    while let Some(s) = queue.pop_front() {
+        let code = codes[s].clone().expect("queued states are coded");
+        for (&t, to) in ts.successors(s) {
+            let mut next = code.clone();
+            if let Some(label) = stg.label(t) {
+                let idx = label.signal.index();
+                let expected_before = !label.edge.value_after();
+                if next[idx] != expected_before {
+                    return Err(StgError::InconsistentEdge {
+                        transition: stg.label_string(t),
+                        state: s,
+                    });
+                }
+                next[idx] = label.edge.value_after();
+            }
+            match &codes[to] {
+                Some(existing) => {
+                    if *existing != next {
+                        return Err(StgError::InconsistentCode { state: to });
+                    }
+                }
+                None => {
+                    codes[to] = Some(next);
+                    queue.push_back(to);
+                }
+            }
+        }
+    }
+    Ok(codes
+        .into_iter()
+        .map(|c| c.expect("state spaces are connected from state 0"))
         .collect())
 }
 

@@ -1,0 +1,216 @@
+//! Pluggable state-space backends.
+//!
+//! Every synthesis and verification stage consumes a [`StateSpace`] — the
+//! abstract "binary-coded reachable states + transition structure" view —
+//! instead of a concrete [`StateGraph`]. Two implementations exist:
+//!
+//! * [`StateGraph`] — the explicit breadth-first token-game construction
+//!   of §1.4 (the seed implementation);
+//! * [`crate::SymbolicStateSpace`] — BDD-based symbolic traversal in the
+//!   spirit of §2.2, backed by `petri::symbolic`.
+//!
+//! [`Backend`] selects between them at run time and is what the staged
+//! `Synthesis` pipeline and the CLI expose.
+
+use std::fmt;
+use std::str::FromStr;
+
+use petri::{Marking, TransitionId, TransitionSystem};
+
+use crate::model::{SignalEdge, SignalId, Stg};
+use crate::state_graph::{StateGraph, StgError};
+use crate::symbolic::SymbolicStateSpace;
+
+/// The state space of an STG: binary-coded reachable states over a
+/// labelled transition structure.
+///
+/// States are dense indices `0..num_states()` with state `0` initial.
+/// Implementations must satisfy the same invariants the explicit
+/// [`StateGraph`] establishes: every state is reachable from state `0`,
+/// codes are consistent along arcs, and arcs are labelled with net
+/// transitions.
+pub trait StateSpace: fmt::Debug + Send + Sync {
+    /// Number of states.
+    fn num_states(&self) -> usize;
+
+    /// Number of signals in each binary code.
+    fn num_signals(&self) -> usize;
+
+    /// The binary code of state `i`, indexed by [`SignalId`].
+    fn code(&self, i: usize) -> &[bool];
+
+    /// The net marking of state `i`.
+    fn marking(&self, i: usize) -> &Marking;
+
+    /// The transition structure (state `0` initial, arcs labelled with net
+    /// transitions).
+    fn ts(&self) -> &TransitionSystem<TransitionId>;
+
+    /// The (possibly inferred) initial signal values.
+    fn initial_values(&self) -> &[bool];
+
+    /// Which backend produced this space.
+    fn backend(&self) -> Backend;
+
+    /// Value of signal `sig` in state `i`.
+    fn value(&self, i: usize, sig: SignalId) -> bool {
+        self.code(i)[sig.index()]
+    }
+
+    /// Successor state along a given transition, if enabled.
+    fn successor(&self, state: usize, t: TransitionId) -> Option<usize> {
+        self.ts().successor_by_label(state, &t)
+    }
+
+    /// The signal edges enabled (excited) in state `i`, as
+    /// `(transition, signal, edge)` triples; dummies are skipped.
+    fn excitations(&self, stg: &Stg, i: usize) -> Vec<(TransitionId, SignalId, SignalEdge)> {
+        let mut out = Vec::new();
+        for (&t, _) in self.ts().successors(i) {
+            if let Some(l) = stg.label(t) {
+                out.push((t, l.signal, l.edge));
+            }
+        }
+        out.sort_by_key(|&(t, _, _)| t);
+        out.dedup();
+        out
+    }
+
+    /// `true` if signal `sig` is excited (has an enabled edge) in state `i`.
+    fn is_excited(&self, stg: &Stg, i: usize, sig: SignalId) -> bool {
+        self.excitations(stg, i).iter().any(|&(_, s, _)| s == sig)
+    }
+
+    /// The paper's state rendering: binary code with `*` after each
+    /// excited signal.
+    fn code_string(&self, stg: &Stg, i: usize) -> String {
+        let excited: Vec<SignalId> = self
+            .excitations(stg, i)
+            .iter()
+            .map(|&(_, s, _)| s)
+            .collect();
+        let mut out = String::new();
+        for s in stg.signals() {
+            out.push(if self.code(i)[s.index()] { '1' } else { '0' });
+            if excited.contains(&s) {
+                out.push('*');
+            }
+        }
+        out
+    }
+
+    /// The plain binary code of state `i` as a `0`/`1` string.
+    fn plain_code_string(&self, i: usize) -> String {
+        self.code(i)
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect()
+    }
+
+    /// States whose code equals `code`.
+    fn states_with_code(&self, code: &[bool]) -> Vec<usize> {
+        (0..self.num_states())
+            .filter(|&i| self.code(i) == code)
+            .collect()
+    }
+}
+
+impl StateSpace for StateGraph {
+    fn num_states(&self) -> usize {
+        StateGraph::num_states(self)
+    }
+
+    fn num_signals(&self) -> usize {
+        StateGraph::num_signals(self)
+    }
+
+    fn code(&self, i: usize) -> &[bool] {
+        &self.state(i).code
+    }
+
+    fn marking(&self, i: usize) -> &Marking {
+        &self.state(i).marking
+    }
+
+    fn ts(&self) -> &TransitionSystem<TransitionId> {
+        StateGraph::ts(self)
+    }
+
+    fn initial_values(&self) -> &[bool] {
+        StateGraph::initial_values(self)
+    }
+
+    fn backend(&self) -> Backend {
+        Backend::Explicit
+    }
+}
+
+/// Selects the engine used to build [`StateSpace`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Explicit breadth-first reachability ([`StateGraph`], §1.4).
+    #[default]
+    Explicit,
+    /// BDD-based symbolic traversal ([`SymbolicStateSpace`], §2.2).
+    Symbolic,
+}
+
+impl Backend {
+    /// The backend's canonical lowercase name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Explicit => "explicit",
+            Backend::Symbolic => "symbolic",
+        }
+    }
+
+    /// Builds the state space of `stg` with this backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StgError`] exactly as the explicit builder does: unsafe
+    /// nets report boundedness failures, inconsistent specifications
+    /// report the offending edge or state.
+    pub fn build(self, stg: &Stg) -> Result<Box<dyn StateSpace>, StgError> {
+        self.build_bounded(stg, 1_000_000)
+    }
+
+    /// Like [`Backend::build`] with an explicit state limit.
+    ///
+    /// # Errors
+    ///
+    /// See [`Backend::build`].
+    pub fn build_bounded(
+        self,
+        stg: &Stg,
+        max_states: usize,
+    ) -> Result<Box<dyn StateSpace>, StgError> {
+        match self {
+            Backend::Explicit => Ok(Box::new(StateGraph::build_bounded(stg, max_states)?)),
+            Backend::Symbolic => Ok(Box::new(SymbolicStateSpace::build_bounded(
+                stg, max_states,
+            )?)),
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "explicit" => Ok(Backend::Explicit),
+            "symbolic" => Ok(Backend::Symbolic),
+            other => Err(format!(
+                "unknown backend {other:?} (expected \"explicit\" or \"symbolic\")"
+            )),
+        }
+    }
+}

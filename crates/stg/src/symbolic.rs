@@ -1,0 +1,209 @@
+//! The symbolic state-space backend (§2.2).
+//!
+//! Reachability is computed by `petri::symbolic`'s BDD fixed-point
+//! traversal instead of explicit breadth-first search; the reachable
+//! markings are then decoded from the characteristic function, numbered
+//! (initial marking first, then BDD enumeration order) and annotated with
+//! binary signal codes by the same consistency-checking propagation the
+//! explicit builder uses. Synthesis stages consume the result through the
+//! [`StateSpace`] trait and cannot tell the backends apart — which is
+//! exactly what the backend-parity tests assert.
+
+use std::collections::HashMap;
+
+use bdd::{Bdd, Manager};
+use petri::reach::ReachError;
+use petri::symbolic::{current_var, symbolic_reachability_bounded, unsafe_witness};
+use petri::{Marking, PetriNet, TransitionId, TransitionSystem};
+
+use crate::model::Stg;
+use crate::state_graph::{infer_initial_values, propagate_codes, SgState, StgError};
+use crate::state_space::{Backend, StateSpace};
+
+/// Statistics of the symbolic traversal that produced a state space.
+#[derive(Debug, Clone, Copy)]
+pub struct SymbolicStats {
+    /// Number of reachable markings counted on the BDD.
+    pub num_markings: u128,
+    /// Image-computation iterations until the fixed point.
+    pub iterations: usize,
+    /// Nodes allocated in the BDD manager.
+    pub bdd_nodes: usize,
+}
+
+/// A state space built by BDD-based symbolic traversal.
+#[derive(Debug, Clone)]
+pub struct SymbolicStateSpace {
+    states: Vec<SgState>,
+    ts: TransitionSystem<TransitionId>,
+    initial_values: Vec<bool>,
+    num_signals: usize,
+    stats: SymbolicStats,
+}
+
+impl SymbolicStateSpace {
+    /// Builds the state space symbolically.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`StgError`]s as [`crate::StateGraph::build`]:
+    /// boundedness failures for unsafe nets (detected symbolically),
+    /// consistency violations from the shared code propagation.
+    pub fn build(stg: &Stg) -> Result<Self, StgError> {
+        Self::build_bounded(stg, 1_000_000)
+    }
+
+    /// Like [`SymbolicStateSpace::build`] with an explicit state limit.
+    ///
+    /// # Errors
+    ///
+    /// See [`SymbolicStateSpace::build`].
+    pub fn build_bounded(stg: &Stg, max_states: usize) -> Result<Self, StgError> {
+        let net = stg.net();
+        if !net.initial_marking().is_safe() {
+            return Err(StgError::Reach(ReachError::BoundExceeded(
+                net.initial_marking(),
+            )));
+        }
+        let mut sym = symbolic_reachability_bounded(net, max_states as u128)
+            .map_err(|_| StgError::Reach(ReachError::StateLimit(max_states)))?;
+        if let Some(witness) = unsafe_witness(net, &mut sym) {
+            return Err(StgError::Reach(ReachError::BoundExceeded(witness)));
+        }
+        let stats = SymbolicStats {
+            num_markings: sym.num_markings,
+            iterations: sym.iterations,
+            bdd_nodes: sym.manager.node_count(),
+        };
+
+        // Decode the characteristic function into concrete markings, then
+        // place the initial marking at index 0 (every consumer assumes
+        // state 0 is initial).
+        let mut markings = enumerate_markings(&sym.manager, sym.reached, net);
+        let m0 = net.initial_marking();
+        let pos = markings
+            .iter()
+            .position(|m| *m == m0)
+            .expect("initial marking is in its own reachability set");
+        markings.swap(0, pos);
+        let index: HashMap<Marking, usize> = markings
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, m)| (m, i))
+            .collect();
+
+        // Arcs by firing each transition from each decoded marking. This
+        // iterates the *decoded set* — no frontier search: reachability
+        // came from the fixed point above.
+        let mut ts = TransitionSystem::new(markings.len(), 0);
+        for (i, m) in markings.iter().enumerate() {
+            for t in net.transitions() {
+                if let Some(next) = net.fire(m, t) {
+                    let j = *index
+                        .get(&next)
+                        .expect("successor of a reachable marking is reachable");
+                    ts.add_arc(i, t, j);
+                }
+            }
+        }
+
+        let initial_values = match stg.initial_values() {
+            Some(v) => v.to_vec(),
+            None => infer_initial_values(stg, &ts),
+        };
+        let codes = propagate_codes(stg, &ts, &initial_values)?;
+        let states: Vec<SgState> = markings
+            .into_iter()
+            .zip(codes)
+            .map(|(marking, code)| SgState { marking, code })
+            .collect();
+        Ok(SymbolicStateSpace {
+            states,
+            ts,
+            initial_values,
+            num_signals: stg.num_signals(),
+            stats,
+        })
+    }
+
+    /// Statistics of the underlying BDD traversal.
+    #[must_use]
+    pub fn stats(&self) -> SymbolicStats {
+        self.stats
+    }
+}
+
+impl StateSpace for SymbolicStateSpace {
+    fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    fn num_signals(&self) -> usize {
+        self.num_signals
+    }
+
+    fn code(&self, i: usize) -> &[bool] {
+        &self.states[i].code
+    }
+
+    fn marking(&self, i: usize) -> &Marking {
+        &self.states[i].marking
+    }
+
+    fn ts(&self) -> &TransitionSystem<TransitionId> {
+        &self.ts
+    }
+
+    fn initial_values(&self) -> &[bool] {
+        &self.initial_values
+    }
+
+    fn backend(&self) -> Backend {
+        Backend::Symbolic
+    }
+}
+
+/// Decodes every satisfying assignment of `reached` (over the
+/// current-state variables) into a marking, in lexicographic place order.
+/// Free variables branch both ways, so the enumeration is exact even when
+/// a place's value is unconstrained.
+fn enumerate_markings(m: &Manager, reached: Bdd, net: &PetriNet) -> Vec<Marking> {
+    let places: Vec<_> = net.places().collect();
+    let mut out = Vec::new();
+    let mut counts = vec![0u32; places.len()];
+    descend(m, reached, &places, 0, &mut counts, &mut out);
+    out
+}
+
+fn descend(
+    m: &Manager,
+    f: Bdd,
+    places: &[petri::PlaceId],
+    idx: usize,
+    counts: &mut Vec<u32>,
+    out: &mut Vec<Marking>,
+) {
+    if f.is_zero() {
+        return;
+    }
+    if idx == places.len() {
+        debug_assert!(
+            f.is_one(),
+            "support of the reached set is the place variables"
+        );
+        out.push(Marking::from_counts(counts.clone()));
+        return;
+    }
+    let v = current_var(places[idx]);
+    let (lo, hi) = if m.root_var(f) == Some(v) {
+        (m.low(f), m.high(f))
+    } else {
+        (f, f)
+    };
+    counts[idx] = 0;
+    descend(m, lo, places, idx + 1, counts, out);
+    counts[idx] = 1;
+    descend(m, hi, places, idx + 1, counts, out);
+    counts[idx] = 0;
+}

@@ -91,7 +91,9 @@ fn vme_read_write_fig5() {
     // The DSr+/DSw+ conflict is an input choice: persistency violations
     // exist but all are InputChoice.
     let violations = persistency_violations(&stg, &sg);
-    assert!(violations.iter().any(|v| v.kind == ViolationKind::InputChoice));
+    assert!(violations
+        .iter()
+        .any(|v| v.kind == ViolationKind::InputChoice));
     assert!(is_persistent(&stg, &sg), "input choice is allowed");
     // Consistent and bounded.
     let report = check_implementability(&stg);
@@ -225,8 +227,14 @@ x-/1 a+
 
 #[test]
 fn parse_g_errors() {
-    assert!(parse_g(".model x\n.graph\nfoo+ bar+\n.end\n").is_err(), "undeclared signal");
-    assert!(parse_g(".model x\n.inputs a\n.end\n").is_err(), "missing graph");
+    assert!(
+        parse_g(".model x\n.graph\nfoo+ bar+\n.end\n").is_err(),
+        "undeclared signal"
+    );
+    assert!(
+        parse_g(".model x\n.inputs a\n.end\n").is_err(),
+        "missing graph"
+    );
     let bad_marking = ".model x\n.inputs a\n.graph\na+ a-\na- a+\n.marking { nosuch }\n.end\n";
     assert!(parse_g(bad_marking).is_err());
 }
@@ -315,4 +323,106 @@ fn excitations_and_regions_of_initial_state() {
     let (_, sig, edge) = exc[0];
     assert_eq!(stg.signal_name(sig), "DSr");
     assert_eq!(edge, crate::SignalEdge::Rise);
+}
+
+mod state_space_backends {
+    use super::*;
+    use crate::state_space::{Backend, StateSpace};
+    use crate::symbolic::SymbolicStateSpace;
+
+    #[test]
+    fn backend_parses_and_displays() {
+        assert_eq!("explicit".parse::<Backend>().unwrap(), Backend::Explicit);
+        assert_eq!("symbolic".parse::<Backend>().unwrap(), Backend::Symbolic);
+        assert!("bdd".parse::<Backend>().is_err());
+        assert_eq!(Backend::Symbolic.to_string(), "symbolic");
+        assert_eq!(Backend::default(), Backend::Explicit);
+    }
+
+    #[test]
+    fn symbolic_space_matches_explicit_on_the_paper_examples() {
+        for spec in [
+            vme_read(),
+            vme_read_csc(),
+            vme_read_write(),
+            micropipeline(2),
+        ] {
+            let explicit = StateGraph::build(&spec).unwrap();
+            let symbolic = SymbolicStateSpace::build(&spec).unwrap();
+            assert_eq!(StateSpace::num_states(&explicit), symbolic.num_states());
+            assert_eq!(
+                symbolic.stats().num_markings,
+                StateSpace::num_states(&explicit) as u128
+            );
+            // Same initial state and code multiset.
+            assert_eq!(
+                StateSpace::plain_code_string(&explicit, 0),
+                symbolic.plain_code_string(0)
+            );
+            let mut a: Vec<String> = (0..StateSpace::num_states(&explicit))
+                .map(|i| StateSpace::plain_code_string(&explicit, i))
+                .collect();
+            let mut b: Vec<String> = (0..symbolic.num_states())
+                .map(|i| symbolic.plain_code_string(i))
+                .collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+            // The transition structures are trace-equivalent automata.
+            let ta = StateSpace::ts(&explicit).map_labels(|&t| spec.label_string(t));
+            let tb = symbolic.ts().map_labels(|&t| spec.label_string(t));
+            assert!(ta.trace_equivalent(&tb), "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn property_checks_are_backend_independent() {
+        for spec in [vme_read(), vme_read_csc(), vme_read_write()] {
+            let explicit = Backend::Explicit.build(&spec).unwrap();
+            let symbolic = Backend::Symbolic.build(&spec).unwrap();
+            assert_eq!(
+                csc_conflicts(&spec, &*explicit).len(),
+                csc_conflicts(&spec, &*symbolic).len()
+            );
+            assert_eq!(
+                is_persistent(&spec, &*explicit),
+                is_persistent(&spec, &*symbolic)
+            );
+            assert_eq!(has_usc(&spec, &*explicit), has_usc(&spec, &*symbolic));
+        }
+    }
+
+    #[test]
+    fn symbolic_space_respects_the_state_limit() {
+        let spec = micropipeline(3); // 500 states
+        assert!(matches!(
+            SymbolicStateSpace::build_bounded(&spec, 100),
+            Err(StgError::Reach(petri::reach::ReachError::StateLimit(100)))
+        ));
+        assert!(SymbolicStateSpace::build_bounded(&spec, 500).is_ok());
+    }
+
+    #[test]
+    fn symbolic_space_detects_unsafe_nets() {
+        // x+ produces into an already-marked place: not safe.
+        let mut b = StgBuilder::new("unsafe");
+        let x = b.add_signal("x", SignalKind::Output);
+        let xp = b.add_edge(x, SignalEdge::Rise);
+        let xm = b.add_edge(x, SignalEdge::Fall);
+        let p = b.add_place("p", 1);
+        let q = b.add_place("q", 1);
+        b.arc_pt(p, xp);
+        b.arc_tp(xp, q);
+        b.arc_pt(q, xm);
+        b.arc_tp(xm, p);
+        let spec = b.build();
+        assert!(matches!(
+            StateGraph::build(&spec),
+            Err(StgError::Reach(petri::reach::ReachError::BoundExceeded(_)))
+        ));
+        assert!(matches!(
+            SymbolicStateSpace::build(&spec),
+            Err(StgError::Reach(petri::reach::ReachError::BoundExceeded(_)))
+        ));
+    }
 }

@@ -14,7 +14,7 @@
 //!    allowed."*
 
 use petri::TransitionId;
-use stg::{SignalEdge, SignalKind, StateGraph, Stg};
+use stg::{Backend, SignalEdge, SignalKind, Stg};
 
 /// Outcome of a successful CSC resolution.
 #[derive(Debug, Clone)]
@@ -40,15 +40,21 @@ pub struct CscResolution {
 /// larger controllers may need multiple signals; apply repeatedly.
 #[must_use]
 pub fn resolve_by_signal_insertion(stg: &Stg) -> Option<CscResolution> {
-    let sg = StateGraph::build(stg).ok()?;
-    if stg::encoding::has_csc(stg, &sg) {
+    resolve_by_signal_insertion_with(stg, Backend::Explicit)
+}
+
+/// [`resolve_by_signal_insertion`] over a chosen state-space backend.
+#[must_use]
+pub fn resolve_by_signal_insertion_with(stg: &Stg, backend: Backend) -> Option<CscResolution> {
+    let sg = backend.build(stg).ok()?;
+    if stg::encoding::has_csc(stg, &*sg) {
         return Some(CscResolution {
             stg: stg.clone(),
             description: "CSC already holds; no insertion needed".to_owned(),
             num_states: sg.num_states(),
         });
     }
-    insertion_candidates(stg).into_iter().next()
+    insertion_candidates_with(stg, backend).into_iter().next()
 }
 
 /// All acceptable single-signal insertions, best first.
@@ -61,6 +67,12 @@ pub fn resolve_by_signal_insertion(stg: &Stg) -> Option<CscResolution> {
 /// the flow driver).
 #[must_use]
 pub fn insertion_candidates(stg: &Stg) -> Vec<CscResolution> {
+    insertion_candidates_with(stg, Backend::Explicit)
+}
+
+/// [`insertion_candidates`] over a chosen state-space backend.
+#[must_use]
+pub fn insertion_candidates_with(stg: &Stg, backend: Backend) -> Vec<CscResolution> {
     let splittable: Vec<TransitionId> = stg
         .net()
         .transitions()
@@ -76,27 +88,27 @@ pub fn insertion_candidates(stg: &Stg) -> Vec<CscResolution> {
                 continue;
             }
             let candidate = insert_state_signal(stg, tp, tm);
-            let Ok(csg) = StateGraph::build_bounded(&candidate, 100_000) else {
+            let Ok(csg) = backend.build_bounded(&candidate, 100_000) else {
                 continue;
             };
-            if !stg::encoding::has_csc(&candidate, &csg) {
+            if !stg::encoding::has_csc(&candidate, &*csg) {
                 continue;
             }
             if !csg.ts().deadlocks().is_empty() {
                 continue;
             }
-            if !stg::persistency::is_persistent(&candidate, &csg) {
+            if !stg::persistency::is_persistent(&candidate, &*csg) {
                 continue;
             }
             let states = csg.num_states();
-            let Ok(equations) = crate::nextstate::all_equations(&candidate, &csg) else {
+            let Ok(equations) = crate::nextstate::all_equations(&candidate, &*csg) else {
                 continue;
             };
             let cost: usize = equations.iter().map(|e| e.cover.literal_count()).sum();
             ranked.push(((states, cost, tp, tm), candidate));
         }
     }
-    ranked.sort_by(|a, b| a.0.cmp(&b.0));
+    ranked.sort_by_key(|r| r.0);
     ranked
         .into_iter()
         .map(|((num_states, _, tp, tm), new_stg)| CscResolution {
@@ -194,8 +206,14 @@ fn next_csc_name(stg: &Stg) -> String {
 /// (checked on determinised label traces).
 #[must_use]
 pub fn resolve_by_concurrency_reduction(stg: &Stg) -> Option<CscResolution> {
-    let sg = StateGraph::build(stg).ok()?;
-    if stg::encoding::has_csc(stg, &sg) {
+    resolve_by_concurrency_reduction_with(stg, Backend::Explicit)
+}
+
+/// [`resolve_by_concurrency_reduction`] over a chosen state-space backend.
+#[must_use]
+pub fn resolve_by_concurrency_reduction_with(stg: &Stg, backend: Backend) -> Option<CscResolution> {
+    let sg = backend.build(stg).ok()?;
+    if stg::encoding::has_csc(stg, &*sg) {
         return Some(CscResolution {
             stg: stg.clone(),
             description: "CSC already holds; no reduction needed".to_owned(),
@@ -216,16 +234,16 @@ pub fn resolve_by_concurrency_reduction(stg: &Stg) -> Option<CscResolution> {
                 continue;
             }
             let candidate = add_ordering_arc(stg, a, b_t);
-            let Ok(csg) = StateGraph::build_bounded(&candidate, 100_000) else {
+            let Ok(csg) = backend.build_bounded(&candidate, 100_000) else {
                 continue;
             };
-            if !stg::encoding::has_csc(&candidate, &csg) {
+            if !stg::encoding::has_csc(&candidate, &*csg) {
                 continue;
             }
             if !csg.ts().deadlocks().is_empty() {
                 continue;
             }
-            if !stg::persistency::is_persistent(&candidate, &csg) {
+            if !stg::persistency::is_persistent(&candidate, &*csg) {
                 continue;
             }
             if csg.num_states() >= sg.num_states() {
@@ -265,11 +283,21 @@ pub fn add_ordering_arc(stg: &Stg, a: TransitionId, b_t: TransitionId) -> Stg {
 /// single-signal search.
 #[must_use]
 pub fn resolve_iteratively(stg: &Stg, max_signals: usize) -> Option<CscResolution> {
+    resolve_iteratively_with(stg, max_signals, Backend::Explicit)
+}
+
+/// [`resolve_iteratively`] over a chosen state-space backend.
+#[must_use]
+pub fn resolve_iteratively_with(
+    stg: &Stg,
+    max_signals: usize,
+    backend: Backend,
+) -> Option<CscResolution> {
     let mut current = stg.clone();
     let mut descriptions: Vec<String> = Vec::new();
     for _ in 0..max_signals {
-        let sg = StateGraph::build_bounded(&current, 200_000).ok()?;
-        let conflicts = stg::encoding::csc_conflicts(&current, &sg).len();
+        let sg = backend.build_bounded(&current, 200_000).ok()?;
+        let conflicts = stg::encoding::csc_conflicts(&current, &*sg).len();
         if conflicts == 0 {
             return Some(CscResolution {
                 stg: current,
@@ -297,16 +325,16 @@ pub fn resolve_iteratively(stg: &Stg, max_signals: usize) -> Option<CscResolutio
                     continue;
                 }
                 let candidate = insert_state_signal(&current, tp, tm);
-                let Ok(csg) = StateGraph::build_bounded(&candidate, 200_000) else {
+                let Ok(csg) = backend.build_bounded(&candidate, 200_000) else {
                     continue;
                 };
                 if !csg.ts().deadlocks().is_empty() {
                     continue;
                 }
-                if !stg::persistency::is_persistent(&candidate, &csg) {
+                if !stg::persistency::is_persistent(&candidate, &*csg) {
                     continue;
                 }
-                let remaining = stg::encoding::csc_conflicts(&candidate, &csg).len();
+                let remaining = stg::encoding::csc_conflicts(&candidate, &*csg).len();
                 if remaining >= conflicts {
                     continue; // must make progress
                 }
@@ -326,8 +354,8 @@ pub fn resolve_iteratively(stg: &Stg, max_signals: usize) -> Option<CscResolutio
         current = next;
     }
     // Out of budget: accept only if CSC now holds.
-    let sg = StateGraph::build_bounded(&current, 200_000).ok()?;
-    if stg::encoding::has_csc(&current, &sg) {
+    let sg = backend.build_bounded(&current, 200_000).ok()?;
+    if stg::encoding::has_csc(&current, &*sg) {
         Some(CscResolution {
             stg: current,
             description: descriptions.join("; "),
@@ -348,11 +376,17 @@ pub fn resolve_iteratively(stg: &Stg, max_signals: usize) -> Option<CscResolutio
 /// for the cross-branch conflicts and an insertion for the in-branch one.
 #[must_use]
 pub fn resolve_mixed(stg: &Stg, max_steps: usize) -> Option<CscResolution> {
+    resolve_mixed_with(stg, max_steps, Backend::Explicit)
+}
+
+/// [`resolve_mixed`] over a chosen state-space backend.
+#[must_use]
+pub fn resolve_mixed_with(stg: &Stg, max_steps: usize, backend: Backend) -> Option<CscResolution> {
     let mut current = stg.clone();
     let mut descriptions: Vec<String> = Vec::new();
     for _ in 0..=max_steps {
-        let sg = StateGraph::build_bounded(&current, 200_000).ok()?;
-        let conflicts = stg::encoding::csc_conflicts(&current, &sg).len();
+        let sg = backend.build_bounded(&current, 200_000).ok()?;
+        let conflicts = stg::encoding::csc_conflicts(&current, &*sg).len();
         if conflicts == 0 {
             return Some(CscResolution {
                 stg: current,
@@ -369,25 +403,26 @@ pub fn resolve_mixed(stg: &Stg, max_steps: usize) -> Option<CscResolution> {
         }
         // Candidate moves, scored by (remaining conflicts, states).
         let mut best: Option<((usize, usize), Stg, String)> = None;
-        let consider = |cand: Stg, desc: String, best: &mut Option<((usize, usize), Stg, String)>| {
-            let Ok(csg) = StateGraph::build_bounded(&cand, 200_000) else {
-                return;
+        let consider =
+            |cand: Stg, desc: String, best: &mut Option<((usize, usize), Stg, String)>| {
+                let Ok(csg) = backend.build_bounded(&cand, 200_000) else {
+                    return;
+                };
+                if !csg.ts().deadlocks().is_empty() {
+                    return;
+                }
+                if !stg::persistency::is_persistent(&cand, &*csg) {
+                    return;
+                }
+                let rem = stg::encoding::csc_conflicts(&cand, &*csg).len();
+                if rem >= conflicts {
+                    return;
+                }
+                let key = (rem, csg.num_states());
+                if best.as_ref().is_none_or(|(bk, _, _)| key < *bk) {
+                    *best = Some((key, cand, desc));
+                }
             };
-            if !csg.ts().deadlocks().is_empty() {
-                return;
-            }
-            if !stg::persistency::is_persistent(&cand, &csg) {
-                return;
-            }
-            let rem = stg::encoding::csc_conflicts(&cand, &csg).len();
-            if rem >= conflicts {
-                return;
-            }
-            let key = (rem, csg.num_states());
-            if best.as_ref().is_none_or(|(bk, _, _)| key < *bk) {
-                *best = Some((key, cand, desc));
-            }
-        };
         let transitions: Vec<TransitionId> = current.net().transitions().collect();
         let splittable: Vec<TransitionId> = transitions
             .iter()

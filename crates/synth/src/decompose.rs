@@ -86,8 +86,7 @@ pub fn decompose(stg: &Stg, circuit: &ComplexGateCircuit, max_fanin: usize) -> D
     let num_inputs = netlist.num_nets();
     let first_output = num_inputs + internal_gates.len();
     for (i, eq) in circuit.equations().iter().enumerate() {
-        signal_nets[eq.signal.index()] =
-            Some(crate::netlist::NetId((first_output + i) as u32));
+        signal_nets[eq.signal.index()] = Some(crate::netlist::NetId((first_output + i) as u32));
     }
     let internal_net_of = |slot: usize| crate::netlist::NetId((num_inputs + slot) as u32);
     // Pass 2: emit internal gates (they may reference signal outputs and
@@ -134,7 +133,10 @@ pub fn decompose(stg: &Stg, circuit: &ComplexGateCircuit, max_fanin: usize) -> D
     }
     DecomposedCircuit {
         netlist,
-        signal_nets: signal_nets.into_iter().map(|n| n.expect("assigned")).collect(),
+        signal_nets: signal_nets
+            .into_iter()
+            .map(|n| n.expect("assigned"))
+            .collect(),
         new_nets,
     }
 }
@@ -252,9 +254,9 @@ fn gate_from_children(
 /// minimiser lands on the multiply-acknowledged solution of Fig. 9a
 /// (`D = LDTACK·map0` instead of `D = LDTACK·csc0`).
 #[must_use]
-pub fn resubstitute(
+pub fn resubstitute<S: stg::StateSpace + ?Sized>(
     stg: &Stg,
-    sg: &stg::StateGraph,
+    sg: &S,
     dec: &DecomposedCircuit,
 ) -> DecomposedCircuit {
     use boolmin::{minimize_exact, Cover, Cube, IncompleteFunction};
@@ -283,7 +285,10 @@ pub fn resubstitute(
                 }
             }
         }
-        let mut code: Vec<bool> = stg.signals().map(|s| values[dec.signal_net(s).index()]).collect();
+        let mut code: Vec<bool> = stg
+            .signals()
+            .map(|s| values[dec.signal_net(s).index()])
+            .collect();
         for n in &internal_nets {
             code.push(values[n.index()]);
         }
@@ -298,7 +303,10 @@ pub fn resubstitute(
         let on_states = regions.on_states();
         let mut on = Cover::from_cubes(
             num_ext,
-            on_states.iter().map(|&s| Cube::from_minterm(&ext_codes[s])).collect(),
+            on_states
+                .iter()
+                .map(|&s| Cube::from_minterm(&ext_codes[s]))
+                .collect(),
         );
         on.remove_contained();
         let mut off = Cover::from_cubes(
@@ -385,7 +393,10 @@ pub fn resubstitute(
     }
     DecomposedCircuit {
         netlist: out,
-        signal_nets: signal_nets.into_iter().map(|n| n.expect("assigned")).collect(),
+        signal_nets: signal_nets
+            .into_iter()
+            .map(|n| n.expect("assigned"))
+            .collect(),
         new_nets,
     }
 }

@@ -4,7 +4,7 @@
 //! hazard-free.
 
 use boolmin::{minimize_exact, Cover, Cube, Expr, IncompleteFunction};
-use stg::{SignalId, StateGraph, Stg};
+use stg::{SignalId, StateSpace, Stg};
 
 use crate::netlist::{GateKind, NetId, Netlist};
 use crate::nextstate::SynthesisError;
@@ -75,9 +75,9 @@ impl LatchCircuit {
 ///
 /// [`SynthesisError`] on inputs or CSC conflicts (a state code required
 /// both inside and outside an excitation region).
-pub fn set_reset_covers(
+pub fn set_reset_covers<S: StateSpace + ?Sized>(
     stg: &Stg,
-    sg: &StateGraph,
+    sg: &S,
     signal: SignalId,
 ) -> Result<SetResetCovers, SynthesisError> {
     if !stg.signal_kind(signal).is_non_input() {
@@ -92,7 +92,7 @@ pub fn set_reset_covers(
             n,
             states
                 .iter()
-                .map(|&s| Cube::from_minterm(&sg.state(s).code))
+                .map(|&s| Cube::from_minterm(sg.code(s)))
                 .collect(),
         );
         c.remove_contained();
@@ -106,10 +106,12 @@ pub fn set_reset_covers(
 
     let conflict = |on: &Cover, off: &Cover| -> Option<String> {
         let overlap = on.intersect(off);
-        overlap
-            .cubes()
-            .first()
-            .map(|c| c.minterms()[0].iter().map(|&b| if b { '1' } else { '0' }).collect())
+        overlap.cubes().first().map(|c| {
+            c.minterms()[0]
+                .iter()
+                .map(|&b| if b { '1' } else { '0' })
+                .collect()
+        })
     };
     // Set network: on = ER(z+), off = ER(z−) ∪ QR(z−), dc = QR(z+) ∪ unreachable.
     let set_off = er_m.union(&qr_m);
@@ -146,9 +148,9 @@ pub fn set_reset_covers(
 /// # Errors
 ///
 /// Propagates the first per-signal failure from [`set_reset_covers`].
-pub fn synthesize_latch_circuit(
+pub fn synthesize_latch_circuit<S: StateSpace + ?Sized>(
     stg: &Stg,
-    sg: &StateGraph,
+    sg: &S,
     style: LatchStyle,
 ) -> Result<LatchCircuit, SynthesisError> {
     let mut covers = Vec::new();
@@ -182,11 +184,12 @@ pub fn synthesize_latch_circuit(
         plan.push((c.signal, needs_set, needs_reset));
     }
     let num_inputs = netlist.num_nets();
-    let network_gates: usize = plan.iter().map(|&(_, s, r)| usize::from(s) + usize::from(r)).sum();
-    let mut latch_net = num_inputs + network_gates;
-    for c in &covers {
+    let network_gates: usize = plan
+        .iter()
+        .map(|&(_, s, r)| usize::from(s) + usize::from(r))
+        .sum();
+    for (latch_net, c) in (num_inputs + network_gates..).zip(covers.iter()) {
         signal_nets[c.signal.index()] = Some(crate::netlist::NetId(latch_net as u32));
-        latch_net += 1;
     }
     // Emit network gates.
     let mut set_nets: Vec<NetId> = Vec::new();
@@ -242,7 +245,10 @@ pub fn synthesize_latch_circuit(
         style,
         covers,
         netlist,
-        signal_nets: signal_nets.into_iter().map(|n| n.expect("assigned")).collect(),
+        signal_nets: signal_nets
+            .into_iter()
+            .map(|n| n.expect("assigned"))
+            .collect(),
     })
 }
 
@@ -261,11 +267,7 @@ fn literal_net(signal_nets: &[Option<NetId>], cover: &Cover) -> NetId {
 }
 
 /// Builds `(expr over positions, ordered input nets)` for a cover.
-fn cover_gate(
-    stg: &Stg,
-    signal_nets: &[Option<NetId>],
-    cover: &Cover,
-) -> (Expr, Vec<NetId>) {
+fn cover_gate(stg: &Stg, signal_nets: &[Option<NetId>], cover: &Cover) -> (Expr, Vec<NetId>) {
     let support: Vec<usize> = (0..stg.num_signals())
         .filter(|&v| {
             cover
@@ -309,9 +311,9 @@ pub struct MonotonicViolation {
 /// Checks the monotonous-cover requirement: within `ER(z+)` no set-cover
 /// cube may switch from 1 to 0 before `z+` fires (and dually for reset).
 #[must_use]
-pub fn monotonic_violations(
+pub fn monotonic_violations<S: StateSpace + ?Sized>(
     stg: &Stg,
-    sg: &StateGraph,
+    sg: &S,
     covers: &[SetResetCovers],
 ) -> Vec<MonotonicViolation> {
     let mut out = Vec::new();
@@ -323,8 +325,8 @@ pub fn monotonic_violations(
         ] {
             for (from, _t, to) in sg.ts().arcs() {
                 if er.contains(from) && er.contains(to) {
-                    let vf = cover.covers_minterm(&sg.state(*from).code);
-                    let vt = cover.covers_minterm(&sg.state(*to).code);
+                    let vf = cover.covers_minterm(sg.code(*from));
+                    let vt = cover.covers_minterm(sg.code(*to));
                     if vf && !vt {
                         out.push(MonotonicViolation {
                             signal: c.signal,
@@ -363,8 +365,7 @@ impl LatchCircuit {
         }
         let num_inputs = netlist.num_nets();
         for (k, c) in self.covers.iter().enumerate() {
-            signal_nets[c.signal.index()] =
-                Some(crate::netlist::NetId((num_inputs + k) as u32));
+            signal_nets[c.signal.index()] = Some(crate::netlist::NetId((num_inputs + k) as u32));
         }
         for c in &self.covers {
             // Support: signals used by either cover, plus the signal itself

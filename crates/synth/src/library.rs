@@ -163,7 +163,10 @@ fn classify(kind: &GateKind, fanin: usize, lib: &Library) -> Result<Cell, String
         }
         GateKind::Complex(e) => {
             if fanin > lib.max_fanin {
-                return Err(format!("fan-in {fanin} exceeds library cap {}", lib.max_fanin));
+                return Err(format!(
+                    "fan-in {fanin} exceeds library cap {}",
+                    lib.max_fanin
+                ));
             }
             classify_expr(e, lib)
         }
@@ -175,7 +178,9 @@ fn classify_expr(e: &Expr, lib: &Library) -> Result<Cell, String> {
         return Ok(cell);
     }
     if lib.has_complex_cells && is_sop(e) {
-        return Ok(Cell::Aoi { literals: e.literal_count() });
+        return Ok(Cell::Aoi {
+            literals: e.literal_count(),
+        });
     }
     Err(format!("no cell implements {e}"))
 }
@@ -189,20 +194,24 @@ fn simple_cell(e: &Expr) -> Option<Cell> {
         Expr::Var(_) => Some(Cell::Inverter(true)),
         Expr::Not(inner) => match &**inner {
             Expr::Var(_) => Some(Cell::Inverter(false)),
-            Expr::And(parts) if parts.iter().all(is_literal) => {
-                Some(Cell::And { fanin: parts.len(), negated: true })
-            }
-            Expr::Or(parts) if parts.iter().all(is_literal) => {
-                Some(Cell::Or { fanin: parts.len(), negated: true })
-            }
+            Expr::And(parts) if parts.iter().all(is_literal) => Some(Cell::And {
+                fanin: parts.len(),
+                negated: true,
+            }),
+            Expr::Or(parts) if parts.iter().all(is_literal) => Some(Cell::Or {
+                fanin: parts.len(),
+                negated: true,
+            }),
             _ => None,
         },
-        Expr::And(parts) if parts.iter().all(is_literal) => {
-            Some(Cell::And { fanin: parts.len(), negated: false })
-        }
-        Expr::Or(parts) if parts.iter().all(is_literal) => {
-            Some(Cell::Or { fanin: parts.len(), negated: false })
-        }
+        Expr::And(parts) if parts.iter().all(is_literal) => Some(Cell::And {
+            fanin: parts.len(),
+            negated: false,
+        }),
+        Expr::Or(parts) if parts.iter().all(is_literal) => Some(Cell::Or {
+            fanin: parts.len(),
+            negated: false,
+        }),
         _ => None,
     }
 }

@@ -134,7 +134,11 @@ impl Netlist {
         }
         let gate_idx = self.gates.len();
         let out = self.add_net(name.into(), Some(gate_idx));
-        self.gates.push(Gate { output: out, kind, inputs });
+        self.gates.push(Gate {
+            output: out,
+            kind,
+            inputs,
+        });
         out
     }
 

@@ -8,7 +8,7 @@
 use std::fmt;
 
 use boolmin::{minimize_exact, minimize_heuristic, Cover, Cube, IncompleteFunction};
-use stg::{SignalId, StateGraph, Stg};
+use stg::{SignalId, StateSpace, Stg};
 
 use crate::regions::signal_regions;
 
@@ -78,9 +78,9 @@ impl Equation {
 /// [`SynthesisError::InputSignal`] for inputs;
 /// [`SynthesisError::CscConflict`] if two equal-coded states imply
 /// different function values.
-pub fn derive_function(
+pub fn derive_function<S: StateSpace + ?Sized>(
     stg: &Stg,
-    sg: &StateGraph,
+    sg: &S,
     signal: SignalId,
 ) -> Result<IncompleteFunction, SynthesisError> {
     if !stg.signal_kind(signal).is_non_input() {
@@ -96,12 +96,12 @@ pub fn derive_function(
     let mut on_codes: std::collections::HashSet<Vec<bool>> = std::collections::HashSet::new();
     let mut off_codes: std::collections::HashSet<Vec<bool>> = std::collections::HashSet::new();
     for s in regions.on_states() {
-        let code = sg.state(s).code.clone();
+        let code = sg.code(s).to_vec();
         on_codes.insert(code.clone());
         on_cubes.push(Cube::from_minterm(&code));
     }
     for s in regions.off_states() {
-        let code = sg.state(s).code.clone();
+        let code = sg.code(s).to_vec();
         off_codes.insert(code.clone());
         off_cubes.push(Cube::from_minterm(&code));
     }
@@ -125,14 +125,18 @@ pub fn derive_function(
 /// # Errors
 ///
 /// See [`derive_function`].
-pub fn equation_exact(
+pub fn equation_exact<S: StateSpace + ?Sized>(
     stg: &Stg,
-    sg: &StateGraph,
+    sg: &S,
     signal: SignalId,
 ) -> Result<Equation, SynthesisError> {
     let function = derive_function(stg, sg, signal)?;
     let cover = minimize_exact(&function);
-    Ok(Equation { signal, cover, function })
+    Ok(Equation {
+        signal,
+        cover,
+        function,
+    })
 }
 
 /// Derives and heuristically minimises the equation of one signal (for
@@ -141,14 +145,18 @@ pub fn equation_exact(
 /// # Errors
 ///
 /// See [`derive_function`].
-pub fn equation_heuristic(
+pub fn equation_heuristic<S: StateSpace + ?Sized>(
     stg: &Stg,
-    sg: &StateGraph,
+    sg: &S,
     signal: SignalId,
 ) -> Result<Equation, SynthesisError> {
     let function = derive_function(stg, sg, signal)?;
     let cover = minimize_heuristic(&function);
-    Ok(Equation { signal, cover, function })
+    Ok(Equation {
+        signal,
+        cover,
+        function,
+    })
 }
 
 /// Equations for all non-input signals (exact minimisation).
@@ -156,7 +164,10 @@ pub fn equation_heuristic(
 /// # Errors
 ///
 /// Fails on the first CSC conflict, identifying the offending signal.
-pub fn all_equations(stg: &Stg, sg: &StateGraph) -> Result<Vec<Equation>, SynthesisError> {
+pub fn all_equations<S: StateSpace + ?Sized>(
+    stg: &Stg,
+    sg: &S,
+) -> Result<Vec<Equation>, SynthesisError> {
     stg.non_input_signals()
         .into_iter()
         .map(|s| equation_exact(stg, sg, s))

@@ -4,7 +4,7 @@
 //! positive and negative excitation regions (ER(z+) and ER(z−)) and
 //! positive and negative quiescent regions (QR(z+) and QR(z−))."*
 
-use stg::{SignalEdge, SignalId, StateGraph, Stg};
+use stg::{SignalEdge, SignalId, StateSpace, Stg};
 
 /// The four-region classification of the state graph for one signal.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,7 +57,11 @@ impl SignalRegions {
 
 /// Computes the four regions of `signal` over the state graph.
 #[must_use]
-pub fn signal_regions(stg: &Stg, sg: &StateGraph, signal: SignalId) -> SignalRegions {
+pub fn signal_regions<S: StateSpace + ?Sized>(
+    stg: &Stg,
+    sg: &S,
+    signal: SignalId,
+) -> SignalRegions {
     let mut r = SignalRegions {
         signal,
         er_plus: Vec::new(),
@@ -84,7 +88,7 @@ pub fn signal_regions(stg: &Stg, sg: &StateGraph, signal: SignalId) -> SignalReg
 
 /// Regions for every non-input signal, in signal order.
 #[must_use]
-pub fn all_output_regions(stg: &Stg, sg: &StateGraph) -> Vec<SignalRegions> {
+pub fn all_output_regions<S: StateSpace + ?Sized>(stg: &Stg, sg: &S) -> Vec<SignalRegions> {
     stg.non_input_signals()
         .into_iter()
         .map(|s| signal_regions(stg, sg, s))

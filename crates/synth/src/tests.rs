@@ -38,13 +38,22 @@ fn next_state_function_lds_matches_paper_table() {
     let f = derive_function(&stg, &sg, lds).unwrap();
     // Signal order: DSr, DTACK, LDTACK, LDS, D, csc0.
     // State 100001 (DSr high, csc0 high): ER(LDS+) => f = 1.
-    assert_eq!(f.value(&[true, false, false, false, false, true]), Some(true));
+    assert_eq!(
+        f.value(&[true, false, false, false, false, true]),
+        Some(true)
+    );
     // State 101111: QR(LDS+) => 1.
     assert_eq!(f.value(&[true, false, true, true, true, true]), Some(true));
     // State 101100 (LDS high, csc0 low): ER(LDS-) => 0.
-    assert_eq!(f.value(&[true, false, true, true, false, false]), Some(false));
+    assert_eq!(
+        f.value(&[true, false, true, true, false, false]),
+        Some(false)
+    );
     // State 000000: QR(LDS-) => 0.
-    assert_eq!(f.value(&[false, false, false, false, false, false]), Some(false));
+    assert_eq!(
+        f.value(&[false, false, false, false, false, false]),
+        Some(false)
+    );
 }
 
 #[test]
@@ -130,7 +139,7 @@ fn latch_architectures_build_for_vme() {
     for style in [LatchStyle::CElement, LatchStyle::RsLatch] {
         let circ = synthesize_latch_circuit(&stg, &sg, style).unwrap();
         assert_eq!(circ.covers.len(), 4); // DTACK, LDS, D, csc0
-        // Latches exist for every non-input signal.
+                                          // Latches exist for every non-input signal.
         let latches = circ
             .netlist()
             .gates()
@@ -184,19 +193,13 @@ fn decomposition_bounds_fanin_and_shares_gates() {
         for _ in 0..dec.netlist().num_gates() {
             for g in 0..dec.netlist().num_gates() {
                 let out = dec.netlist().gates()[g].output;
-                if stg
-                    .signals()
-                    .all(|sig| dec.signal_net(sig) != out)
-                {
+                if stg.signals().all(|sig| dec.signal_net(sig) != out) {
                     values[out.index()] = dec.netlist().next_value(&values, g);
                 }
             }
         }
         for eq in circuit.equations() {
-            let g = dec
-                .netlist()
-                .driver_of(dec.signal_net(eq.signal))
-                .unwrap();
+            let g = dec.netlist().driver_of(dec.signal_net(eq.signal)).unwrap();
             let expect = eq.cover.covers_minterm(&sg.state(s).code);
             assert_eq!(
                 dec.netlist().next_value(&values, g),
@@ -269,7 +272,11 @@ fn mixed_resolution_handles_choice_spec() {
     let r = crate::csc::resolve_mixed(&spec, 5).expect("mixed strategy resolves Fig. 5");
     let sg = StateGraph::build(&r.stg).unwrap();
     assert!(stg::encoding::has_csc(&r.stg, &sg));
-    assert!(r.description.contains(';'), "two steps expected: {}", r.description);
+    assert!(
+        r.description.contains(';'),
+        "two steps expected: {}",
+        r.description
+    );
 }
 
 #[test]

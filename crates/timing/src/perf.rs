@@ -64,7 +64,11 @@ pub fn cycle_time(tmg: &TimedMarkedGraph) -> f64 {
     };
     // Upper bound: sum of all max delays (a cycle visits each transition
     // at most once and every cycle has ≥ 1 token in a live MG).
-    let mut hi: f64 = net.transitions().map(|t| tmg.max_delay(t)).sum::<f64>().max(1.0);
+    let mut hi: f64 = net
+        .transitions()
+        .map(|t| tmg.max_delay(t))
+        .sum::<f64>()
+        .max(1.0);
     assert!(
         !has_positive_cycle(hi * 2.0),
         "marked graph has a token-free cycle: unbounded cycle time"

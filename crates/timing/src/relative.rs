@@ -22,7 +22,10 @@ impl TimingAssumption {
     /// Convenience constructor.
     #[must_use]
     pub fn new(earlier: impl Into<String>, later: impl Into<String>) -> Self {
-        TimingAssumption { earlier: earlier.into(), later: later.into() }
+        TimingAssumption {
+            earlier: earlier.into(),
+            later: later.into(),
+        }
     }
 }
 
@@ -67,10 +70,7 @@ fn find_transition(stg: &Stg, label: &str) -> Option<petri::TransitionId> {
 /// [`TimingError::UnknownLabel`] for labels not in the STG;
 /// [`TimingError::Breaks`] when neither polarity of the ordering place
 /// yields a consistent, live specification.
-pub fn apply_assumptions(
-    stg: &Stg,
-    assumptions: &[TimingAssumption],
-) -> Result<Stg, TimingError> {
+pub fn apply_assumptions(stg: &Stg, assumptions: &[TimingAssumption]) -> Result<Stg, TimingError> {
     let mut current = stg.clone();
     for a in assumptions {
         let earlier = find_transition(&current, &a.earlier)
@@ -93,9 +93,7 @@ pub fn apply_assumptions(
                 _ => {}
             }
         }
-        current = ok.ok_or_else(|| {
-            TimingError::Breaks(format!("{} -> {}", a.earlier, a.later))
-        })?;
+        current = ok.ok_or_else(|| TimingError::Breaks(format!("{} -> {}", a.earlier, a.later)))?;
     }
     Ok(current)
 }
@@ -120,8 +118,8 @@ pub fn retime_trigger(
     old_trigger: &str,
     new_trigger: &str,
 ) -> Result<Stg, TimingError> {
-    let t_target = find_transition(stg, target)
-        .ok_or_else(|| TimingError::UnknownLabel(target.to_owned()))?;
+    let t_target =
+        find_transition(stg, target).ok_or_else(|| TimingError::UnknownLabel(target.to_owned()))?;
     let t_old = find_transition(stg, old_trigger)
         .ok_or_else(|| TimingError::UnknownLabel(old_trigger.to_owned()))?;
     let t_new = find_transition(stg, new_trigger)
@@ -137,9 +135,7 @@ pub fn retime_trigger(
                 && net.place_postset(p) == [t_target]
                 && net.initial_tokens(p) == 0
         })
-        .ok_or_else(|| {
-            TimingError::Breaks(format!("no direct place {old_trigger} -> {target}"))
-        })?;
+        .ok_or_else(|| TimingError::Breaks(format!("no direct place {old_trigger} -> {target}")))?;
     // Rebuild without that place, with a new trigger arc.
     let mut b = stg::StgBuilder::new(format!("{}-lazy", stg.name()));
     let mut signal_map = Vec::new();
@@ -171,7 +167,9 @@ pub fn retime_trigger(
     match StateGraph::build_bounded(&result, 200_000) {
         Ok(sg) if sg.ts().deadlocks().is_empty() => Ok(result),
         Ok(_) => Err(TimingError::Breaks("retiming deadlocks".to_owned())),
-        Err(e) => Err(TimingError::Breaks(format!("retiming breaks consistency: {e}"))),
+        Err(e) => Err(TimingError::Breaks(format!(
+            "retiming breaks consistency: {e}"
+        ))),
     }
 }
 
@@ -181,10 +179,7 @@ pub fn retime_trigger(
 /// # Errors
 ///
 /// Propagates [`StgError`] from state-graph construction.
-pub fn state_count_effect(
-    before: &Stg,
-    after: &Stg,
-) -> Result<(usize, usize), StgError> {
+pub fn state_count_effect(before: &Stg, after: &Stg) -> Result<(usize, usize), StgError> {
     let a = StateGraph::build(before)?;
     let b = StateGraph::build(after)?;
     Ok((a.num_states(), b.num_states()))

@@ -38,7 +38,6 @@ fn cycle_time_dominated_by_slowest_cycle() {
     let tmg = TimedMarkedGraph::new(net.clone(), delays);
     let ct = cycle_time(&tmg);
     assert!((ct - 7.0).abs() < 1e-6, "1 + 5 + 1 = 7, got {ct}");
-
 }
 
 #[test]
@@ -50,9 +49,25 @@ fn separation_on_fixed_delay_ring() {
     let t0 = net.transition_by_name("t0").unwrap();
     let t2 = net.transition_by_name("t2").unwrap();
     let tmg = TimedMarkedGraph::with_fixed_delay(net, 1.0);
-    let sep_02 = max_separation(&tmg, SeparationQuery { from: t0, to: t2, offset: 0 }, 12);
+    let sep_02 = max_separation(
+        &tmg,
+        SeparationQuery {
+            from: t0,
+            to: t2,
+            offset: 0,
+        },
+        12,
+    );
     assert!((sep_02 + 2.0).abs() < 1e-6, "got {sep_02}");
-    let sep_20 = max_separation(&tmg, SeparationQuery { from: t2, to: t0, offset: 0 }, 12);
+    let sep_20 = max_separation(
+        &tmg,
+        SeparationQuery {
+            from: t2,
+            to: t0,
+            offset: 0,
+        },
+        12,
+    );
     assert!((sep_20 - 2.0).abs() < 1e-6, "got {sep_20}");
 }
 
@@ -66,7 +81,15 @@ fn separation_uses_interval_bounds() {
     let tmg = TimedMarkedGraph::new(net, vec![(1.0, 3.0), (1.0, 3.0)]);
     // t1 fires between 1 and 3 after t0; sep(t1, t0) within an iteration
     // is at most 3 (t1 latest minus t0 earliest with the same prefix).
-    let sep = max_separation(&tmg, SeparationQuery { from: t1, to: t0, offset: 0 }, 12);
+    let sep = max_separation(
+        &tmg,
+        SeparationQuery {
+            from: t1,
+            to: t0,
+            offset: 0,
+        },
+        12,
+    );
     assert!(sep >= 3.0 - 1e-6, "got {sep}");
 }
 
@@ -84,7 +107,11 @@ fn vme_read_separation_with_fast_device() {
     let tmg = TimedMarkedGraph::new(net, delays);
     let sep = max_separation(
         &tmg,
-        SeparationQuery { from: ldtack_m, to: dsr_p, offset: 1 },
+        SeparationQuery {
+            from: ldtack_m,
+            to: dsr_p,
+            offset: 1,
+        },
         16,
     );
     assert!(sep < 0.0, "LDTACK- must precede the next DSr+: sep = {sep}");
@@ -97,11 +124,7 @@ fn timing_assumption_removes_states_fig11a() {
     let stg = vme_read();
     let before = StateGraph::build(&stg).unwrap();
     assert_eq!(before.num_states(), 14);
-    let timed = apply_assumptions(
-        &stg,
-        &[TimingAssumption::new("LDTACK-", "DSr+")],
-    )
-    .unwrap();
+    let timed = apply_assumptions(&stg, &[TimingAssumption::new("LDTACK-", "DSr+")]).unwrap();
     let after = StateGraph::build(&timed).unwrap();
     assert!(after.num_states() < 14, "states: {}", after.num_states());
     assert!(

@@ -26,7 +26,11 @@ impl TimedMarkedGraph {
             petri::classify::is_marked_graph(&net),
             "timed analysis requires a marked graph"
         );
-        assert_eq!(delays.len(), net.num_transitions(), "one interval per transition");
+        assert_eq!(
+            delays.len(),
+            net.num_transitions(),
+            "one interval per transition"
+        );
         for &(lo, hi) in &delays {
             assert!(lo >= 0.0 && hi >= lo, "bad delay interval [{lo}, {hi}]");
         }

@@ -4,7 +4,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use petri::TransitionId;
-use stg::{SignalKind, StateGraph, Stg};
+use stg::{SignalKind, StateSpace, Stg};
 use synth::{NetId, Netlist};
 
 /// One composed state: specification state (index into the spec state
@@ -67,7 +67,10 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Violation::UnexpectedOutput { signal, state } => {
-                write!(f, "unexpected output transition on {signal} in composed state {state}")
+                write!(
+                    f,
+                    "unexpected output transition on {signal} in composed state {state}"
+                )
             }
             Violation::OutputStuck { state, expected } => {
                 write!(
@@ -133,9 +136,9 @@ impl VerificationReport {
 ///
 /// Panics if `signal_nets` is shorter than the STG's signal count.
 #[must_use]
-pub fn verify_circuit(
+pub fn verify_circuit<S: StateSpace + ?Sized>(
     stg: &Stg,
-    sg: &StateGraph,
+    sg: &S,
     netlist: &Netlist,
     signal_nets: &[NetId],
 ) -> VerificationReport {
@@ -148,9 +151,9 @@ pub fn verify_circuit(
 ///
 /// See [`verify_circuit`].
 #[must_use]
-pub fn verify_circuit_bounded(
+pub fn verify_circuit_bounded<S: StateSpace + ?Sized>(
     stg: &Stg,
-    sg: &StateGraph,
+    sg: &S,
     netlist: &Netlist,
     signal_nets: &[NetId],
     max_states: usize,
@@ -178,7 +181,10 @@ pub fn verify_circuit_bounded(
         return report;
     }
 
-    let start = CircuitState { spec_state: 0, values: init };
+    let start = CircuitState {
+        spec_state: 0,
+        values: init,
+    };
     let mut index: HashMap<CircuitState, usize> = HashMap::new();
     index.insert(start.clone(), 0);
     let mut states = vec![start];
@@ -189,8 +195,10 @@ pub fn verify_circuit_bounded(
         let state = states[si].clone();
         let events = enabled_events(stg, sg, netlist, &net_signal, &state);
         // Conformance: stability vs expected outputs.
-        let gate_events: Vec<&Event> =
-            events.iter().filter(|e| matches!(e, Event::Gate(_))).collect();
+        let gate_events: Vec<&Event> = events
+            .iter()
+            .filter(|e| matches!(e, Event::Gate(_)))
+            .collect();
         if gate_events.is_empty() {
             let expected: Vec<String> = sg
                 .ts()
@@ -203,7 +211,10 @@ pub fn verify_circuit_bounded(
                 .map(|t| stg.label_string(t))
                 .collect();
             if !expected.is_empty() {
-                report.violations.push(Violation::OutputStuck { state: si, expected });
+                report.violations.push(Violation::OutputStuck {
+                    state: si,
+                    expected,
+                });
             }
         }
         // Fire each event; check conformance and semimodularity.
@@ -285,9 +296,9 @@ fn settle_internals(
     false
 }
 
-fn enabled_events(
+fn enabled_events<S: StateSpace + ?Sized>(
     stg: &Stg,
-    sg: &StateGraph,
+    sg: &S,
     netlist: &Netlist,
     _net_signal: &[Option<stg::SignalId>],
     state: &CircuitState,
@@ -311,9 +322,9 @@ fn enabled_events(
 
 /// Applies an event; `None` when a spec-tracked gate fires without a
 /// matching specification arc (conformance failure).
-fn apply_event(
+fn apply_event<S: StateSpace + ?Sized>(
     stg: &Stg,
-    sg: &StateGraph,
+    sg: &S,
     netlist: &Netlist,
     net_signal: &[Option<stg::SignalId>],
     state: &CircuitState,
@@ -329,7 +340,10 @@ fn apply_event(
                 .find(|&i| net_signal[i] == Some(label.signal))
                 .expect("signal has a net");
             values[net] = label.edge.value_after();
-            Some(CircuitState { spec_state: next_spec, values })
+            Some(CircuitState {
+                spec_state: next_spec,
+                values,
+            })
         }
         Event::Gate(g) => {
             let out = netlist.gates()[*g].output;
@@ -337,7 +351,10 @@ fn apply_event(
             let mut values = state.values.clone();
             values[out.index()] = new_value;
             match net_signal[out.index()] {
-                None => Some(CircuitState { spec_state: state.spec_state, values }),
+                None => Some(CircuitState {
+                    spec_state: state.spec_state,
+                    values,
+                }),
                 Some(sig) => {
                     // The spec must allow this edge here.
                     let arc = sg
@@ -350,7 +367,10 @@ fn apply_event(
                             })
                         })?;
                     let next_spec = sg.successor(state.spec_state, arc).expect("enabled");
-                    Some(CircuitState { spec_state: next_spec, values })
+                    Some(CircuitState {
+                        spec_state: next_spec,
+                        values,
+                    })
                 }
             }
         }

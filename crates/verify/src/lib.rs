@@ -20,9 +20,7 @@
 
 mod circuit;
 
-pub use circuit::{
-    verify_circuit, CircuitState, HazardWitness, VerificationReport, Violation,
-};
+pub use circuit::{verify_circuit, CircuitState, HazardWitness, VerificationReport, Violation};
 
 #[cfg(test)]
 mod tests;

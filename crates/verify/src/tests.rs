@@ -11,7 +11,11 @@ use synth::{GateKind, NetId, Netlist};
 
 use crate::verify_circuit;
 
-fn signal_nets_of<C>(stg: &stg::Stg, net_of: impl Fn(stg::SignalId) -> NetId, _c: &C) -> Vec<NetId> {
+fn signal_nets_of<C>(
+    stg: &stg::Stg,
+    net_of: impl Fn(stg::SignalId) -> NetId,
+    _c: &C,
+) -> Vec<NetId> {
     stg.signals().map(net_of).collect()
 }
 
@@ -58,8 +62,15 @@ fn naive_decomposition_is_hazardous_fig9b() {
     let dec = decompose(&stg, &circuit, 2);
     let nets = signal_nets_of(&stg, |s| dec.signal_net(s), &dec);
     let report = verify_circuit(&stg, &sg, dec.netlist(), &nets);
-    assert!(!report.hazards.is_empty(), "expected a hazard: {}", report.summary());
-    assert!(report.hazards.iter().any(|h| h.gate_output.starts_with("map")));
+    assert!(
+        !report.hazards.is_empty(),
+        "expected a hazard: {}",
+        report.summary()
+    );
+    assert!(report
+        .hazards
+        .iter()
+        .any(|h| h.gate_output.starts_with("map")));
 }
 
 #[test]

@@ -1,41 +1,43 @@
-//! A scalable micropipeline controller: synthesise each stage, decompose
-//! into a two-input library, verify, and measure throughput by simulation
-//! — the "high-performance computing" application domain of §7.
+//! Scalable micropipeline controllers: synthesise every stage depth
+//! concurrently in one `run_batch` call, verify, and measure throughput
+//! by simulation — the "high-performance computing" application domain
+//! of §7. A decomposed (two-input library) synthesis of the VME READ
+//! controller rounds out the tour.
 //!
 //! Run with `cargo run --release --example pipeline_controller`.
 
-use asyncsynth::flow::{run_flow, Architecture, FlowOptions};
+use asyncsynth::{run_batch, Architecture, Synthesis, SynthesisOptions};
 use sim::{SimConfig, Simulator};
-use stg::{examples, StateGraph};
+use stg::examples;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    for n in 1..=3 {
-        let spec = examples::micropipeline(n);
-        let sg = StateGraph::build(&spec)?;
-        println!("== {} ({} states) ==", spec.name(), sg.num_states());
+    let specs: Vec<stg::Stg> = (1..=3).map(examples::micropipeline).collect();
 
-        // Synthesise with the decomposed (two-input library) architecture.
-        let options = FlowOptions {
-            architecture: Architecture::Decomposed,
-            ..FlowOptions::default()
-        };
-        match run_flow(&spec, &options) {
+    // Synthesise every pipeline depth concurrently (complex-gate
+    // architecture; micropipeline CSC conflicts resolve by concurrency
+    // reduction).
+    let options = SynthesisOptions::default();
+    for (spec, outcome) in specs.iter().zip(run_batch(&specs, &options)) {
+        match outcome {
             Ok(result) => {
+                println!("== {} ({} states) ==", spec.name(), result.num_states());
+                if let Some(t) = &result.transformation {
+                    println!("csc resolution: {t}");
+                }
                 println!("equations:\n{}", result.equations_text);
                 println!(
-                    "netlist: {} gates, max fan-in {}, literal cost {}",
+                    "netlist: {} gates, literal cost {}",
                     result.circuit.netlist().num_gates(),
-                    result.circuit.netlist().max_fanin(),
                     result.circuit.netlist().literal_cost()
                 );
-                if let Some(v) = &result.verification {
+                if let Some(v) = result.verification.report() {
                     println!("verification: {}", v.summary());
                 }
                 // Throughput by simulation.
                 let nets = result.circuit.signal_nets(&result.spec);
                 let mut simulator = Simulator::new(
                     &result.spec,
-                    &result.state_graph,
+                    result.state_space(),
                     result.circuit.netlist().clone(),
                     nets,
                     SimConfig::default(),
@@ -48,8 +50,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     stats.glitches
                 );
             }
-            Err(e) => println!("flow failed: {e}\n"),
+            Err(e) => println!("== {} == flow failed: {e}\n", spec.name()),
         }
+    }
+
+    // Fan-in-bounded decomposition (Fig. 9) on the READ controller: the
+    // two-input library fits after hazard repair by resubstitution.
+    println!("== vme-read, decomposed into the two-input library ==");
+    let result = Synthesis::new(examples::vme_read())
+        .architecture(Architecture::Decomposed)
+        .run()?;
+    println!(
+        "netlist: {} gates, max fan-in {}, literal cost {}",
+        result.circuit.netlist().num_gates(),
+        result.circuit.netlist().max_fanin(),
+        result.circuit.netlist().literal_cost()
+    );
+    if let Some(v) = result.verification.report() {
+        println!("verification: {}", v.summary());
     }
     Ok(())
 }

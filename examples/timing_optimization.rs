@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --example timing_optimization`.
 
-use asyncsynth::flow::{run_flow, FlowOptions};
+use asyncsynth::Synthesis;
 use stg::{examples, StateGraph};
 use timing::{apply_assumptions, cycle_time, max_separation, SeparationQuery};
 use timing::{retime_trigger, TimedMarkedGraph, TimingAssumption};
@@ -12,14 +12,14 @@ use timing::{retime_trigger, TimedMarkedGraph, TimingAssumption};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = examples::vme_read();
 
-    // Baseline: the untimed flow needs an extra state signal (csc0).
-    let baseline = run_flow(&spec, &FlowOptions::default())?;
+    // Baseline: the untimed pipeline needs an extra state signal (csc0).
+    let baseline = Synthesis::new(spec.clone()).run()?;
     println!("== baseline (untimed) ==");
-    println!(
-        "csc: {}",
-        baseline.csc_transformation.as_deref().unwrap_or("none")
-    );
-    println!("states: {}", baseline.state_graph.num_states());
+    match &baseline.transformation {
+        Some(t) => println!("csc: {t}"),
+        None => println!("csc: none"),
+    }
+    println!("states: {}", baseline.num_states());
     println!("{}\n", baseline.equations_text);
 
     // Fig. 11a: assume sep(LDTACK-, DSr+) < 0 — the device handshake
@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "CSC holds without a state signal: {}",
         stg::encoding::has_csc(&timed, &sg)
     );
-    let optimized = run_flow(&timed, &FlowOptions::default())?;
+    let optimized = Synthesis::new(timed).run()?;
     println!("equations:\n{}\n", optimized.equations_text);
 
     // Fig. 11b: lazy LDS- — enabled from DSr- instead of D-, relying on
@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dsr_p = tmg.net().transition_by_name("DSr+").unwrap();
     let sep = max_separation(
         &tmg,
-        SeparationQuery { from: ldtack_m, to: dsr_p, offset: 1 },
+        SeparationQuery {
+            from: ldtack_m,
+            to: dsr_p,
+            offset: 1,
+        },
         16,
     );
     println!("\n== separation analysis ==");

@@ -9,13 +9,15 @@
 //!
 //! synth options:
 //!   --arch complex|celement|rs|decomposed   (default: complex)
+//!   --backend explicit|symbolic             (default: explicit)
 //!   --fanin N                               (decomposed fan-in bound)
 //!   --assume "a-<b+"                        relative-timing assumption
+//!   --json                                  machine-readable output
 //! ```
 
 use std::process::ExitCode;
 
-use asyncsynth::flow::{run_flow, Architecture, FlowOptions};
+use asyncsynth::{Architecture, Backend, Synthesis, SynthesisOptions, Verification, Verified};
 use stg::parse::parse_g;
 use stg::StateGraph;
 
@@ -63,8 +65,9 @@ fn check(spec: &stg::Stg) -> Result<(), String> {
 }
 
 fn synth(spec: &stg::Stg, opts: &[String]) -> Result<(), String> {
-    let mut options = FlowOptions::default();
+    let mut options = SynthesisOptions::default();
     let mut assumptions: Vec<timing::TimingAssumption> = Vec::new();
+    let mut json = false;
     let mut i = 0;
     while i < opts.len() {
         match opts[i].as_str() {
@@ -79,6 +82,11 @@ fn synth(spec: &stg::Stg, opts: &[String]) -> Result<(), String> {
                     other => return Err(format!("unknown architecture {other:?}")),
                 };
             }
+            "--backend" => {
+                i += 1;
+                let v = opts.get(i).ok_or("--backend needs a value")?;
+                options.backend = v.parse::<Backend>()?;
+            }
             "--fanin" => {
                 i += 1;
                 let v = opts.get(i).ok_or("--fanin needs a value")?;
@@ -87,9 +95,12 @@ fn synth(spec: &stg::Stg, opts: &[String]) -> Result<(), String> {
             "--assume" => {
                 i += 1;
                 let v = opts.get(i).ok_or("--assume needs earlier<later")?;
-                let (a, b) = v.split_once('<').ok_or("assumption syntax: earlier<later")?;
+                let (a, b) = v
+                    .split_once('<')
+                    .ok_or("assumption syntax: earlier<later")?;
                 assumptions.push(timing::TimingAssumption::new(a.trim(), b.trim()));
             }
+            "--json" => json = true,
             other => return Err(format!("unknown option {other:?}")),
         }
         i += 1;
@@ -99,18 +110,131 @@ fn synth(spec: &stg::Stg, opts: &[String]) -> Result<(), String> {
     } else {
         timing::apply_assumptions(spec, &assumptions).map_err(|e| e.to_string())?
     };
-    let result = run_flow(&spec, &options).map_err(|e| e.to_string())?;
-    println!("model: {}", result.spec.name());
-    if let Some(t) = &result.csc_transformation {
-        println!("csc: {t}");
-    }
-    println!("states: {}", result.state_graph.num_states());
-    println!("\nequations:\n{}", result.equations_text);
-    println!("\nnetlist:\n{}", result.circuit.netlist().describe());
-    if let Some(v) = &result.verification {
-        println!("verification: {}", v.summary());
+    let backend = options.backend;
+    let result = Synthesis::with_options(spec, options)
+        .run()
+        .map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", render_json(&result, backend));
+    } else {
+        render_text(&result, backend);
     }
     Ok(())
+}
+
+fn render_text(result: &Verified, backend: Backend) {
+    println!("model: {}", result.spec.name());
+    println!("backend: {backend}");
+    if let Some(t) = &result.transformation {
+        println!("csc: {t}");
+    }
+    println!("states: {}", result.num_states());
+    println!("\nequations:\n{}", result.equations_text);
+    println!("\nnetlist:\n{}", result.circuit.netlist().describe());
+    match &result.verification {
+        Verification::Passed(v) => println!("verification: {}", v.summary()),
+        Verification::Skipped => println!("verification: skipped"),
+        Verification::NotRun => println!("verification: not run"),
+    }
+    println!("\nevents:");
+    for e in result.events() {
+        println!("  {e}");
+    }
+}
+
+fn render_json(result: &Verified, backend: Backend) -> String {
+    let spec = &result.spec;
+    let mut out = String::from("{");
+    push_kv(&mut out, "model", &json_str(spec.name()));
+    push_kv(&mut out, "backend", &json_str(backend.name()));
+    push_kv(&mut out, "states", &result.num_states().to_string());
+    match &result.transformation {
+        Some(t) => {
+            let csc = format!(
+                "{{\"kind\":{},\"description\":{},\"states\":{}}}",
+                json_str(&t.kind.to_string()),
+                json_str(&t.description),
+                t.num_states
+            );
+            push_kv(&mut out, "csc", &csc);
+        }
+        None => push_kv(&mut out, "csc", "null"),
+    }
+    let equations: Vec<String> = result.equations_text.lines().map(json_str).collect();
+    push_kv(&mut out, "equations", &format!("[{}]", equations.join(",")));
+    let netlist = result.circuit.netlist();
+    let gates: Vec<String> = netlist
+        .gates()
+        .iter()
+        .map(|g| {
+            let inputs: Vec<String> = g
+                .inputs
+                .iter()
+                .map(|&n| json_str(netlist.net_name(n)))
+                .collect();
+            format!(
+                "{{\"output\":{},\"kind\":{},\"inputs\":[{}]}}",
+                json_str(netlist.net_name(g.output)),
+                json_str(g.kind.name()),
+                inputs.join(",")
+            )
+        })
+        .collect();
+    push_kv(&mut out, "gates", &format!("[{}]", gates.join(",")));
+    match result.mapping.as_ref() {
+        Some(m) => push_kv(
+            &mut out,
+            "mapping",
+            &format!("{{\"cells\":{},\"area\":{}}}", m.num_cells(), m.area()),
+        ),
+        None => push_kv(&mut out, "mapping", "null"),
+    }
+    let (status, states_explored) = match &result.verification {
+        Verification::Passed(v) => ("passed", Some(v.states_explored)),
+        Verification::Skipped => ("skipped", None),
+        Verification::NotRun => ("not_run", None),
+    };
+    push_kv(&mut out, "verification", &json_str(status));
+    match states_explored {
+        Some(n) => push_kv(&mut out, "composed_states", &n.to_string()),
+        None => push_kv(&mut out, "composed_states", "null"),
+    }
+    let events: Vec<String> = result
+        .events()
+        .iter()
+        .map(|e| json_str(&e.to_string()))
+        .collect();
+    push_kv(&mut out, "events", &format!("[{}]", events.join(",")));
+    out.push('}');
+    out
+}
+
+fn push_kv(out: &mut String, key: &str, value: &str) {
+    if out.len() > 1 {
+        out.push(',');
+    }
+    out.push_str(&json_str(key));
+    out.push(':');
+    out.push_str(value);
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn wave(spec: &stg::Stg) -> Result<(), String> {
@@ -119,7 +243,10 @@ fn wave(spec: &stg::Stg) -> Result<(), String> {
     if cycle.is_empty() {
         return Err("no cycle through the initial state".to_owned());
     }
-    println!("trace: {}", stg::waveform::render_trace_header(spec, &cycle));
+    println!(
+        "trace: {}",
+        stg::waveform::render_trace_header(spec, &cycle)
+    );
     print!("{}", stg::waveform::render_waveforms(spec, &sg, &cycle));
     Ok(())
 }

@@ -1,48 +1,25 @@
-//! The end-to-end synthesis flow (§3's "main steps in logic synthesis",
-//! §2.1's property checks, and the Fig. 9 decomposition-with-repair loop).
+//! The legacy one-shot flow API, kept as a thin shim over the staged
+//! [`crate::pipeline`].
+//!
+//! New code should use [`crate::Synthesis`]: it exposes every
+//! intermediate stage (implementability report, CSC candidates,
+//! equations, netlist, verification), supports the symbolic state-space
+//! backend, emits structured [`crate::FlowEvent`] diagnostics and batches
+//! via [`crate::run_batch`]. This module only adapts the old types.
 
-use std::fmt;
+use stg::StateGraph;
 
-use stg::properties::{check_implementability, ImplementabilityReport};
-use stg::{StateGraph, Stg};
-use synth::complex_gate::{synthesize_complex_gates, ComplexGateCircuit};
-use synth::csc::resolve_by_concurrency_reduction;
-use synth::decompose::{decompose, resubstitute, DecomposedCircuit};
-use synth::latch_arch::{synthesize_latch_circuit, LatchCircuit, LatchStyle};
-use synth::library::{map_to_library, Library, Mapping};
-use synth::NetId;
-use verify::{verify_circuit, VerificationReport};
+use crate::pipeline::{Synthesis, SynthesisOptions, Verification};
 
-/// Target implementation architecture (§3.2 / Fig. 8 / Fig. 9).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Architecture {
-    /// One atomic complex gate per signal (§3.2).
-    #[default]
-    ComplexGate,
-    /// Set/reset networks + Muller C-element (Fig. 8a).
-    CElement,
-    /// Set/reset networks + reset-dominant RS latch (Fig. 8b).
-    RsLatch,
-    /// Fan-in-bounded decomposition with hazard repair (Fig. 9).
-    Decomposed,
-}
+pub use crate::pipeline::Circuit as FlowCircuit;
+pub use crate::pipeline::{Architecture, CscStrategy, PipelineError as FlowError};
 
-/// How CSC conflicts are resolved when the input specification has them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum CscStrategy {
-    /// Try state-signal insertion first, fall back to concurrency
-    /// reduction (§2.1 lists both methods).
-    #[default]
-    Auto,
-    /// Only state-signal insertion (Fig. 7).
-    SignalInsertion,
-    /// Only concurrency reduction.
-    ConcurrencyReduction,
-    /// Fail if CSC does not hold.
-    Fail,
-}
+use stg::properties::ImplementabilityReport;
+use synth::library::Mapping;
+use verify::VerificationReport;
 
-/// Flow options.
+/// Flow options (legacy shape; superseded by
+/// [`crate::SynthesisOptions`], which adds backend selection).
 #[derive(Debug, Clone, Default)]
 pub struct FlowOptions {
     /// Target architecture.
@@ -56,71 +33,9 @@ pub struct FlowOptions {
     pub skip_verification: bool,
 }
 
-/// Errors the flow can report.
-#[derive(Debug)]
-pub enum FlowError {
-    /// The specification failed a §2.1 implementability property that no
-    /// automatic transformation fixes (unbounded, inconsistent,
-    /// non-persistent, deadlocking).
-    NotImplementable(Box<ImplementabilityReport>),
-    /// CSC resolution failed under the requested strategy.
-    CscUnresolved,
-    /// Synthesis failed (should not happen after CSC resolution; carries
-    /// the underlying message).
-    Synthesis(String),
-    /// The synthesised circuit failed verification.
-    VerificationFailed(Box<VerificationReport>),
-}
-
-impl fmt::Display for FlowError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FlowError::NotImplementable(r) => write!(f, "specification not implementable:\n{r}"),
-            FlowError::CscUnresolved => write!(f, "could not resolve CSC conflicts"),
-            FlowError::Synthesis(m) => write!(f, "synthesis failed: {m}"),
-            FlowError::VerificationFailed(r) => {
-                write!(f, "verification failed: {}", r.summary())
-            }
-        }
-    }
-}
-
-impl std::error::Error for FlowError {}
-
-/// The circuit produced by the flow, by architecture.
-#[derive(Debug, Clone)]
-pub enum FlowCircuit {
-    /// Complex-gate implementation.
-    Complex(ComplexGateCircuit),
-    /// Latch-based implementation.
-    Latch(LatchCircuit),
-    /// Decomposed implementation.
-    Decomposed(DecomposedCircuit),
-}
-
-impl FlowCircuit {
-    /// The netlist of whichever architecture was produced.
-    #[must_use]
-    pub fn netlist(&self) -> &synth::Netlist {
-        match self {
-            FlowCircuit::Complex(c) => c.netlist(),
-            FlowCircuit::Latch(c) => c.netlist(),
-            FlowCircuit::Decomposed(c) => c.netlist(),
-        }
-    }
-
-    /// Net of each STG signal, in signal order.
-    #[must_use]
-    pub fn signal_nets(&self, spec: &Stg) -> Vec<NetId> {
-        match self {
-            FlowCircuit::Complex(c) => spec.signals().map(|s| c.signal_net(s)).collect(),
-            FlowCircuit::Latch(c) => spec.signals().map(|s| c.signal_net(s)).collect(),
-            FlowCircuit::Decomposed(c) => spec.signals().map(|s| c.signal_net(s)).collect(),
-        }
-    }
-}
-
-/// Everything the flow produces.
+/// Everything the flow produces (legacy shape; superseded by
+/// [`crate::Verified`], whose `verification` field distinguishes
+/// "skipped" from "failed").
 #[derive(Debug)]
 pub struct FlowResult {
     /// The (possibly CSC-transformed) specification actually synthesised.
@@ -137,166 +52,51 @@ pub struct FlowResult {
     pub equations_text: String,
     /// Library mapping of the final netlist (standard library).
     pub mapping: Option<Mapping>,
-    /// `true` if verification ran and passed.
+    /// `true` if verification ran and passed. **Ambiguous by design
+    /// legacy**: `false` covers both "skipped" and "not run"; use the
+    /// staged API's [`crate::Verification`] to distinguish.
     pub verified: bool,
     /// The verification report, when verification ran.
     pub verification: Option<VerificationReport>,
 }
 
-/// Runs the full flow on a specification.
+use stg::Stg;
+
+/// Runs the full flow on a specification (legacy entry point).
 ///
 /// # Errors
 ///
-/// See [`FlowError`]. Notably, specifications whose only defect is CSC are
-/// repaired automatically under the default options.
+/// See [`FlowError`]. Notably, specifications whose only defect is CSC
+/// are repaired automatically under the default options.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the staged `asyncsynth::Synthesis` pipeline (`Synthesis::new(spec).run()`)"
+)]
 pub fn run_flow(spec: &Stg, options: &FlowOptions) -> Result<FlowResult, FlowError> {
-    // 1. Properties (§2.1).
-    let initial_report = check_implementability(spec);
-    if !initial_report.bounded
-        || !initial_report.consistent
-        || !initial_report.persistent
-        || !initial_report.deadlock_free
-    {
-        return Err(FlowError::NotImplementable(Box::new(initial_report)));
-    }
-
-    // 2. CSC resolution (§3.1). Several resolutions can be acceptable at
-    // the specification level (e.g. a state signal and its complement);
-    // the flow tries them best-first and keeps the first one whose
-    // synthesised circuit verifies in the target architecture.
-    let candidates: Vec<(Stg, Option<String>)> = if initial_report.complete_state_coding {
-        vec![(spec.clone(), None)]
-    } else {
-        let mut list: Vec<(Stg, Option<String>)> = Vec::new();
-        let push_insertions = |list: &mut Vec<(Stg, Option<String>)>| {
-            for r in synth::csc::insertion_candidates(spec).into_iter().take(12) {
-                list.push((r.stg, Some(r.description)));
-            }
-        };
-        let push_reduction = |list: &mut Vec<(Stg, Option<String>)>| {
-            if let Some(r) = resolve_by_concurrency_reduction(spec) {
-                list.push((r.stg, Some(r.description)));
-            }
-        };
-        match options.csc {
-            CscStrategy::Fail => {}
-            CscStrategy::SignalInsertion => push_insertions(&mut list),
-            CscStrategy::ConcurrencyReduction => push_reduction(&mut list),
-            CscStrategy::Auto => {
-                push_insertions(&mut list);
-                push_reduction(&mut list);
-                // Mixed fall-back for controllers needing several
-                // transformations (e.g. the READ+WRITE spec of Fig. 5
-                // takes a reduction plus a state signal).
-                if let Some(r) = synth::csc::resolve_mixed(spec, 5) {
-                    list.push((r.stg, Some(r.description)));
-                }
-            }
-        }
-        if list.is_empty() {
-            return Err(FlowError::CscUnresolved);
-        }
-        list
+    let result = Synthesis::with_options(
+        spec.clone(),
+        SynthesisOptions {
+            backend: stg::Backend::Explicit,
+            architecture: options.architecture,
+            csc: options.csc,
+            max_fanin: options.max_fanin,
+            skip_verification: options.skip_verification,
+        },
+    )
+    .run()?;
+    let state_graph = StateGraph::from_space(result.state_space());
+    let (verified, verification) = match result.verification {
+        Verification::Passed(report) => (true, Some(report)),
+        Verification::Skipped | Verification::NotRun => (false, None),
     };
-
-    let mut last_error = FlowError::CscUnresolved;
-    for (spec, csc_transformation) in candidates {
-        match synthesize_one(&spec, csc_transformation, options) {
-            Ok(result) => return Ok(result),
-            Err(e) => last_error = e,
-        }
-    }
-    Err(last_error)
-}
-
-/// Synthesises and verifies one concrete (CSC-clean) specification.
-fn synthesize_one(
-    spec: &Stg,
-    csc_transformation: Option<String>,
-    options: &FlowOptions,
-) -> Result<FlowResult, FlowError> {
-    let spec = spec.clone();
-    let sg = StateGraph::build(&spec).map_err(|e| FlowError::Synthesis(e.to_string()))?;
-    let report = stg::properties::report_from_sg(&spec, &sg);
-
-    // 3. Next-state functions and equations (§3.2).
-    let complex = synthesize_complex_gates(&spec, &sg)
-        .map_err(|e| FlowError::Synthesis(e.to_string()))?;
-    let equations_text = complex.display_equations(&spec);
-
-    // 4. Architecture mapping (§3.4).
-    let max_fanin = options.max_fanin.unwrap_or(2);
-    let circuit = match options.architecture {
-        Architecture::ComplexGate => FlowCircuit::Complex(complex.clone()),
-        Architecture::CElement => FlowCircuit::Latch(
-            synthesize_latch_circuit(&spec, &sg, LatchStyle::CElement)
-                .map_err(|e| FlowError::Synthesis(e.to_string()))?,
-        ),
-        Architecture::RsLatch => FlowCircuit::Latch(
-            synthesize_latch_circuit(&spec, &sg, LatchStyle::RsLatch)
-                .map_err(|e| FlowError::Synthesis(e.to_string()))?,
-        ),
-        Architecture::Decomposed => {
-            // Fig. 9: try the naive decomposition; if it is hazardous,
-            // repair by resubstitution (multiple acknowledgment).
-            let naive = decompose(&spec, &complex, max_fanin);
-            let nets: Vec<NetId> = spec.signals().map(|s| naive.signal_net(s)).collect();
-            let naive_report = verify_circuit(&spec, &sg, naive.netlist(), &nets);
-            if naive_report.is_speed_independent() {
-                FlowCircuit::Decomposed(naive)
-            } else {
-                FlowCircuit::Decomposed(resubstitute(&spec, &sg, &naive))
-            }
-        }
-    };
-
-    // 5. Technology-library sanity (standard library; the two-input
-    // library only fits decomposed netlists).
-    let library = match options.architecture {
-        Architecture::Decomposed => Library::two_input(),
-        _ => Library::standard(),
-    };
-    let mapping = map_to_library(circuit.netlist(), &library).ok();
-
-    // 6. Verification (§2.1 "implementation verification"). Latch
-    // architectures are certified via their atomic equivalent plus the
-    // monotonous-cover condition (§3.4); gate-level netlists go through
-    // the strict Muller-model checker directly.
-    let (verified, verification) = if options.skip_verification {
-        (false, None)
-    } else {
-        let v = match &circuit {
-            FlowCircuit::Latch(latch) => {
-                let violations =
-                    synth::latch_arch::monotonic_violations(&spec, &sg, &latch.covers);
-                if !violations.is_empty() {
-                    return Err(FlowError::Synthesis(format!(
-                        "{} monotonous-cover violation(s) in the latch networks",
-                        violations.len()
-                    )));
-                }
-                let (atomic, nets) = latch.atomic_netlist(&spec);
-                verify_circuit(&spec, &sg, &atomic, &nets)
-            }
-            _ => {
-                let nets = circuit.signal_nets(&spec);
-                verify_circuit(&spec, &sg, circuit.netlist(), &nets)
-            }
-        };
-        if !v.is_speed_independent() {
-            return Err(FlowError::VerificationFailed(Box::new(v)));
-        }
-        (true, Some(v))
-    };
-
     Ok(FlowResult {
-        spec,
-        state_graph: sg,
-        csc_transformation,
-        report,
-        circuit,
-        equations_text,
-        mapping,
+        spec: result.spec,
+        state_graph,
+        csc_transformation: result.transformation.map(|t| t.description),
+        report: result.report,
+        circuit: result.circuit,
+        equations_text: result.equations_text,
+        mapping: result.mapping,
         verified,
         verification,
     })

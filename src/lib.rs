@@ -14,29 +14,61 @@
 //! | [`petri`] | net kernel: token game, reachability, invariants, reductions, unfoldings, BDD traversal |
 //! | [`bdd`] | hash-consed ROBDD package |
 //! | [`boolmin`] | two-level logic: covers, exact/heuristic minimisation, factoring |
-//! | [`stg`] | Signal Transition Graphs: `.g` parsing, state graphs, consistency, CSC, persistency |
+//! | [`stg`] | Signal Transition Graphs: `.g` parsing, pluggable state spaces ([`stg::StateSpace`]: explicit [`stg::StateGraph`] and BDD-backed [`stg::SymbolicStateSpace`]), consistency, CSC, persistency |
 //! | [`synth`] | logic synthesis: regions, next-state functions, CSC resolution, latch architectures, decomposition, mapping |
-//! | [`regions`] | theory of regions: PN extraction / back-annotation |
+//! | `regions` | theory of regions: PN extraction / back-annotation |
 //! | [`timing`] | time separation of events, cycle time, relative-timing optimisation |
-//! | [`sim`] | event-driven gate-level simulation with glitch monitors |
+//! | `sim` | event-driven gate-level simulation with glitch monitors |
 //! | [`verify`] | speed-independence and conformance checking |
 //!
-//! This crate ties them together in [`flow`]: one call runs the entire
-//! §3 pipeline (property checking → CSC resolution → synthesis in three
-//! architectures → decomposition with hazard repair → verification).
+//! This crate ties them together in [`pipeline`]: the §3 flow (property
+//! checking → CSC resolution → synthesis in three architectures →
+//! decomposition with hazard repair → verification) as a staged, typed
+//! session — [`Synthesis`] advances through [`Checked`] → [`CscResolved`]
+//! → [`Synthesized`] → [`Verified`], each stage exposing its artifacts
+//! for inspection, caching and rerouting. Every stage runs on a
+//! pluggable state-space [`Backend`]: `Explicit` breadth-first
+//! reachability or `Symbolic` BDD traversal. [`run_batch`] synthesises
+//! many controllers concurrently; [`FlowEvent`] gives structured
+//! diagnostics. The legacy one-shot [`flow::run_flow`] remains as a
+//! deprecated shim.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use asyncsynth::flow::{run_flow, FlowOptions};
+//! use asyncsynth::{Backend, Synthesis};
 //!
 //! let spec = stg::examples::vme_read(); // Fig. 3 of the paper
-//! let result = run_flow(&spec, &FlowOptions::default())?;
-//! assert!(result.verified, "the synthesised circuit is speed-independent");
+//!
+//! // Stage by stage: inspect the implementability report, then let the
+//! // pipeline resolve CSC, synthesise and verify.
+//! let checked = Synthesis::new(spec).backend(Backend::Symbolic).check()?;
+//! assert!(!checked.report().complete_state_coding, "Fig. 3 lacks CSC");
+//! let result = checked.resolve_csc()?.synthesize()?.verify()?;
+//! assert!(result.verification.passed(), "speed-independent");
 //! println!("{}", result.equations_text);
-//! # Ok::<(), asyncsynth::flow::FlowError>(())
+//!
+//! // Or all at once:
+//! let result = Synthesis::new(stg::examples::vme_read_csc()).run()?;
+//! assert!(result.transformation.is_none(), "Fig. 7 is already CSC-clean");
+//! # Ok::<(), asyncsynth::PipelineError>(())
+//! ```
+//!
+//! # Batching
+//!
+//! ```
+//! use asyncsynth::{run_batch, SynthesisOptions};
+//!
+//! let specs = [stg::examples::vme_read(), stg::examples::vme_read_csc()];
+//! let results = run_batch(&specs, &SynthesisOptions::default());
+//! assert!(results.iter().all(|r| r.is_ok()));
 //! ```
 
 pub mod flow;
+pub mod pipeline;
 
-pub use flow::{run_flow, FlowError, FlowOptions, FlowResult};
+pub use pipeline::{
+    run_batch, Architecture, Backend, Checked, Circuit, CscCandidate, CscKind, CscResolved,
+    CscStrategy, CscTransformation, FlowEvent, PipelineError, Synthesis, SynthesisOptions,
+    Synthesized, Verification, Verified,
+};

@@ -1,0 +1,1010 @@
+//! The staged synthesis pipeline: the §3 flow (property checking → CSC
+//! resolution → synthesis → verification) as a typed state machine over
+//! pluggable state-space backends.
+//!
+//! [`Synthesis`] is the entry point. Configure it with the builder
+//! methods, then either advance stage by stage —
+//!
+//! ```
+//! use asyncsynth::{Backend, Synthesis};
+//!
+//! let checked = Synthesis::new(stg::examples::vme_read_csc())
+//!     .backend(Backend::Symbolic)
+//!     .check()?;
+//! assert!(checked.report().is_implementable());
+//! let verified = checked.resolve_csc()?.synthesize()?.verify()?;
+//! assert!(verified.verification.passed());
+//! # Ok::<(), asyncsynth::PipelineError>(())
+//! ```
+//!
+//! — or run everything at once with [`Synthesis::run`]. Each stage
+//! ([`Checked`], [`CscResolved`], [`Synthesized`], [`Verified`]) exposes
+//! its artifacts (implementability report, candidate CSC transformations,
+//! equations, netlist, verification outcome) and the accumulated
+//! [`FlowEvent`] log, and hands its state space, report and verification
+//! probe forward for reuse (the CSC-clean fast path recomputes nothing;
+//! transformed candidates rebuild their winner's space once after the
+//! ranking sweep — see ROADMAP). [`run_batch`] synthesises many
+//! controllers concurrently on scoped threads.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use stg::properties::ImplementabilityReport;
+use stg::{StateSpace, Stg};
+use synth::complex_gate::{synthesize_complex_gates, ComplexGateCircuit};
+use synth::csc::CscResolution;
+use synth::decompose::{decompose, resubstitute, DecomposedCircuit};
+use synth::latch_arch::{synthesize_latch_circuit, LatchCircuit, LatchStyle};
+use synth::library::{map_to_library, Library, Mapping};
+use synth::NetId;
+use verify::{verify_circuit, VerificationReport};
+
+pub use stg::Backend;
+
+/// Target implementation architecture (§3.2 / Fig. 8 / Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Architecture {
+    /// One atomic complex gate per signal (§3.2).
+    #[default]
+    ComplexGate,
+    /// Set/reset networks + Muller C-element (Fig. 8a).
+    CElement,
+    /// Set/reset networks + reset-dominant RS latch (Fig. 8b).
+    RsLatch,
+    /// Fan-in-bounded decomposition with hazard repair (Fig. 9).
+    Decomposed,
+}
+
+/// How CSC conflicts are resolved when the input specification has them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CscStrategy {
+    /// Try state-signal insertion first, fall back to concurrency
+    /// reduction (§2.1 lists both methods).
+    #[default]
+    Auto,
+    /// Only state-signal insertion (Fig. 7).
+    SignalInsertion,
+    /// Only concurrency reduction.
+    ConcurrencyReduction,
+    /// Fail if CSC does not hold.
+    Fail,
+}
+
+/// Options shared by [`Synthesis`] and [`run_batch`].
+#[derive(Debug, Clone, Default)]
+pub struct SynthesisOptions {
+    /// State-space engine used by every stage.
+    pub backend: Backend,
+    /// Target architecture.
+    pub architecture: Architecture,
+    /// CSC resolution strategy.
+    pub csc: CscStrategy,
+    /// Fan-in bound for [`Architecture::Decomposed`] (default 2, the
+    /// two-input library of Fig. 9).
+    pub max_fanin: Option<usize>,
+    /// Skip the final speed-independence verification (it is exhaustive).
+    pub skip_verification: bool,
+}
+
+/// Errors the pipeline can report.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The specification failed a §2.1 implementability property that no
+    /// automatic transformation fixes (unbounded, inconsistent,
+    /// non-persistent, deadlocking).
+    NotImplementable(Box<ImplementabilityReport>),
+    /// CSC resolution failed under the requested strategy.
+    CscUnresolved,
+    /// Synthesis failed (carries the underlying message).
+    Synthesis(String),
+    /// The synthesised circuit failed verification.
+    VerificationFailed(Box<VerificationReport>),
+    /// Every CSC candidate failed synthesis or verification. Carries the
+    /// last candidate's error and the accumulated event log — including
+    /// one [`FlowEvent::CandidateRejected`] per candidate, so the
+    /// per-candidate diagnostics survive the failure.
+    CandidatesExhausted {
+        /// The error from the last candidate tried.
+        last: Box<PipelineError>,
+        /// The full diagnostic log up to the failure.
+        events: Vec<FlowEvent>,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::NotImplementable(r) => {
+                write!(f, "specification not implementable:\n{r}")
+            }
+            PipelineError::CscUnresolved => write!(f, "could not resolve CSC conflicts"),
+            PipelineError::Synthesis(m) => write!(f, "synthesis failed: {m}"),
+            PipelineError::VerificationFailed(r) => {
+                write!(f, "verification failed: {}", r.summary())
+            }
+            PipelineError::CandidatesExhausted { last, events } => {
+                let rejected = events
+                    .iter()
+                    .filter(|e| matches!(e, FlowEvent::CandidateRejected { .. }))
+                    .count();
+                write!(
+                    f,
+                    "all {rejected} CSC candidate(s) failed; last error: {last}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Which §2.1 method produced a CSC transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CscKind {
+    /// A fresh internal state signal was inserted (Fig. 7).
+    SignalInsertion,
+    /// An ordering arc removed the conflicting states.
+    ConcurrencyReduction,
+    /// A greedy mix of both methods (multi-conflict controllers).
+    Mixed,
+}
+
+impl fmt::Display for CscKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CscKind::SignalInsertion => write!(f, "signal insertion"),
+            CscKind::ConcurrencyReduction => write!(f, "concurrency reduction"),
+            CscKind::Mixed => write!(f, "mixed"),
+        }
+    }
+}
+
+/// A structured description of an applied CSC transformation.
+#[derive(Debug, Clone)]
+pub struct CscTransformation {
+    /// The method used.
+    pub kind: CscKind,
+    /// Human-readable details (which transitions were split / ordered).
+    pub description: String,
+    /// State count of the transformed specification's state space.
+    pub num_states: usize,
+}
+
+impl fmt::Display for CscTransformation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} states): {}",
+            self.kind, self.num_states, self.description
+        )
+    }
+}
+
+/// Outcome of the verification stage — three-valued so callers can
+/// distinguish "checked and passed" from "deliberately skipped" from
+/// "not reached yet".
+#[derive(Debug, Clone)]
+pub enum Verification {
+    /// Verification ran and the circuit is speed-independent.
+    Passed(VerificationReport),
+    /// Verification was skipped on request
+    /// ([`SynthesisOptions::skip_verification`]).
+    Skipped,
+    /// Verification has not run (yet): the outcome of querying a
+    /// [`Synthesized`] stage whose probe was skipped, before
+    /// [`Synthesized::verify`] finalises it.
+    NotRun,
+}
+
+impl Verification {
+    /// `true` only when verification ran and passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        matches!(self, Verification::Passed(_))
+    }
+
+    /// The report, when verification ran.
+    #[must_use]
+    pub fn report(&self) -> Option<&VerificationReport> {
+        match self {
+            Verification::Passed(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Structured diagnostics emitted by the pipeline stages, replacing the
+/// ad-hoc strings of the legacy `run_flow` API.
+#[derive(Debug, Clone)]
+pub enum FlowEvent {
+    /// A state space was built.
+    StateSpaceBuilt {
+        /// The backend that built it.
+        backend: Backend,
+        /// Number of states.
+        num_states: usize,
+    },
+    /// The §2.1 property suite ran.
+    PropertiesChecked {
+        /// All properties hold without transformation.
+        implementable: bool,
+        /// Number of CSC-violating state pairs.
+        csc_conflicts: usize,
+    },
+    /// CSC candidates were gathered under a strategy.
+    CscCandidates {
+        /// The strategy used.
+        strategy: CscStrategy,
+        /// How many candidate transformations were found.
+        count: usize,
+    },
+    /// A CSC transformation was applied to the specification.
+    CscApplied(CscTransformation),
+    /// A candidate was rejected during synthesis-with-backtracking.
+    CandidateRejected {
+        /// Index into [`CscResolved::candidates`].
+        index: usize,
+        /// Why the candidate failed.
+        reason: String,
+    },
+    /// Logic equations were derived and minimised.
+    EquationsDerived {
+        /// One equation per non-input signal.
+        count: usize,
+    },
+    /// A circuit was produced in the target architecture.
+    CircuitSynthesized {
+        /// The architecture.
+        architecture: Architecture,
+        /// Gate count of the netlist.
+        gates: usize,
+    },
+    /// The netlist was mapped onto the technology library.
+    LibraryMapped {
+        /// Number of mapped cells.
+        cells: usize,
+    },
+    /// Speed-independence verification passed.
+    VerificationPassed {
+        /// Composed states explored by the Muller-model checker.
+        states_explored: usize,
+    },
+    /// Verification was skipped on request.
+    VerificationSkipped,
+}
+
+impl fmt::Display for FlowEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowEvent::StateSpaceBuilt {
+                backend,
+                num_states,
+            } => {
+                write!(f, "state space built ({backend}): {num_states} states")
+            }
+            FlowEvent::PropertiesChecked {
+                implementable,
+                csc_conflicts,
+            } => write!(
+                f,
+                "properties checked: implementable={implementable}, csc conflicts={csc_conflicts}"
+            ),
+            FlowEvent::CscCandidates { strategy, count } => {
+                write!(f, "csc candidates ({strategy:?}): {count}")
+            }
+            FlowEvent::CscApplied(t) => write!(f, "csc applied: {t}"),
+            FlowEvent::CandidateRejected { index, reason } => {
+                write!(f, "candidate {index} rejected: {reason}")
+            }
+            FlowEvent::EquationsDerived { count } => {
+                write!(f, "{count} equation(s) derived")
+            }
+            FlowEvent::CircuitSynthesized {
+                architecture,
+                gates,
+            } => {
+                write!(f, "circuit synthesised ({architecture:?}): {gates} gate(s)")
+            }
+            FlowEvent::LibraryMapped { cells } => write!(f, "mapped onto {cells} cell(s)"),
+            FlowEvent::VerificationPassed { states_explored } => {
+                write!(f, "verification passed ({states_explored} composed states)")
+            }
+            FlowEvent::VerificationSkipped => write!(f, "verification skipped"),
+        }
+    }
+}
+
+/// The circuit produced by the pipeline, by architecture.
+#[derive(Debug, Clone)]
+pub enum Circuit {
+    /// Complex-gate implementation.
+    Complex(ComplexGateCircuit),
+    /// Latch-based implementation.
+    Latch(LatchCircuit),
+    /// Decomposed implementation.
+    Decomposed(DecomposedCircuit),
+}
+
+impl Circuit {
+    /// The netlist of whichever architecture was produced.
+    #[must_use]
+    pub fn netlist(&self) -> &synth::Netlist {
+        match self {
+            Circuit::Complex(c) => c.netlist(),
+            Circuit::Latch(c) => c.netlist(),
+            Circuit::Decomposed(c) => c.netlist(),
+        }
+    }
+
+    /// Net of each STG signal, in signal order.
+    #[must_use]
+    pub fn signal_nets(&self, spec: &Stg) -> Vec<NetId> {
+        match self {
+            Circuit::Complex(c) => spec.signals().map(|s| c.signal_net(s)).collect(),
+            Circuit::Latch(c) => spec.signals().map(|s| c.signal_net(s)).collect(),
+            Circuit::Decomposed(c) => spec.signals().map(|s| c.signal_net(s)).collect(),
+        }
+    }
+}
+
+/// The staged pipeline entry point: a builder over a specification.
+#[derive(Debug)]
+pub struct Synthesis {
+    spec: Stg,
+    options: SynthesisOptions,
+}
+
+impl Synthesis {
+    /// Starts a pipeline session on `spec` with default options.
+    #[must_use]
+    pub fn new(spec: Stg) -> Self {
+        Synthesis {
+            spec,
+            options: SynthesisOptions::default(),
+        }
+    }
+
+    /// Starts a session with explicit options (the [`run_batch`] path).
+    #[must_use]
+    pub fn with_options(spec: Stg, options: SynthesisOptions) -> Self {
+        Synthesis { spec, options }
+    }
+
+    /// Selects the state-space backend.
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.options.backend = backend;
+        self
+    }
+
+    /// Selects the target architecture.
+    #[must_use]
+    pub fn architecture(mut self, architecture: Architecture) -> Self {
+        self.options.architecture = architecture;
+        self
+    }
+
+    /// Selects the CSC resolution strategy.
+    #[must_use]
+    pub fn csc(mut self, csc: CscStrategy) -> Self {
+        self.options.csc = csc;
+        self
+    }
+
+    /// Bounds gate fan-in for [`Architecture::Decomposed`].
+    #[must_use]
+    pub fn max_fanin(mut self, max_fanin: usize) -> Self {
+        self.options.max_fanin = Some(max_fanin);
+        self
+    }
+
+    /// Skips the final exhaustive verification.
+    #[must_use]
+    pub fn skip_verification(mut self, skip: bool) -> Self {
+        self.options.skip_verification = skip;
+        self
+    }
+
+    /// Stage 1 (§2.1): builds the state space and checks boundedness,
+    /// consistency, persistency and deadlock-freedom.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::NotImplementable`] when a property no automatic
+    /// transformation fixes fails. CSC violations do *not* fail this
+    /// stage — they are [`Checked::resolve_csc`]'s job.
+    pub fn check(self) -> Result<Checked, PipelineError> {
+        let mut events = Vec::new();
+        let space = match self.options.backend.build(&self.spec) {
+            Ok(space) => space,
+            Err(e) => {
+                return Err(PipelineError::NotImplementable(Box::new(
+                    stg::properties::failure_report(e),
+                )));
+            }
+        };
+        events.push(FlowEvent::StateSpaceBuilt {
+            backend: self.options.backend,
+            num_states: space.num_states(),
+        });
+        let report = stg::properties::report_from_sg(&self.spec, &*space);
+        events.push(FlowEvent::PropertiesChecked {
+            implementable: report.is_implementable(),
+            csc_conflicts: report.csc_conflict_pairs,
+        });
+        if !report.bounded || !report.consistent || !report.persistent || !report.deadlock_free {
+            return Err(PipelineError::NotImplementable(Box::new(report)));
+        }
+        Ok(Checked {
+            spec: self.spec,
+            options: self.options,
+            space,
+            report,
+            events,
+        })
+    }
+
+    /// Runs all four stages: `check → resolve_csc → synthesize → verify`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`]. Notably, specifications whose only defect is
+    /// CSC are repaired automatically under the default options.
+    pub fn run(self) -> Result<Verified, PipelineError> {
+        self.check()?.resolve_csc()?.synthesize()?.verify()
+    }
+}
+
+/// Stage 1 artifact: the specification passed every non-CSC §2.1 check.
+#[derive(Debug)]
+pub struct Checked {
+    spec: Stg,
+    options: SynthesisOptions,
+    space: Box<dyn StateSpace>,
+    report: ImplementabilityReport,
+    events: Vec<FlowEvent>,
+}
+
+impl Checked {
+    /// The specification.
+    #[must_use]
+    pub fn spec(&self) -> &Stg {
+        &self.spec
+    }
+
+    /// The full implementability report.
+    #[must_use]
+    pub fn report(&self) -> &ImplementabilityReport {
+        &self.report
+    }
+
+    /// The state space built by the configured backend.
+    #[must_use]
+    pub fn state_space(&self) -> &dyn StateSpace {
+        &*self.space
+    }
+
+    /// Diagnostics accumulated so far.
+    #[must_use]
+    pub fn events(&self) -> &[FlowEvent] {
+        &self.events
+    }
+
+    /// Stage 2 (§3.1): gathers candidate CSC-clean specifications.
+    ///
+    /// When CSC already holds the original specification (and its state
+    /// space) is the single candidate; otherwise candidates come from
+    /// state-signal insertion, concurrency reduction and the mixed greedy
+    /// search, per the configured [`CscStrategy`], best first.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::CscUnresolved`] when no candidate exists under the
+    /// requested strategy.
+    pub fn resolve_csc(self) -> Result<CscResolved, PipelineError> {
+        let Checked {
+            spec,
+            options,
+            space,
+            report,
+            mut events,
+        } = self;
+        let backend = options.backend;
+        let candidates: Vec<CscCandidate> = if report.complete_state_coding {
+            vec![CscCandidate {
+                spec: spec.clone(),
+                transformation: None,
+                space: Some(space),
+                report: Some(report),
+            }]
+        } else {
+            let mut list: Vec<CscCandidate> = Vec::new();
+            let push_insertions = |list: &mut Vec<CscCandidate>| {
+                for r in synth::csc::insertion_candidates_with(&spec, backend)
+                    .into_iter()
+                    .take(12)
+                {
+                    list.push(CscCandidate::from_resolution(r, CscKind::SignalInsertion));
+                }
+            };
+            let push_reduction = |list: &mut Vec<CscCandidate>| {
+                if let Some(r) = synth::csc::resolve_by_concurrency_reduction_with(&spec, backend) {
+                    list.push(CscCandidate::from_resolution(
+                        r,
+                        CscKind::ConcurrencyReduction,
+                    ));
+                }
+            };
+            match options.csc {
+                CscStrategy::Fail => {}
+                CscStrategy::SignalInsertion => push_insertions(&mut list),
+                CscStrategy::ConcurrencyReduction => push_reduction(&mut list),
+                CscStrategy::Auto => {
+                    push_insertions(&mut list);
+                    push_reduction(&mut list);
+                    // Mixed fall-back for controllers needing several
+                    // transformations (e.g. the READ+WRITE spec of Fig. 5
+                    // takes a reduction plus a state signal).
+                    if let Some(r) = synth::csc::resolve_mixed_with(&spec, 5, backend) {
+                        list.push(CscCandidate::from_resolution(r, CscKind::Mixed));
+                    }
+                }
+            }
+            events.push(FlowEvent::CscCandidates {
+                strategy: options.csc,
+                count: list.len(),
+            });
+            if list.is_empty() {
+                return Err(PipelineError::CscUnresolved);
+            }
+            list
+        };
+        Ok(CscResolved {
+            options,
+            candidates,
+            events,
+        })
+    }
+}
+
+/// A candidate CSC-clean specification, with the transformation that
+/// produced it (`None` for the untransformed original).
+#[derive(Debug)]
+pub struct CscCandidate {
+    /// The (possibly transformed) specification.
+    pub spec: Stg,
+    /// The applied transformation, if any.
+    pub transformation: Option<CscTransformation>,
+    /// The candidate's state space, when already built (the identity
+    /// candidate reuses the check stage's space).
+    space: Option<Box<dyn StateSpace>>,
+    /// The candidate's implementability report, when already computed.
+    report: Option<ImplementabilityReport>,
+}
+
+impl CscCandidate {
+    fn from_resolution(r: CscResolution, kind: CscKind) -> Self {
+        CscCandidate {
+            spec: r.stg,
+            transformation: Some(CscTransformation {
+                kind,
+                description: r.description,
+                num_states: r.num_states,
+            }),
+            space: None,
+            report: None,
+        }
+    }
+}
+
+/// Stage 2 artifact: ranked CSC-clean candidates.
+#[derive(Debug)]
+pub struct CscResolved {
+    options: SynthesisOptions,
+    candidates: Vec<CscCandidate>,
+    events: Vec<FlowEvent>,
+}
+
+impl CscResolved {
+    /// The candidate transformations, best first.
+    #[must_use]
+    pub fn candidates(&self) -> &[CscCandidate] {
+        &self.candidates
+    }
+
+    /// Diagnostics accumulated so far.
+    #[must_use]
+    pub fn events(&self) -> &[FlowEvent] {
+        &self.events
+    }
+
+    /// Stage 3 (§3.2–§3.4): synthesises the first candidate that yields a
+    /// working circuit in the target architecture.
+    ///
+    /// Several resolutions can be acceptable at the specification level
+    /// (e.g. a state signal and its complement); candidates are tried
+    /// best-first and the first one whose synthesised circuit verifies
+    /// (unless verification is skipped) wins. Rejections are recorded as
+    /// [`FlowEvent::CandidateRejected`].
+    ///
+    /// # Errors
+    ///
+    /// The last candidate's error when all of them fail.
+    pub fn synthesize(mut self) -> Result<Synthesized, PipelineError> {
+        let mut last_error = PipelineError::CscUnresolved;
+        let candidates = std::mem::take(&mut self.candidates);
+        let tried = candidates.len();
+        for (index, candidate) in candidates.into_iter().enumerate() {
+            match synthesize_candidate(candidate, &self.options) {
+                Ok((mut synthesized, mut events)) => {
+                    if let Some(t) = &synthesized.transformation {
+                        self.events.push(FlowEvent::CscApplied(t.clone()));
+                    }
+                    self.events.append(&mut events);
+                    synthesized.events = self.events;
+                    return Ok(synthesized);
+                }
+                Err(e) => {
+                    self.events.push(FlowEvent::CandidateRejected {
+                        index,
+                        reason: e.to_string(),
+                    });
+                    last_error = e;
+                }
+            }
+        }
+        if tried > 1 {
+            // Backtracking exhausted several candidates: surface the whole
+            // rejection log, not just the last error.
+            Err(PipelineError::CandidatesExhausted {
+                last: Box::new(last_error),
+                events: self.events,
+            })
+        } else {
+            Err(last_error)
+        }
+    }
+}
+
+/// Synthesises and (unless skipped) verification-probes one candidate.
+fn synthesize_candidate(
+    candidate: CscCandidate,
+    options: &SynthesisOptions,
+) -> Result<(Synthesized, Vec<FlowEvent>), PipelineError> {
+    let mut events = Vec::new();
+    let CscCandidate {
+        spec,
+        transformation,
+        space,
+        report,
+    } = candidate;
+    let space: Box<dyn StateSpace> = match space {
+        Some(space) => space,
+        None => {
+            let space = options
+                .backend
+                .build(&spec)
+                .map_err(|e| PipelineError::Synthesis(e.to_string()))?;
+            events.push(FlowEvent::StateSpaceBuilt {
+                backend: options.backend,
+                num_states: space.num_states(),
+            });
+            space
+        }
+    };
+    let report = match report {
+        Some(report) => report,
+        None => stg::properties::report_from_sg(&spec, &*space),
+    };
+
+    // Next-state functions and equations (§3.2).
+    let complex = synthesize_complex_gates(&spec, &*space)
+        .map_err(|e| PipelineError::Synthesis(e.to_string()))?;
+    let equations_text = complex.display_equations(&spec);
+    events.push(FlowEvent::EquationsDerived {
+        count: complex.equations().len(),
+    });
+
+    // Architecture mapping (§3.4).
+    let max_fanin = options.max_fanin.unwrap_or(2);
+    let circuit = match options.architecture {
+        Architecture::ComplexGate => Circuit::Complex(complex.clone()),
+        Architecture::CElement => Circuit::Latch(
+            synthesize_latch_circuit(&spec, &*space, LatchStyle::CElement)
+                .map_err(|e| PipelineError::Synthesis(e.to_string()))?,
+        ),
+        Architecture::RsLatch => Circuit::Latch(
+            synthesize_latch_circuit(&spec, &*space, LatchStyle::RsLatch)
+                .map_err(|e| PipelineError::Synthesis(e.to_string()))?,
+        ),
+        Architecture::Decomposed => {
+            // Fig. 9: try the naive decomposition; if it is hazardous,
+            // repair by resubstitution (multiple acknowledgment).
+            let naive = decompose(&spec, &complex, max_fanin);
+            let nets: Vec<NetId> = spec.signals().map(|s| naive.signal_net(s)).collect();
+            let naive_report = verify_circuit(&spec, &*space, naive.netlist(), &nets);
+            if naive_report.is_speed_independent() {
+                Circuit::Decomposed(naive)
+            } else {
+                Circuit::Decomposed(resubstitute(&spec, &*space, &naive))
+            }
+        }
+    };
+    events.push(FlowEvent::CircuitSynthesized {
+        architecture: options.architecture,
+        gates: circuit.netlist().num_gates(),
+    });
+
+    // Technology-library sanity (standard library; the two-input library
+    // only fits decomposed netlists).
+    let library = match options.architecture {
+        Architecture::Decomposed => Library::two_input(),
+        _ => Library::standard(),
+    };
+    let mapping = map_to_library(circuit.netlist(), &library).ok();
+    if let Some(m) = &mapping {
+        events.push(FlowEvent::LibraryMapped {
+            cells: m.num_cells(),
+        });
+    }
+
+    // Verification probe (§2.1 "implementation verification"). Latch
+    // architectures are certified via their atomic equivalent plus the
+    // monotonous-cover condition (§3.4); gate-level netlists go through
+    // the strict Muller-model checker directly.
+    let probe = if options.skip_verification {
+        None
+    } else {
+        let v = match &circuit {
+            Circuit::Latch(latch) => {
+                let violations =
+                    synth::latch_arch::monotonic_violations(&spec, &*space, &latch.covers);
+                if !violations.is_empty() {
+                    return Err(PipelineError::Synthesis(format!(
+                        "{} monotonous-cover violation(s) in the latch networks",
+                        violations.len()
+                    )));
+                }
+                let (atomic, nets) = latch.atomic_netlist(&spec);
+                verify_circuit(&spec, &*space, &atomic, &nets)
+            }
+            _ => {
+                let nets = circuit.signal_nets(&spec);
+                verify_circuit(&spec, &*space, circuit.netlist(), &nets)
+            }
+        };
+        if !v.is_speed_independent() {
+            return Err(PipelineError::VerificationFailed(Box::new(v)));
+        }
+        Some(v)
+    };
+
+    Ok((
+        Synthesized {
+            spec,
+            options: options.clone(),
+            space,
+            transformation,
+            report,
+            circuit,
+            equations_text,
+            mapping,
+            probe,
+            events: Vec::new(),
+        },
+        events,
+    ))
+}
+
+/// Stage 3 artifact: a synthesised circuit with its equations, mapping
+/// and (unless skipped) a passed verification probe.
+#[derive(Debug)]
+pub struct Synthesized {
+    spec: Stg,
+    options: SynthesisOptions,
+    space: Box<dyn StateSpace>,
+    transformation: Option<CscTransformation>,
+    report: ImplementabilityReport,
+    circuit: Circuit,
+    equations_text: String,
+    mapping: Option<Mapping>,
+    probe: Option<VerificationReport>,
+    events: Vec<FlowEvent>,
+}
+
+impl Synthesized {
+    /// The (possibly CSC-transformed) specification actually synthesised.
+    #[must_use]
+    pub fn spec(&self) -> &Stg {
+        &self.spec
+    }
+
+    /// The applied CSC transformation, if any.
+    #[must_use]
+    pub fn transformation(&self) -> Option<&CscTransformation> {
+        self.transformation.as_ref()
+    }
+
+    /// The implementability report of the final specification.
+    #[must_use]
+    pub fn report(&self) -> &ImplementabilityReport {
+        &self.report
+    }
+
+    /// The synthesised circuit.
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Pretty-printed logic equations.
+    #[must_use]
+    pub fn equations_text(&self) -> &str {
+        &self.equations_text
+    }
+
+    /// The library mapping, when the netlist fits the library.
+    #[must_use]
+    pub fn mapping(&self) -> Option<&Mapping> {
+        self.mapping.as_ref()
+    }
+
+    /// The final specification's state space.
+    #[must_use]
+    pub fn state_space(&self) -> &dyn StateSpace {
+        &*self.space
+    }
+
+    /// Diagnostics accumulated so far.
+    #[must_use]
+    pub fn events(&self) -> &[FlowEvent] {
+        &self.events
+    }
+
+    /// The verification outcome at this stage: [`Verification::Passed`]
+    /// when the candidate-selection probe ran, [`Verification::NotRun`]
+    /// when verification was skipped and has not happened yet.
+    #[must_use]
+    pub fn verification(&self) -> Verification {
+        match &self.probe {
+            Some(v) => Verification::Passed(v.clone()),
+            None => Verification::NotRun,
+        }
+    }
+
+    /// Stage 4: finalises the verification outcome.
+    ///
+    /// When verification was enabled the probe already ran during
+    /// candidate selection (a candidate whose circuit fails verification
+    /// never reaches this stage) and its report is reused — nothing is
+    /// recomputed. With [`SynthesisOptions::skip_verification`] the
+    /// outcome is [`Verification::Skipped`].
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; the `Result` keeps the stage API uniform and
+    /// leaves room for re-verification policies.
+    pub fn verify(self) -> Result<Verified, PipelineError> {
+        let Synthesized {
+            spec,
+            options,
+            space,
+            transformation,
+            report,
+            circuit,
+            equations_text,
+            mapping,
+            probe,
+            mut events,
+        } = self;
+        let verification = if options.skip_verification {
+            events.push(FlowEvent::VerificationSkipped);
+            Verification::Skipped
+        } else {
+            // The probe runs during candidate selection whenever
+            // verification is enabled, so it is always present here (and
+            // already latch-aware: latch circuits were certified via
+            // their atomic equivalent plus the monotonous-cover check).
+            let v = probe.expect("verification probe runs when not skipped");
+            events.push(FlowEvent::VerificationPassed {
+                states_explored: v.states_explored,
+            });
+            Verification::Passed(v)
+        };
+        Ok(Verified {
+            spec,
+            transformation,
+            report,
+            circuit,
+            equations_text,
+            mapping,
+            verification,
+            space,
+            events,
+        })
+    }
+}
+
+/// Stage 4 artifact: everything the pipeline produced.
+#[derive(Debug)]
+pub struct Verified {
+    /// The (possibly CSC-transformed) specification actually synthesised.
+    pub spec: Stg,
+    /// The applied CSC transformation, if any.
+    pub transformation: Option<CscTransformation>,
+    /// The implementability report of the final specification.
+    pub report: ImplementabilityReport,
+    /// The synthesised circuit.
+    pub circuit: Circuit,
+    /// Pretty-printed logic equations (complex-gate view of the spec).
+    pub equations_text: String,
+    /// Library mapping of the final netlist.
+    pub mapping: Option<Mapping>,
+    /// The verification outcome (three-valued).
+    pub verification: Verification,
+    space: Box<dyn StateSpace>,
+    events: Vec<FlowEvent>,
+}
+
+impl Verified {
+    /// The final specification's state space.
+    #[must_use]
+    pub fn state_space(&self) -> &dyn StateSpace {
+        &*self.space
+    }
+
+    /// Number of states of the final specification.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.space.num_states()
+    }
+
+    /// The full diagnostic log, in stage order.
+    #[must_use]
+    pub fn events(&self) -> &[FlowEvent] {
+        &self.events
+    }
+}
+
+/// Synthesises many controllers concurrently on scoped threads (one
+/// worker per available core, work-stealing over the input list).
+///
+/// Results are returned in input order; per-spec failures do not abort
+/// the batch.
+#[must_use]
+pub fn run_batch(
+    specs: &[Stg],
+    options: &SynthesisOptions,
+) -> Vec<Result<Verified, PipelineError>> {
+    let n = specs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(n);
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Result<Verified, PipelineError>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = Synthesis::with_options(specs[i].clone(), options.clone()).run();
+                slots.lock().expect("no panics while holding the lock")[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("worker threads joined")
+        .into_iter()
+        .map(|slot| slot.expect("every slot filled by a worker"))
+        .collect()
+}

@@ -19,8 +19,14 @@ fn handshake_chain(k: usize, roles: &[bool]) -> Stg {
             b.add_signal(format!("s{i}"), kind)
         })
         .collect();
-    let rises: Vec<_> = sigs.iter().map(|&s| b.add_edge(s, SignalEdge::Rise)).collect();
-    let falls: Vec<_> = sigs.iter().map(|&s| b.add_edge(s, SignalEdge::Fall)).collect();
+    let rises: Vec<_> = sigs
+        .iter()
+        .map(|&s| b.add_edge(s, SignalEdge::Rise))
+        .collect();
+    let falls: Vec<_> = sigs
+        .iter()
+        .map(|&s| b.add_edge(s, SignalEdge::Fall))
+        .collect();
     // s0+ -> s1+ -> ... -> sk-1+ -> s0- -> s1- -> ... -> sk-1- -> s0+
     for i in 0..k - 1 {
         b.connect(rises[i], rises[i + 1]);

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace builds without network access, so this vendored shim
+//! implements the subset of criterion's API the `bench` crate uses:
+//! benchmark groups, [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
+//! simple wall-clock median over `sample_size` samples — adequate for
+//! relative comparisons, without criterion's statistics.
+//!
+//! Benchmarks run one iteration per sample when invoked via `cargo test`
+//! (so the targets stay compiled and smoke-tested) and the configured
+//! sample count under `cargo bench`.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque blackbox re-export, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// A benchmark identifier: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Vec<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times one invocation of `routine` per configured sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            let out = routine();
+            self.elapsed.push(start.elapsed());
+            drop(std_black_box(out));
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            elapsed: Vec::new(),
+            iters: self.samples() as u64,
+        };
+        routine(&mut b, input);
+        self.report(&id.name, &b.elapsed);
+        self
+    }
+
+    /// Benchmarks a plain routine.
+    pub fn bench_function<R>(&mut self, id: impl Display, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            elapsed: Vec::new(),
+            iters: self.samples() as u64,
+        };
+        routine(&mut b);
+        self.report(&id.to_string(), &b.elapsed);
+        self
+    }
+
+    /// Ends the group (reports were emitted per benchmark).
+    pub fn finish(&mut self) {}
+
+    fn samples(&self) -> usize {
+        if self.criterion.smoke_only {
+            1
+        } else {
+            self.sample_size.max(1)
+        }
+    }
+
+    fn report(&self, name: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            return;
+        }
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let total: Duration = sorted.iter().sum();
+        let mean = total / u32::try_from(sorted.len()).unwrap_or(1);
+        println!(
+            "{}/{name}: median {median:?}, mean {mean:?} over {} sample(s)",
+            self.name,
+            sorted.len()
+        );
+    }
+}
+
+/// Top-level benchmark context, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test` the harness passes `--test`; run a single
+        // iteration per benchmark so the suite stays fast.
+        let smoke_only = std::env::args().any(|a| a == "--test");
+        Criterion { smoke_only }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// Declares a group function running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
