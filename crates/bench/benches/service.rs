@@ -1,0 +1,111 @@
+//! Synthesis-service throughput: cold vs. warm content-addressed cache,
+//! and concurrent clients against a live TCP server.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use asyncsynth::{run_cached, ResultCache, SynthesisOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use server::protocol::Request;
+use server::service::{Server, ServerConfig};
+
+fn bench_root(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "asyncsynth-bench-cache-{}-{tag}",
+        std::process::id()
+    ))
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    let spec = stg::examples::vme_read();
+    let options = SynthesisOptions::default();
+
+    // Cold: a fresh cache directory every iteration — full flow plus
+    // the cost of populating the cache.
+    let cold_root = bench_root("cold");
+    let iteration = AtomicU64::new(0);
+    group.bench_function("cold-cache", |b| {
+        b.iter(|| {
+            let dir = cold_root.join(iteration.fetch_add(1, Ordering::Relaxed).to_string());
+            let cache = ResultCache::open(&dir).expect("cache opens");
+            let run = run_cached(&spec, &options, &cache).expect("flow succeeds");
+            let _ = std::fs::remove_dir_all(&dir);
+            run.summary.num_states
+        });
+    });
+    let _ = std::fs::remove_dir_all(&cold_root);
+
+    // Warm: one pre-populated cache — pure lookup + verify path.
+    let warm_root = bench_root("warm");
+    let _ = std::fs::remove_dir_all(&warm_root);
+    let warm = ResultCache::open(&warm_root).expect("cache opens");
+    run_cached(&spec, &options, &warm).expect("prewarm");
+    group.bench_function("warm-cache", |b| {
+        b.iter(|| {
+            run_cached(&spec, &options, &warm)
+                .expect("warm flow succeeds")
+                .summary
+                .num_states
+        });
+    });
+    let _ = std::fs::remove_dir_all(&warm_root);
+    group.finish();
+}
+
+fn bench_concurrent_clients(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service-tcp");
+    group.sample_size(10);
+    let cache_root = bench_root("tcp");
+    let _ = std::fs::remove_dir_all(&cache_root);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &ServerConfig {
+            workers: 4,
+            cache_dir: Some(cache_root.clone()),
+        },
+    )
+    .expect("server binds");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let specs: Vec<String> = [
+        stg::examples::vme_read,
+        stg::examples::vme_read_csc,
+        stg::examples::vme_read_write,
+        stg::examples::toggle,
+    ]
+    .iter()
+    .map(|build| stg::parse::write_g(&build()))
+    .collect();
+
+    // First sample is cold, the rest are warm — the interesting number
+    // is the steady-state round-trip with four concurrent clients.
+    group.bench_function("four-concurrent-clients", |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for spec in &specs {
+                    let addr = &addr;
+                    scope.spawn(move || {
+                        server::client::submit_synth(
+                            addr,
+                            spec,
+                            &SynthesisOptions::default(),
+                            false,
+                            |_| {},
+                        )
+                        .expect("concurrent submission succeeds")
+                    });
+                }
+            });
+        });
+    });
+
+    let _ = server::client::request(&addr, &Request::Shutdown, |_| {});
+    let _ = handle.join();
+    let _ = std::fs::remove_dir_all(&cache_root);
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_concurrent_clients);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! A blocking client for the synthesis service (`asyncsynth submit`).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use asyncsynth::SynthesisOptions;
+
+use crate::protocol::{Request, Response};
+
+/// Connects to `addr`, submits one request and returns the final
+/// response for the accepted job (a `result`, `check_result` or `error`
+/// message). Intermediate responses — `accepted` and streamed `event`s —
+/// are handed to `on_response` as they arrive.
+///
+/// # Errors
+///
+/// Connection failures, protocol violations, or a server-side error
+/// response (including job failures).
+pub fn request(
+    addr: &str,
+    request: &Request,
+    mut on_response: impl FnMut(&Response),
+) -> Result<Response, String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut line = request.render();
+    line.push('\n');
+    stream
+        .write_all(line.as_bytes())
+        .map_err(|e| format!("send failed: {e}"))?;
+    let reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?,
+    );
+    let mut job: Option<u64> = None;
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("read failed: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = Response::parse_line(&line)?;
+        match &response {
+            Response::Accepted { job: id, .. } => {
+                job = Some(*id);
+                on_response(&response);
+            }
+            Response::Event { .. } => on_response(&response),
+            Response::Result { job: id, .. } | Response::CheckResult { job: id, .. }
+                if job == Some(*id) =>
+            {
+                return Ok(response);
+            }
+            Response::Error { message, .. } => {
+                return Err(message.clone());
+            }
+            // Direct acknowledgements of non-job requests.
+            Response::Status { .. } | Response::Cancelled { .. } | Response::ShuttingDown
+                if job.is_none() =>
+            {
+                return Ok(response);
+            }
+            // Responses for other jobs on a shared connection — not
+            // ours, keep reading.
+            _ => {}
+        }
+    }
+    Err("connection closed before a result arrived".to_owned())
+}
+
+/// Submits one `.g` specification for synthesis and returns the final
+/// response.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn submit_synth(
+    addr: &str,
+    spec_text: &str,
+    options: &SynthesisOptions,
+    events: bool,
+    on_response: impl FnMut(&Response),
+) -> Result<Response, String> {
+    request(
+        addr,
+        &Request::Synth {
+            spec_text: spec_text.to_owned(),
+            options: options.clone(),
+            events,
+        },
+        on_response,
+    )
+}

@@ -1,0 +1,201 @@
+//! The one flag-parsing helper shared by every `asyncsynth` subcommand
+//! (`check`, `synth`, `wave`, `reduce`, `serve`, `submit`).
+//!
+//! Each subcommand declares which flags it accepts; values, defaults
+//! and error messages are uniform across the CLI, so `--backend
+//! symbolic --json` means the same thing everywhere it is allowed.
+
+use std::path::PathBuf;
+
+use asyncsynth::{Architecture, Backend, CscStrategy, SynthesisOptions};
+
+/// Parsed common flags, with their defaults.
+#[derive(Debug, Clone)]
+pub struct CliFlags {
+    /// `--backend explicit|symbolic`.
+    pub backend: Backend,
+    /// `--json`: machine-readable output.
+    pub json: bool,
+    /// `--arch complex|celement|rs|decomposed`.
+    pub arch: Architecture,
+    /// `--csc auto|insertion|reduction|fail`.
+    pub csc: CscStrategy,
+    /// `--fanin N` (decomposed fan-in bound).
+    pub fanin: Option<usize>,
+    /// `--no-verify`: skip the exhaustive verification stage.
+    pub no_verify: bool,
+    /// `--assume "a<b"` relative-timing assumptions (repeatable).
+    pub assumptions: Vec<timing::TimingAssumption>,
+    /// `--cache DIR`: content-addressed result cache directory.
+    pub cache_dir: Option<PathBuf>,
+    /// `--port N` (serve: listen port; submit: server port).
+    pub port: Option<u16>,
+    /// `--host H` (submit; default 127.0.0.1).
+    pub host: String,
+    /// `--workers N` (serve).
+    pub workers: Option<usize>,
+    /// `--stdio` (serve over stdin/stdout instead of TCP).
+    pub stdio: bool,
+    /// `--events` (submit: stream per-stage events).
+    pub events: bool,
+}
+
+impl Default for CliFlags {
+    fn default() -> Self {
+        CliFlags {
+            backend: Backend::default(),
+            json: false,
+            arch: Architecture::default(),
+            csc: CscStrategy::default(),
+            fanin: None,
+            no_verify: false,
+            assumptions: Vec::new(),
+            cache_dir: None,
+            port: None,
+            host: "127.0.0.1".to_owned(),
+            workers: None,
+            stdio: false,
+            events: false,
+        }
+    }
+}
+
+impl CliFlags {
+    /// The pipeline options these flags select.
+    #[must_use]
+    pub fn options(&self) -> SynthesisOptions {
+        SynthesisOptions {
+            backend: self.backend,
+            architecture: self.arch,
+            csc: self.csc,
+            max_fanin: self.fanin,
+            skip_verification: self.no_verify,
+        }
+    }
+}
+
+/// Parses `args` accepting only the flags named in `allowed` (e.g.
+/// `&["--backend", "--json"]`); every subcommand routes through here.
+///
+/// # Errors
+///
+/// Unknown flags, flags not allowed for this subcommand, and malformed
+/// values.
+pub fn parse_flags(args: &[String], allowed: &[&str]) -> Result<CliFlags, String> {
+    let mut flags = CliFlags::default();
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag.starts_with("--") && !allowed.contains(&flag) {
+            return Err(format!(
+                "option {flag:?} is not supported here (allowed: {})",
+                allowed.join(", ")
+            ));
+        }
+        match flag {
+            "--backend" => flags.backend = value(args, &mut i, flag)?.parse()?,
+            "--json" => flags.json = true,
+            "--arch" => flags.arch = value(args, &mut i, flag)?.parse()?,
+            "--csc" => flags.csc = value(args, &mut i, flag)?.parse()?,
+            "--fanin" => {
+                flags.fanin = Some(
+                    value(args, &mut i, flag)?
+                        .parse()
+                        .map_err(|_| "bad --fanin value")?,
+                );
+            }
+            "--no-verify" => flags.no_verify = true,
+            "--assume" => {
+                let v = value(args, &mut i, flag)?;
+                let (a, b) = v
+                    .split_once('<')
+                    .ok_or("assumption syntax: earlier<later")?;
+                flags
+                    .assumptions
+                    .push(timing::TimingAssumption::new(a.trim(), b.trim()));
+            }
+            "--cache" => flags.cache_dir = Some(PathBuf::from(value(args, &mut i, flag)?)),
+            "--port" => {
+                flags.port = Some(
+                    value(args, &mut i, flag)?
+                        .parse()
+                        .map_err(|_| "bad --port value")?,
+                );
+            }
+            "--host" => flags.host = value(args, &mut i, flag)?,
+            "--workers" => {
+                flags.workers = Some(
+                    value(args, &mut i, flag)?
+                        .parse()
+                        .map_err(|_| "bad --workers value")?,
+                );
+            }
+            "--stdio" => flags.stdio = true,
+            "--events" => flags.events = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(flags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_flags;
+
+    #[test]
+    fn accepts_allowed_flags_and_rejects_others() {
+        let args: Vec<String> = ["--backend", "symbolic", "--json"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let flags = parse_flags(&args, &["--backend", "--json"]).expect("parses");
+        assert_eq!(flags.backend, asyncsynth::Backend::Symbolic);
+        assert!(flags.json);
+
+        let err = parse_flags(&args, &["--json"]).expect_err("backend not allowed");
+        assert!(err.contains("--backend"), "{err}");
+        assert!(
+            parse_flags(&["--backend".to_owned()], &["--backend"]).is_err(),
+            "missing value"
+        );
+    }
+
+    #[test]
+    fn full_synth_flag_set() {
+        let args: Vec<String> = [
+            "--arch",
+            "decomposed",
+            "--fanin",
+            "3",
+            "--csc",
+            "insertion",
+            "--no-verify",
+            "--cache",
+            "/tmp/c",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let flags = parse_flags(
+            &args,
+            &["--arch", "--fanin", "--csc", "--no-verify", "--cache"],
+        )
+        .expect("parses");
+        let options = flags.options();
+        assert_eq!(options.architecture, asyncsynth::Architecture::Decomposed);
+        assert_eq!(options.max_fanin, Some(3));
+        assert_eq!(options.csc, asyncsynth::CscStrategy::SignalInsertion);
+        assert!(options.skip_verification);
+        assert_eq!(
+            flags.cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/c"))
+        );
+    }
+}

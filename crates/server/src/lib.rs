@@ -1,0 +1,59 @@
+//! The synthesis service: a persistent daemon around the `asyncsynth`
+//! staged pipeline.
+//!
+//! The one-shot CLI re-synthesises every specification from scratch;
+//! this crate turns the flow into a long-lived service that absorbs
+//! repeated and concurrent workloads:
+//!
+//! * [`queue`] — a condvar-guarded job FIFO with per-job cancellation;
+//! * [`pool`] — a long-lived worker pool (generalising `run_batch`'s
+//!   scoped work-stealing) running each job through the cached flow
+//!   ([`asyncsynth::run_cached_with`]), streaming [`asyncsynth::FlowEvent`]s
+//!   and surviving panicking jobs;
+//! * [`protocol`] — the newline-delimited-JSON wire format;
+//! * [`service`] — the TCP acceptor ([`Server`]) and the stdio session
+//!   ([`serve_stdio`]);
+//! * [`client`] — a blocking client (`asyncsynth submit`);
+//! * [`flags`] — the flag-parsing helper shared by every CLI subcommand.
+//!
+//! Results are content-addressed by [`asyncsynth::cache_key`] (see
+//! [`stg::canon`]): submitting the same specification twice hits the
+//! on-disk [`asyncsynth::ResultCache`] and re-runs nothing.
+//!
+//! # In-process example
+//!
+//! ```
+//! use server::protocol::{Request, Response};
+//! use server::service::{Server, ServerConfig};
+//!
+//! let server = Server::bind(
+//!     "127.0.0.1:0",
+//!     &ServerConfig { workers: 2, cache_dir: None },
+//! )?;
+//! let addr = server.local_addr()?.to_string();
+//! let handle = std::thread::spawn(move || server.run());
+//!
+//! let spec = stg::parse::write_g(&stg::examples::vme_read_csc());
+//! let final_response = server::client::submit_synth(
+//!     &addr,
+//!     &spec,
+//!     &asyncsynth::SynthesisOptions::default(),
+//!     false,
+//!     |_| {},
+//! ).expect("job succeeds");
+//! assert!(matches!(final_response, Response::Result { .. }));
+//!
+//! server::client::request(&addr, &Request::Shutdown, |_| {}).ok();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod client;
+pub mod flags;
+pub mod pool;
+pub mod protocol;
+pub mod queue;
+pub mod service;
+
+pub use pool::WorkerPool;
+pub use queue::{Job, JobKind, JobQueue};
+pub use service::{serve_stdio, Server, ServerConfig};

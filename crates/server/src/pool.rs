@@ -1,0 +1,187 @@
+//! The long-lived worker pool.
+//!
+//! Generalises `run_batch`'s scoped-thread work-stealing into a
+//! persistent pool: N workers block on the [`JobQueue`], run each job
+//! through the cached flow ([`asyncsynth::run_cached_with`]), stream
+//! per-stage events back to the owning connection, honour cancellation
+//! between stages, and survive panicking jobs (a panic fails the job,
+//! not the worker).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use asyncsynth::{cache_key, run_cached_with, CacheStage, FlowEvent, FlowObserver, ResultCache};
+
+use crate::protocol::Response;
+use crate::queue::{Job, JobKind, JobQueue, Reply};
+
+/// Streams stage events into the job's reply channel and polls the
+/// job's cancellation flag.
+struct JobObserver<'a> {
+    job_id: u64,
+    stream: bool,
+    cancel: &'a std::sync::atomic::AtomicBool,
+    reply: &'a Reply,
+}
+
+impl FlowObserver for JobObserver<'_> {
+    fn stage(&mut self, stage: &str, events: &[FlowEvent]) {
+        if !self.stream {
+            return;
+        }
+        for event in events {
+            // A dead client is not an error; the job still completes and
+            // warms the cache.
+            self.reply.send(Response::Event {
+                job: self.job_id,
+                stage: stage.to_owned(),
+                message: event.to_string(),
+            });
+        }
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-size pool of worker threads draining a [`JobQueue`].
+#[derive(Debug)]
+pub struct WorkerPool {
+    queue: Arc<JobQueue>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads draining `queue`, all sharing `cache`.
+    #[must_use]
+    pub fn start(
+        workers: usize,
+        queue: Arc<JobQueue>,
+        cache: Option<Arc<ResultCache>>,
+    ) -> WorkerPool {
+        let workers = workers.max(1);
+        let handles = (0..workers)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let cache = cache.clone();
+                std::thread::Builder::new()
+                    .name(format!("synth-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, cache.as_deref()))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            queue,
+            handles,
+            workers,
+        }
+    }
+
+    /// Pool size.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Closes the queue and joins every worker.
+    pub fn shutdown(self) {
+        self.queue.close();
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(queue: &JobQueue, cache: Option<&ResultCache>) {
+    while let Some(job) = queue.take() {
+        if job.cancel.load(Ordering::Relaxed) {
+            queue.mark_done(job.id);
+            job.reply.send(Response::Error {
+                job: Some(job.id),
+                message: "cancelled before start".to_owned(),
+            });
+            continue;
+        }
+        queue.mark_running(job.id, Arc::clone(&job.cancel));
+        // A panicking specification must fail its job, never take the
+        // worker (and with it the whole service) down.
+        let response =
+            catch_unwind(AssertUnwindSafe(|| run_job(&job, cache))).unwrap_or_else(|panic| {
+                Response::Error {
+                    job: Some(job.id),
+                    message: format!("job panicked: {}", panic_message(&panic)),
+                }
+            });
+        // Counters first: by the time a client holds this job's result,
+        // `status` already reports it as completed.
+        queue.mark_done(job.id);
+        job.reply.send(response);
+    }
+}
+
+fn run_job(job: &Job, cache: Option<&ResultCache>) -> Response {
+    match job.kind {
+        JobKind::Synth { stream_events } => {
+            let mut observer = JobObserver {
+                job_id: job.id,
+                stream: stream_events,
+                cancel: &job.cancel,
+                reply: &job.reply,
+            };
+            match run_cached_with(&job.spec, &job.options, cache, &mut observer) {
+                Ok(run) => Response::Result {
+                    job: job.id,
+                    cache: run.outcome.name().to_owned(),
+                    summary: run.summary.to_json(),
+                },
+                Err(e) => Response::Error {
+                    job: Some(job.id),
+                    message: e.to_string(),
+                },
+            }
+        }
+        JobKind::Check => {
+            let key = cache.map(|_| cache_key(&job.spec, &job.options, CacheStage::Check));
+            if let (Some(cache), Some(key)) = (cache, key) {
+                if let Some(report) = cache.load(&key) {
+                    return Response::CheckResult {
+                        job: job.id,
+                        cache: "hit".to_owned(),
+                        report,
+                    };
+                }
+            }
+            let report = match job.options.backend.build(&job.spec) {
+                Ok(space) => stg::properties::report_from_sg(&job.spec, &*space),
+                Err(e) => stg::properties::failure_report(e),
+            };
+            let payload = asyncsynth::summary::report_to_json(&report);
+            if let (Some(cache), Some(key)) = (cache, key) {
+                let _ = cache.store(&key, &payload);
+            }
+            Response::CheckResult {
+                job: job.id,
+                cache: if cache.is_some() {
+                    "miss".to_owned()
+                } else {
+                    "disabled".to_owned()
+                },
+                report: payload,
+            }
+        }
+    }
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_owned()
+    }
+}

@@ -1,0 +1,502 @@
+//! The synthesis service's wire protocol: newline-delimited JSON
+//! (NDJSON), one message per line, over TCP or stdio.
+//!
+//! # Requests
+//!
+//! ```json
+//! {"op":"synth","spec":"<.g text>","backend":"explicit","arch":"complex",
+//!  "csc":"auto","fanin":2,"skip_verification":false,"events":true}
+//! {"op":"check","spec":"<.g text>","backend":"symbolic"}
+//! {"op":"status"}
+//! {"op":"cancel","job":3}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Every option of `synth` except `spec` is optional and defaults to the
+//! pipeline's defaults. `events:true` streams per-stage [`FlowEvent`]
+//! diagnostics while the job runs.
+//!
+//! # Responses
+//!
+//! ```json
+//! {"type":"accepted","job":1,"key":"<64-hex cache key>"}
+//! {"type":"event","job":1,"stage":"check","message":"state space built (explicit): 20 states"}
+//! {"type":"result","job":1,"cache":"miss","summary":{...}}
+//! {"type":"check_result","job":2,"cache":"hit","report":{...}}
+//! {"type":"error","job":1,"message":"..."}        // job omitted for protocol errors
+//! {"type":"status","queued":0,"running":1,"completed":9,"workers":4,
+//!  "cache":{"hits":5,"misses":4,"stores":4,"corrupt":0}}
+//! {"type":"cancelled","job":3,"found":true}
+//! {"type":"shutting_down"}
+//! ```
+//!
+//! Responses for a given job always end with exactly one `result`,
+//! `check_result` or `error` message carrying that job id.
+//!
+//! [`FlowEvent`]: asyncsynth::FlowEvent
+
+use asyncsynth::cache::CacheStats;
+use asyncsynth::{Json, SynthesisOptions};
+
+/// A client → server message.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Run the full flow on a `.g` specification.
+    Synth {
+        /// The specification, in `.g` text form.
+        spec_text: String,
+        /// Flow options (backend, architecture, CSC strategy, …).
+        options: SynthesisOptions,
+        /// Stream per-stage events while the job runs.
+        events: bool,
+    },
+    /// Run only the §2.1 implementability check.
+    Check {
+        /// The specification, in `.g` text form.
+        spec_text: String,
+        /// Flow options (only the backend matters for `check`).
+        options: SynthesisOptions,
+    },
+    /// Report queue/worker/cache counters.
+    Status,
+    /// Cancel a queued or running job.
+    Cancel {
+        /// The job id from the `accepted` response.
+        job: u64,
+    },
+    /// Stop accepting connections and drain.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one NDJSON request line.
+    ///
+    /// # Errors
+    ///
+    /// A protocol-level message (malformed JSON, unknown `op`, missing
+    /// or mistyped fields).
+    pub fn parse_line(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("missing \"op\" field")?;
+        match op {
+            "synth" => Ok(Request::Synth {
+                spec_text: spec_field(&v)?,
+                options: options_fields(&v)?,
+                events: v.get("events").and_then(Json::as_bool).unwrap_or(false),
+            }),
+            "check" => Ok(Request::Check {
+                spec_text: spec_field(&v)?,
+                options: options_fields(&v)?,
+            }),
+            "status" => Ok(Request::Status),
+            "cancel" => Ok(Request::Cancel {
+                job: v
+                    .get("job")
+                    .and_then(Json::as_u64)
+                    .ok_or("cancel needs a numeric \"job\"")?,
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+
+    /// Renders the request as one NDJSON line (no trailing newline).
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            Request::Synth {
+                spec_text,
+                options,
+                events,
+            } => {
+                let mut pairs = vec![("op", Json::str("synth")), ("spec", Json::str(spec_text))];
+                pairs.extend(option_pairs(options));
+                pairs.push(("events", Json::Bool(*events)));
+                Json::obj(pairs).render()
+            }
+            Request::Check { spec_text, options } => {
+                let mut pairs = vec![("op", Json::str("check")), ("spec", Json::str(spec_text))];
+                pairs.extend(option_pairs(options));
+                Json::obj(pairs).render()
+            }
+            Request::Status => Json::obj(vec![("op", Json::str("status"))]).render(),
+            Request::Cancel { job } => Json::obj(vec![
+                ("op", Json::str("cancel")),
+                ("job", Json::Num(*job as f64)),
+            ])
+            .render(),
+            Request::Shutdown => Json::obj(vec![("op", Json::str("shutdown"))]).render(),
+        }
+    }
+}
+
+fn spec_field(v: &Json) -> Result<String, String> {
+    v.get("spec")
+        .and_then(Json::as_str)
+        .map(ToOwned::to_owned)
+        .ok_or_else(|| "missing \"spec\" field (.g text)".to_owned())
+}
+
+fn options_fields(v: &Json) -> Result<SynthesisOptions, String> {
+    let mut options = SynthesisOptions::default();
+    if let Some(backend) = v.get("backend").and_then(Json::as_str) {
+        options.backend = backend.parse()?;
+    }
+    if let Some(arch) = v.get("arch").and_then(Json::as_str) {
+        options.architecture = arch.parse()?;
+    }
+    if let Some(csc) = v.get("csc").and_then(Json::as_str) {
+        options.csc = csc.parse()?;
+    }
+    if let Some(fanin) = v.get("fanin") {
+        options.max_fanin = Some(
+            fanin
+                .as_usize()
+                .ok_or("\"fanin\" must be a non-negative integer")?,
+        );
+    }
+    if let Some(skip) = v.get("skip_verification").and_then(Json::as_bool) {
+        options.skip_verification = skip;
+    }
+    Ok(options)
+}
+
+fn option_pairs(options: &SynthesisOptions) -> Vec<(&'static str, Json)> {
+    let mut pairs = vec![
+        ("backend", Json::str(options.backend.name())),
+        ("arch", Json::str(options.architecture.name())),
+        ("csc", Json::str(options.csc.name())),
+    ];
+    if let Some(fanin) = options.max_fanin {
+        pairs.push(("fanin", Json::num(fanin)));
+    }
+    if options.skip_verification {
+        pairs.push(("skip_verification", Json::Bool(true)));
+    }
+    pairs
+}
+
+/// A server → client message.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// A job was queued.
+    Accepted {
+        /// The job id (scope: this server process).
+        job: u64,
+        /// The full-result cache key, when the server runs a cache.
+        key: Option<String>,
+    },
+    /// A streamed per-stage diagnostic (only with `events:true`).
+    Event {
+        /// The job this event belongs to.
+        job: u64,
+        /// The pipeline stage that produced it.
+        stage: String,
+        /// The rendered [`asyncsynth::FlowEvent`].
+        message: String,
+    },
+    /// A synth job finished successfully.
+    Result {
+        /// The job id.
+        job: u64,
+        /// Cache participation (`hit`, `csc_resumed`, `miss`, `disabled`).
+        cache: String,
+        /// The [`asyncsynth::SynthesisSummary`] JSON.
+        summary: Json,
+    },
+    /// A check job finished successfully.
+    CheckResult {
+        /// The job id.
+        job: u64,
+        /// Cache participation (`hit`, `miss`, `disabled`).
+        cache: String,
+        /// The implementability report JSON.
+        report: Json,
+    },
+    /// A job failed, or (with `job: None`) a request was malformed.
+    Error {
+        /// The job id, when the error belongs to an accepted job.
+        job: Option<u64>,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Queue / worker / cache counters.
+    Status {
+        /// Jobs waiting for a worker.
+        queued: usize,
+        /// Jobs currently executing.
+        running: usize,
+        /// Jobs finished since the server started.
+        completed: u64,
+        /// Worker-pool size.
+        workers: usize,
+        /// Cache counters, when a cache is configured.
+        cache: Option<CacheStats>,
+    },
+    /// Acknowledges a cancel request.
+    Cancelled {
+        /// The job id from the request.
+        job: u64,
+        /// Whether the job was still known (queued or running).
+        found: bool,
+    },
+    /// Acknowledges a shutdown request.
+    ShuttingDown,
+}
+
+impl Response {
+    /// Encodes the response as a JSON value.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        #[allow(clippy::cast_precision_loss)]
+        let num64 = |n: u64| Json::Num(n as f64);
+        match self {
+            Response::Accepted { job, key } => Json::obj(vec![
+                ("type", Json::str("accepted")),
+                ("job", num64(*job)),
+                ("key", key.as_ref().map_or(Json::Null, Json::str)),
+            ]),
+            Response::Event {
+                job,
+                stage,
+                message,
+            } => Json::obj(vec![
+                ("type", Json::str("event")),
+                ("job", num64(*job)),
+                ("stage", Json::str(stage)),
+                ("message", Json::str(message)),
+            ]),
+            Response::Result {
+                job,
+                cache,
+                summary,
+            } => Json::obj(vec![
+                ("type", Json::str("result")),
+                ("job", num64(*job)),
+                ("cache", Json::str(cache)),
+                ("summary", summary.clone()),
+            ]),
+            Response::CheckResult { job, cache, report } => Json::obj(vec![
+                ("type", Json::str("check_result")),
+                ("job", num64(*job)),
+                ("cache", Json::str(cache)),
+                ("report", report.clone()),
+            ]),
+            Response::Error { job, message } => Json::obj(vec![
+                ("type", Json::str("error")),
+                ("job", job.map_or(Json::Null, num64)),
+                ("message", Json::str(message)),
+            ]),
+            Response::Status {
+                queued,
+                running,
+                completed,
+                workers,
+                cache,
+            } => Json::obj(vec![
+                ("type", Json::str("status")),
+                ("queued", Json::num(*queued)),
+                ("running", Json::num(*running)),
+                ("completed", num64(*completed)),
+                ("workers", Json::num(*workers)),
+                (
+                    "cache",
+                    cache.map_or(Json::Null, |c| {
+                        Json::obj(vec![
+                            ("hits", num64(c.hits)),
+                            ("misses", num64(c.misses)),
+                            ("stores", num64(c.stores)),
+                            ("corrupt", num64(c.corrupt)),
+                        ])
+                    }),
+                ),
+            ]),
+            Response::Cancelled { job, found } => Json::obj(vec![
+                ("type", Json::str("cancelled")),
+                ("job", num64(*job)),
+                ("found", Json::Bool(*found)),
+            ]),
+            Response::ShuttingDown => Json::obj(vec![("type", Json::str("shutting_down"))]),
+        }
+    }
+
+    /// Parses one NDJSON response line (the client side).
+    ///
+    /// # Errors
+    ///
+    /// A protocol-level message on malformed or unknown responses.
+    pub fn parse_line(line: &str) -> Result<Response, String> {
+        let v = Json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+        let ty = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("missing \"type\" field")?;
+        let job = |v: &Json| {
+            v.get("job")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| "missing numeric \"job\"".to_owned())
+        };
+        let text = |v: &Json, key: &str| {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(ToOwned::to_owned)
+                .ok_or_else(|| format!("missing string {key:?}"))
+        };
+        match ty {
+            "accepted" => Ok(Response::Accepted {
+                job: job(&v)?,
+                key: v.get("key").and_then(Json::as_str).map(ToOwned::to_owned),
+            }),
+            "event" => Ok(Response::Event {
+                job: job(&v)?,
+                stage: text(&v, "stage")?,
+                message: text(&v, "message")?,
+            }),
+            "result" => Ok(Response::Result {
+                job: job(&v)?,
+                cache: text(&v, "cache")?,
+                summary: v.get("summary").cloned().ok_or("missing summary")?,
+            }),
+            "check_result" => Ok(Response::CheckResult {
+                job: job(&v)?,
+                cache: text(&v, "cache")?,
+                report: v.get("report").cloned().ok_or("missing report")?,
+            }),
+            "error" => Ok(Response::Error {
+                job: v.get("job").and_then(Json::as_u64),
+                message: text(&v, "message")?,
+            }),
+            "status" => Ok(Response::Status {
+                queued: v.get("queued").and_then(Json::as_usize).unwrap_or(0),
+                running: v.get("running").and_then(Json::as_usize).unwrap_or(0),
+                completed: v.get("completed").and_then(Json::as_u64).unwrap_or(0),
+                workers: v.get("workers").and_then(Json::as_usize).unwrap_or(0),
+                cache: v.get("cache").and_then(|c| {
+                    Some(CacheStats {
+                        hits: c.get("hits")?.as_u64()?,
+                        misses: c.get("misses")?.as_u64()?,
+                        stores: c.get("stores")?.as_u64()?,
+                        corrupt: c.get("corrupt")?.as_u64()?,
+                    })
+                }),
+            }),
+            "cancelled" => Ok(Response::Cancelled {
+                job: job(&v)?,
+                found: v.get("found").and_then(Json::as_bool).unwrap_or(false),
+            }),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            other => Err(format!("unknown response type {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Request, Response};
+    use asyncsynth::Json;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Synth {
+                spec_text: ".model m\n.outputs x\n.graph\nx+ x-\nx- x+\n.marking {<x-,x+>}\n.end\n"
+                    .to_owned(),
+                options: asyncsynth::SynthesisOptions {
+                    backend: asyncsynth::Backend::Symbolic,
+                    max_fanin: Some(3),
+                    ..Default::default()
+                },
+                events: true,
+            },
+            Request::Status,
+            Request::Cancel { job: 7 },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = req.render();
+            let back = Request::parse_line(&line).expect("own rendering parses");
+            assert_eq!(back.render(), line);
+        }
+    }
+
+    #[test]
+    fn synth_request_defaults() {
+        let req = Request::parse_line("{\"op\":\"synth\",\"spec\":\".model m\\n.end\"}")
+            .expect("minimal synth parses");
+        match req {
+            Request::Synth {
+                options, events, ..
+            } => {
+                assert_eq!(options.backend, asyncsynth::Backend::Explicit);
+                assert!(!events);
+            }
+            other => panic!("wrong request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_requests_are_rejected() {
+        for bad in [
+            "",
+            "{}",
+            "{\"op\":\"synth\"}",
+            "{\"op\":\"warp\"}",
+            "{\"op\":\"cancel\"}",
+            "{\"op\":\"synth\",\"spec\":\"x\",\"backend\":\"quantum\"}",
+        ] {
+            assert!(
+                Request::parse_line(bad).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Accepted {
+                job: 1,
+                key: Some("ab".repeat(32)),
+            },
+            Response::Event {
+                job: 1,
+                stage: "check".to_owned(),
+                message: "state space built".to_owned(),
+            },
+            Response::Result {
+                job: 1,
+                cache: "hit".to_owned(),
+                summary: Json::obj(vec![("model", Json::str("m"))]),
+            },
+            Response::Error {
+                job: None,
+                message: "malformed".to_owned(),
+            },
+            Response::Status {
+                queued: 1,
+                running: 2,
+                completed: 3,
+                workers: 4,
+                cache: Some(asyncsynth::CacheStats {
+                    hits: 9,
+                    misses: 8,
+                    stores: 7,
+                    corrupt: 0,
+                }),
+            },
+            Response::Cancelled {
+                job: 5,
+                found: true,
+            },
+            Response::ShuttingDown,
+        ];
+        for resp in resps {
+            let line = resp.to_json().render();
+            let back = Response::parse_line(&line).expect("own rendering parses");
+            assert_eq!(back.to_json().render(), line);
+        }
+    }
+}

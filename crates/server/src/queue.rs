@@ -1,0 +1,209 @@
+//! The service's job queue: a condvar-guarded FIFO shared between
+//! connection handlers (producers) and the worker pool (consumers),
+//! with per-job cancellation flags that reach into both queued and
+//! running jobs.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+
+use asyncsynth::SynthesisOptions;
+use stg::Stg;
+
+use crate::protocol::Response;
+
+/// A connection's response channel, with an in-flight counter shared
+/// with the server: incremented on `send`, decremented by the
+/// connection's writer thread once the message is on the wire (or
+/// known undeliverable). Shutdown drains on this counter, so results
+/// already produced are never lost to process exit.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    tx: Sender<Response>,
+    in_flight: Arc<AtomicI64>,
+}
+
+impl Reply {
+    /// Wraps a channel sender with the server's in-flight counter.
+    #[must_use]
+    pub fn new(tx: Sender<Response>, in_flight: Arc<AtomicI64>) -> Reply {
+        Reply { tx, in_flight }
+    }
+
+    /// Sends a response; a disconnected receiver is not an error (the
+    /// message is simply undeliverable and not counted).
+    pub fn send(&self, response: Response) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        if self.tx.send(response).is_err() {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// What a job computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// The full flow; optionally streaming per-stage events.
+    Synth {
+        /// Stream [`asyncsynth::FlowEvent`]s while running.
+        stream_events: bool,
+    },
+    /// Only the §2.1 implementability check.
+    Check,
+}
+
+/// One unit of work: a parsed specification plus options, the owning
+/// connection's reply channel, and a shared cancellation flag.
+#[derive(Debug)]
+pub struct Job {
+    /// Server-unique id (echoed in every response about this job).
+    pub id: u64,
+    /// The parsed specification.
+    pub spec: Stg,
+    /// Flow options.
+    pub options: SynthesisOptions,
+    /// Synth or check.
+    pub kind: JobKind,
+    /// Set to cancel; polled between pipeline stages.
+    pub cancel: Arc<AtomicBool>,
+    /// The owning connection's response channel.
+    pub reply: Reply,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The shared FIFO of pending jobs.
+#[derive(Debug)]
+pub struct JobQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    next_id: AtomicU64,
+    /// Cancellation flags of every live (queued *or* running) job,
+    /// registered at submission. Keeping one registry closes the
+    /// cancel/TOCTOU window between a worker popping a job and marking
+    /// it running.
+    live: Mutex<HashMap<u64, Arc<AtomicBool>>>,
+    /// Ids of currently-executing jobs.
+    running: Mutex<HashMap<u64, Arc<AtomicBool>>>,
+    completed: AtomicU64,
+}
+
+impl Default for JobQueue {
+    fn default() -> Self {
+        JobQueue::new()
+    }
+}
+
+impl JobQueue {
+    /// An empty, open queue.
+    #[must_use]
+    pub fn new() -> JobQueue {
+        JobQueue {
+            state: Mutex::new(QueueState::default()),
+            available: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            live: Mutex::new(HashMap::new()),
+            running: Mutex::new(HashMap::new()),
+            completed: AtomicU64::new(0),
+        }
+    }
+
+    /// Allocates the next job id.
+    #[must_use]
+    pub fn next_job_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Enqueues a job.
+    ///
+    /// # Errors
+    ///
+    /// Hands the job back (boxed) when the queue has been closed
+    /// (server shutting down).
+    pub fn submit(&self, job: Job) -> Result<(), Box<Job>> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(Box::new(job));
+        }
+        self.live
+            .lock()
+            .expect("live lock")
+            .insert(job.id, Arc::clone(&job.cancel));
+        state.jobs.push_back(job);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available; `None` once the queue is closed
+    /// and drained (the worker's exit signal).
+    #[must_use]
+    pub fn take(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Flags a queued or running job as cancelled. Queued jobs are
+    /// discarded (with an error reply) when a worker reaches them;
+    /// running jobs abort at the next stage boundary. The flag lives in
+    /// the `live` registry from submission to completion, so a job
+    /// mid-handoff (popped but not yet marked running) is still
+    /// cancellable.
+    #[must_use]
+    pub fn cancel(&self, id: u64) -> bool {
+        if let Some(flag) = self.live.lock().expect("live lock").get(&id) {
+            flag.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Closes the queue: submissions fail, workers drain and exit.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Number of queued (not yet running) jobs.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.state.lock().expect("queue lock").jobs.len()
+    }
+
+    /// Number of currently-executing jobs.
+    #[must_use]
+    pub fn running(&self) -> usize {
+        self.running.lock().expect("running lock").len()
+    }
+
+    /// Number of jobs finished (successfully or not) so far.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn mark_running(&self, id: u64, cancel: Arc<AtomicBool>) {
+        self.running
+            .lock()
+            .expect("running lock")
+            .insert(id, cancel);
+    }
+
+    pub(crate) fn mark_done(&self, id: u64) {
+        self.running.lock().expect("running lock").remove(&id);
+        self.live.lock().expect("live lock").remove(&id);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}

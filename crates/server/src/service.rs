@@ -1,0 +1,325 @@
+//! The synthesis daemon: accepts NDJSON connections over TCP (or a
+//! single session over stdio), parses requests, enqueues jobs and
+//! streams responses back.
+//!
+//! Each connection gets a dedicated reader (the accepting thread) and a
+//! dedicated writer thread fed by an `mpsc` channel; job workers clone
+//! the channel's sender, so `accepted` acknowledgements, streamed
+//! events and final results all serialise through one writer without
+//! interleaving partial lines. Client disconnection cancels that
+//! connection's outstanding jobs.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use asyncsynth::{cache_key, CacheStage, ResultCache};
+use stg::parse::parse_g;
+
+use crate::pool::WorkerPool;
+use crate::protocol::{Request, Response};
+use crate::queue::{Job, JobKind, JobQueue, Reply};
+
+/// Server construction options.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (default: available parallelism).
+    pub workers: usize,
+    /// Result-cache directory; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+            cache_dir: None,
+        }
+    }
+}
+
+/// Shared per-server context handed to every connection handler.
+#[derive(Debug)]
+struct ServerContext {
+    queue: Arc<JobQueue>,
+    cache: Option<Arc<ResultCache>>,
+    workers: usize,
+    shutdown: Arc<AtomicBool>,
+    /// Responses sent to some connection's channel but not yet put on
+    /// the wire by its writer thread; shutdown drains on this.
+    in_flight: Arc<AtomicI64>,
+    /// The TCP address, used to self-connect and unblock `accept` on
+    /// shutdown (absent in stdio mode).
+    addr: Option<SocketAddr>,
+}
+
+/// A bound (but not yet running) synthesis daemon.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    context: Arc<ServerContext>,
+    pool: WorkerPool,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Socket and cache-directory failures.
+    pub fn bind(addr: &str, config: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let cache = match &config.cache_dir {
+            Some(dir) => Some(Arc::new(ResultCache::open(dir)?)),
+            None => None,
+        };
+        let queue = Arc::new(JobQueue::new());
+        let pool = WorkerPool::start(config.workers, Arc::clone(&queue), cache.clone());
+        let context = Arc::new(ServerContext {
+            queue,
+            cache,
+            workers: config.workers.max(1),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            in_flight: Arc::new(AtomicI64::new(0)),
+            addr: Some(listener.local_addr()?),
+        });
+        Ok(Server {
+            listener,
+            context,
+            pool,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts connections until a `shutdown` request arrives, then
+    /// drains the queue and joins the workers.
+    ///
+    /// # Errors
+    ///
+    /// Fatal `accept` failures (per-connection errors are tolerated).
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.context.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let context = Arc::clone(&self.context);
+            let _ = std::thread::Builder::new()
+                .name("synth-conn".to_owned())
+                .spawn(move || handle_tcp_connection(&stream, &context));
+        }
+        self.pool.shutdown();
+        // The workers are joined, so every result already sits in some
+        // connection's response channel; give the (detached) writer
+        // threads a bounded window to put those bytes on the wire
+        // before the process exits.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.context.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(())
+    }
+}
+
+/// Serves exactly one session over stdin/stdout (the `--stdio` mode:
+/// handy behind inetd-style supervisors and in scripts), then drains
+/// and exits.
+///
+/// # Errors
+///
+/// Cache-directory failures.
+pub fn serve_stdio(config: &ServerConfig) -> std::io::Result<()> {
+    let cache = match &config.cache_dir {
+        Some(dir) => Some(Arc::new(ResultCache::open(dir)?)),
+        None => None,
+    };
+    let queue = Arc::new(JobQueue::new());
+    let pool = WorkerPool::start(config.workers, Arc::clone(&queue), cache.clone());
+    let context = ServerContext {
+        queue,
+        cache,
+        workers: config.workers.max(1),
+        shutdown: Arc::new(AtomicBool::new(false)),
+        in_flight: Arc::new(AtomicI64::new(0)),
+        addr: None,
+    };
+    let stdin = std::io::stdin();
+    // stdout outlives stdin's EOF: a one-shot piped session
+    // (`printf '{"op":...}' | asyncsynth serve --stdio`) still gets its
+    // results, so never cancel on EOF here.
+    handle_connection(stdin.lock(), Box::new(std::io::stdout()), &context, false);
+    pool.shutdown();
+    Ok(())
+}
+
+fn handle_tcp_connection(stream: &TcpStream, context: &ServerContext) {
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(stream);
+    // A dropped TCP connection takes the write side with it: nobody is
+    // left to receive results, so outstanding jobs are cancelled.
+    handle_connection(reader, Box::new(writer), context, true);
+}
+
+/// The per-connection protocol loop, generic over the byte streams so
+/// TCP and stdio share it.
+fn handle_connection(
+    reader: impl BufRead,
+    writer: Box<dyn Write + Send>,
+    context: &ServerContext,
+    cancel_on_eof: bool,
+) {
+    let (tx, rx) = channel::<Response>();
+    let reply = Reply::new(tx, Arc::clone(&context.in_flight));
+    let writer_in_flight = Arc::clone(&context.in_flight);
+    let writer_handle = std::thread::Builder::new()
+        .name("synth-writer".to_owned())
+        .spawn(move || {
+            let mut writer = writer;
+            let mut dead = false;
+            while let Ok(response) = rx.recv() {
+                if !dead {
+                    // A failed write means the client is gone; keep
+                    // draining so the in-flight counter still settles.
+                    dead = writeln!(writer, "{}", response.to_json().render()).is_err()
+                        || writer.flush().is_err();
+                }
+                writer_in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+        })
+        .expect("spawn writer thread");
+
+    // Jobs submitted by this connection, for disconnect cleanup.
+    let mut my_jobs: Vec<u64> = Vec::new();
+    let mut cancel_outstanding = cancel_on_eof;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Request::parse_line(&line) {
+            Ok(Request::Synth {
+                spec_text,
+                options,
+                events,
+            }) => submit_job(
+                context,
+                &reply,
+                &mut my_jobs,
+                &spec_text,
+                options,
+                JobKind::Synth {
+                    stream_events: events,
+                },
+            ),
+            Ok(Request::Check { spec_text, options }) => submit_job(
+                context,
+                &reply,
+                &mut my_jobs,
+                &spec_text,
+                options,
+                JobKind::Check,
+            ),
+            Ok(Request::Status) => {
+                reply.send(Response::Status {
+                    queued: context.queue.queued(),
+                    running: context.queue.running(),
+                    completed: context.queue.completed(),
+                    workers: context.workers,
+                    cache: context.cache.as_deref().map(ResultCache::stats),
+                });
+            }
+            Ok(Request::Cancel { job }) => {
+                let found = context.queue.cancel(job);
+                reply.send(Response::Cancelled { job, found });
+            }
+            Ok(Request::Shutdown) => {
+                context.shutdown.store(true, Ordering::Relaxed);
+                reply.send(Response::ShuttingDown);
+                // Unblock the accept loop so `run` observes the flag.
+                if let Some(addr) = context.addr {
+                    let _ = TcpStream::connect(addr);
+                }
+                // Drain semantics: this connection's jobs still finish
+                // and deliver their results before the server exits.
+                cancel_outstanding = false;
+                break;
+            }
+            Err(message) => {
+                reply.send(Response::Error { job: None, message });
+            }
+        }
+    }
+    // Disconnected: abandon this connection's outstanding jobs (flags
+    // of finished jobs are inert). Skipped for stdio EOF and shutdown
+    // drains, where results are still owed.
+    if cancel_outstanding {
+        for id in my_jobs {
+            let _ = context.queue.cancel(id);
+        }
+    }
+    drop(reply);
+    let _ = writer_handle.join();
+}
+
+fn submit_job(
+    context: &ServerContext,
+    reply: &Reply,
+    my_jobs: &mut Vec<u64>,
+    spec_text: &str,
+    options: asyncsynth::SynthesisOptions,
+    kind: JobKind,
+) {
+    let spec = match parse_g(spec_text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            reply.send(Response::Error {
+                job: None,
+                message: format!("bad specification: {e}"),
+            });
+            return;
+        }
+    };
+    let id = context.queue.next_job_id();
+    let stage = match kind {
+        JobKind::Synth { .. } => CacheStage::Full,
+        JobKind::Check => CacheStage::Check,
+    };
+    let key = context
+        .cache
+        .as_ref()
+        .map(|_| cache_key(&spec, &options, stage).to_hex());
+    reply.send(Response::Accepted { job: id, key });
+    let job = Job {
+        id,
+        spec,
+        options,
+        kind,
+        cancel: Arc::new(AtomicBool::new(false)),
+        reply: reply.clone(),
+    };
+    if let Err(job) = context.queue.submit(job) {
+        reply.send(Response::Error {
+            job: Some(job.id),
+            message: "server is shutting down".to_owned(),
+        });
+    } else {
+        my_jobs.push(id);
+    }
+}

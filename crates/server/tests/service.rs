@@ -1,0 +1,252 @@
+//! End-to-end service tests over real TCP sockets: warm-cache hits on
+//! repeated submissions, concurrent independent clients, cancellation
+//! and status.
+
+use std::sync::Arc;
+
+use asyncsynth::{Json, SynthesisOptions};
+use server::client;
+use server::protocol::{Request, Response};
+use server::service::{Server, ServerConfig};
+
+struct TestServer {
+    addr: String,
+    handle: std::thread::JoinHandle<std::io::Result<()>>,
+    cache_root: std::path::PathBuf,
+}
+
+fn boot(tag: &str, workers: usize) -> TestServer {
+    let cache_root = std::env::temp_dir().join(format!(
+        "asyncsynth-service-test-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&cache_root);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &ServerConfig {
+            workers,
+            cache_dir: Some(cache_root.clone()),
+        },
+    )
+    .expect("server binds an ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    TestServer {
+        addr,
+        handle,
+        cache_root,
+    }
+}
+
+impl TestServer {
+    fn shutdown(self) {
+        let _ = client::request(&self.addr, &Request::Shutdown, |_| {});
+        let _ = self.handle.join();
+        let _ = std::fs::remove_dir_all(&self.cache_root);
+    }
+}
+
+fn spec_text(build: fn() -> stg::Stg) -> String {
+    stg::parse::write_g(&build())
+}
+
+#[test]
+fn second_submission_is_a_cache_hit_with_identical_bytes() {
+    let server = boot("cache-hit", 2);
+    let spec = spec_text(stg::examples::vme_read);
+
+    let mut first_events: Vec<String> = Vec::new();
+    let first = client::submit_synth(
+        &server.addr,
+        &spec,
+        &SynthesisOptions::default(),
+        true,
+        |response| {
+            if let Response::Event { message, .. } = response {
+                first_events.push(message.clone());
+            }
+        },
+    )
+    .expect("first submission succeeds");
+    let Response::Result {
+        cache: first_cache,
+        summary: first_summary,
+        ..
+    } = first
+    else {
+        panic!("expected a result, got {first:?}");
+    };
+    assert_eq!(first_cache, "miss");
+    assert!(
+        first_events.iter().any(|e| e.contains("state space built")),
+        "cold run synthesises: {first_events:?}"
+    );
+
+    let mut second_events: Vec<String> = Vec::new();
+    let second = client::submit_synth(
+        &server.addr,
+        &spec,
+        &SynthesisOptions::default(),
+        true,
+        |response| {
+            if let Response::Event { message, .. } = response {
+                second_events.push(message.clone());
+            }
+        },
+    )
+    .expect("second submission succeeds");
+    let Response::Result {
+        cache: second_cache,
+        summary: second_summary,
+        ..
+    } = second
+    else {
+        panic!("expected a result, got {second:?}");
+    };
+    assert_eq!(second_cache, "hit", "same spec twice → warm hit");
+    assert_eq!(
+        second_summary.render(),
+        first_summary.render(),
+        "cache hit returns byte-identical results"
+    );
+    assert!(
+        second_events.iter().all(|e| e.starts_with("cache hit")),
+        "no synthesis stage re-runs on the hit: {second_events:?}"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_independent_correct_results() {
+    let server = boot("concurrent", 4);
+    // Five clients, four distinct controllers (two clients share the
+    // toggle spec, racing on one cache slot).
+    let workload: Vec<fn() -> stg::Stg> = vec![
+        stg::examples::vme_read,
+        stg::examples::vme_read_csc,
+        stg::examples::vme_read_write,
+        stg::examples::toggle,
+        stg::examples::toggle,
+    ];
+    let expected_models: Vec<String> = workload
+        .iter()
+        .map(|build| build().name().to_owned())
+        .collect();
+
+    let addr = Arc::new(server.addr.clone());
+    let results: Vec<(String, Json)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = workload
+            .iter()
+            .map(|build| {
+                let addr = Arc::clone(&addr);
+                let text = spec_text(*build);
+                scope.spawn(move || {
+                    let response = client::submit_synth(
+                        &addr,
+                        &text,
+                        &SynthesisOptions::default(),
+                        false,
+                        |_| {},
+                    )
+                    .expect("concurrent submission succeeds");
+                    match response {
+                        Response::Result { cache, summary, .. } => (cache, summary),
+                        other => panic!("expected result, got {other:?}"),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    for ((_cache, summary), submitted_model) in results.iter().zip(&expected_models) {
+        let model = summary
+            .get("model")
+            .and_then(Json::as_str)
+            .expect("summary has a model");
+        // CSC repair may rename the model (`-csc` suffix); the result
+        // must still belong to the spec this client submitted.
+        assert!(
+            model.starts_with(submitted_model.trim_end_matches("-csc")),
+            "result {model:?} does not match submission {submitted_model:?}"
+        );
+        assert_eq!(
+            summary.get("verification").and_then(Json::as_str),
+            Some("passed"),
+            "every client's circuit verifies: {summary}"
+        );
+    }
+    // The duplicated toggle submissions must agree byte-for-byte.
+    assert_eq!(results[3].1.render(), results[4].1.render());
+
+    // Status reflects the drained queue and the configured pool.
+    let status = client::request(&server.addr, &Request::Status, |_| {}).expect("status answered");
+    match status {
+        Response::Status {
+            queued,
+            running,
+            completed,
+            workers,
+            cache,
+        } => {
+            assert_eq!(queued, 0);
+            assert_eq!(running, 0);
+            assert_eq!(completed, 5);
+            assert_eq!(workers, 4);
+            let stats = cache.expect("cache configured");
+            assert!(stats.stores >= 4, "{stats:?}");
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_and_bad_specs_are_rejected_without_killing_the_server() {
+    let server = boot("errors", 1);
+
+    let err = client::request(
+        &server.addr,
+        &Request::Synth {
+            spec_text: "this is not a .g file".to_owned(),
+            options: SynthesisOptions::default(),
+            events: false,
+        },
+        |_| {},
+    )
+    .expect_err("bad spec is rejected");
+    assert!(err.contains("bad specification"), "{err}");
+
+    // The server still works afterwards.
+    let response = client::submit_synth(
+        &server.addr,
+        &spec_text(stg::examples::toggle),
+        &SynthesisOptions::default(),
+        false,
+        |_| {},
+    )
+    .expect("server survives bad input");
+    assert!(matches!(response, Response::Result { .. }));
+
+    server.shutdown();
+}
+
+#[test]
+fn cancel_of_unknown_job_reports_not_found() {
+    let server = boot("cancel", 1);
+    let response = client::request(&server.addr, &Request::Cancel { job: 9999 }, |_| {})
+        .expect("cancel answered");
+    match response {
+        Response::Cancelled { job, found } => {
+            assert_eq!(job, 9999);
+            assert!(!found);
+        }
+        other => panic!("expected cancelled ack, got {other:?}"),
+    }
+    server.shutdown();
+}

@@ -1,0 +1,404 @@
+//! Canonical serialisation and content hashing of STGs.
+//!
+//! The synthesis flow (check → CSC → logic → verify) is deterministic in
+//! its inputs, which makes its results content-addressable: two
+//! structurally identical specifications must map to the same cache key
+//! regardless of the order their places and transitions happened to be
+//! inserted in. This module provides that stable identity:
+//!
+//! * [`canonical_text`] — a sorted, line-based rendering of an [`Stg`]
+//!   that is invariant under place/transition insertion order (signals
+//!   are sorted by name, transitions by label token, places by their
+//!   arc neighbourhoods);
+//! * [`Digest`] / [`Sha256`] — a self-contained SHA-256 implementation
+//!   (the workspace builds offline, so no external hashing crate);
+//! * [`stg_digest`] / [`keyed_digest`] — content hashes of a
+//!   specification, optionally salted with configuration strings
+//!   (backend, architecture, cache schema version, …).
+//!
+//! The canonicalisation is conservative: it never identifies two
+//! semantically different STGs (every signal, label, arc, token count and
+//! explicit initial value is part of the text), but it may distinguish
+//! isomorphic nets whose repeated-edge instance numbers (`a+/1` vs
+//! `a+/2`) were assigned differently. For a cache key that trade-off is
+//! exactly right — a false miss costs a recomputation, a false hit would
+//! return the wrong circuit.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::model::{SignalKind, Stg};
+
+/// Version tag folded into every digest; bump when the canonical format
+/// changes so stale cache entries can never match.
+pub const CANON_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------
+// SHA-256
+// ---------------------------------------------------------------------
+
+const K: [u32; 64] = [
+    0x428a_2f98,
+    0x7137_4491,
+    0xb5c0_fbcf,
+    0xe9b5_dba5,
+    0x3956_c25b,
+    0x59f1_11f1,
+    0x923f_82a4,
+    0xab1c_5ed5,
+    0xd807_aa98,
+    0x1283_5b01,
+    0x2431_85be,
+    0x550c_7dc3,
+    0x72be_5d74,
+    0x80de_b1fe,
+    0x9bdc_06a7,
+    0xc19b_f174,
+    0xe49b_69c1,
+    0xefbe_4786,
+    0x0fc1_9dc6,
+    0x240c_a1cc,
+    0x2de9_2c6f,
+    0x4a74_84aa,
+    0x5cb0_a9dc,
+    0x76f9_88da,
+    0x983e_5152,
+    0xa831_c66d,
+    0xb003_27c8,
+    0xbf59_7fc7,
+    0xc6e0_0bf3,
+    0xd5a7_9147,
+    0x06ca_6351,
+    0x1429_2967,
+    0x27b7_0a85,
+    0x2e1b_2138,
+    0x4d2c_6dfc,
+    0x5338_0d13,
+    0x650a_7354,
+    0x766a_0abb,
+    0x81c2_c92e,
+    0x9272_2c85,
+    0xa2bf_e8a1,
+    0xa81a_664b,
+    0xc24b_8b70,
+    0xc76c_51a3,
+    0xd192_e819,
+    0xd699_0624,
+    0xf40e_3585,
+    0x106a_a070,
+    0x19a4_c116,
+    0x1e37_6c08,
+    0x2748_774c,
+    0x34b0_bcb5,
+    0x391c_0cb3,
+    0x4ed8_aa4a,
+    0x5b9c_ca4f,
+    0x682e_6ff3,
+    0x748f_82ee,
+    0x78a5_636f,
+    0x84c8_7814,
+    0x8cc7_0208,
+    0x90be_fffa,
+    0xa450_6ceb,
+    0xbef9_a3f7,
+    0xc671_78f2,
+];
+
+/// Incremental SHA-256 hasher (FIPS 180-4).
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Bytes buffered until a full 64-byte block is available.
+    buffer: [u8; 64],
+    buffered: usize,
+    /// Total message length in bytes.
+    length: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Sha256::new()
+    }
+}
+
+impl Sha256 {
+    /// Starts a fresh hash.
+    #[must_use]
+    pub fn new() -> Self {
+        Sha256 {
+            state: [
+                0x6a09_e667,
+                0xbb67_ae85,
+                0x3c6e_f372,
+                0xa54f_f53a,
+                0x510e_527f,
+                0x9b05_688c,
+                0x1f83_d9ab,
+                0x5be0_cd19,
+            ],
+            buffer: [0; 64],
+            buffered: 0,
+            length: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.length = self.length.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buffered > 0 {
+            let take = rest.len().min(64 - self.buffered);
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&rest[..take]);
+            self.buffered += take;
+            rest = &rest[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buffer[..rest.len()].copy_from_slice(rest);
+            self.buffered = rest.len();
+        }
+    }
+
+    /// Finishes the hash and returns the digest.
+    #[must_use]
+    pub fn finish(mut self) -> Digest {
+        let bit_length = self.length.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buffered != 56 {
+            self.update(&[0]);
+        }
+        // Length is appended directly (update would double-count it).
+        self.buffer[56..64].copy_from_slice(&bit_length.to_be_bytes());
+        let block = self.buffer;
+        self.compress(&block);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+/// A 256-bit content hash, rendered as 64 lowercase hex digits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// The lowercase-hex rendering.
+    #[must_use]
+    pub fn to_hex(self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble"));
+            s.push(char::from_digit(u32::from(b & 0xf), 16).expect("nibble"));
+        }
+        s
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({self})")
+    }
+}
+
+impl FromStr for Digest {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 64 {
+            return Err(format!("digest must be 64 hex digits, got {}", s.len()));
+        }
+        let mut out = [0u8; 32];
+        for (i, byte) in out.iter_mut().enumerate() {
+            let hi = s.as_bytes()[2 * i];
+            let lo = s.as_bytes()[2 * i + 1];
+            let nib = |c: u8| -> Result<u8, String> {
+                (c as char)
+                    .to_digit(16)
+                    .map(|d| d as u8)
+                    .ok_or_else(|| format!("bad hex digit {:?}", c as char))
+            };
+            *byte = (nib(hi)? << 4) | nib(lo)?;
+        }
+        Ok(Digest(out))
+    }
+}
+
+/// SHA-256 of a byte string.
+#[must_use]
+pub fn digest_bytes(bytes: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(bytes);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------
+// Canonical text
+// ---------------------------------------------------------------------
+
+/// The canonical, insertion-order-independent rendering of an STG.
+///
+/// Layout (all sections sorted lexicographically):
+///
+/// ```text
+/// canon 1
+/// model <name>
+/// signal <name> input|output|internal [=0|=1]
+/// transition <token>
+/// place <tokens> [<sorted preset tokens>] -> [<sorted postset tokens>] <name?>
+/// ```
+///
+/// Transition tokens are label strings (`dsr+`, `d-/2`) for labelled
+/// transitions and `dummy:<name>` for dummies. Auto-generated place
+/// names (starting with `<`) are elided — such places are identified
+/// purely by their arc neighbourhoods, which is what makes the rendering
+/// stable when the same net is built in a different order.
+#[must_use]
+pub fn canonical_text(stg: &Stg) -> String {
+    use std::fmt::Write as _;
+    let net = stg.net();
+    let token = |t: petri::TransitionId| -> String {
+        match stg.label(t) {
+            Some(_) => stg.label_string(t),
+            None => format!("dummy:{}", net.transition_name(t)),
+        }
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "canon {CANON_VERSION}");
+    let _ = writeln!(out, "model {}", stg.name());
+
+    let mut signal_lines: Vec<String> = stg
+        .signals()
+        .map(|s| {
+            let kind = match stg.signal_kind(s) {
+                SignalKind::Input => "input",
+                SignalKind::Output => "output",
+                SignalKind::Internal => "internal",
+            };
+            let initial = match stg.initial_values() {
+                Some(v) => {
+                    if v[s.index()] {
+                        " =1"
+                    } else {
+                        " =0"
+                    }
+                }
+                None => "",
+            };
+            format!("signal {} {kind}{initial}", stg.signal_name(s))
+        })
+        .collect();
+    signal_lines.sort();
+    let mut transition_lines: Vec<String> = net
+        .transitions()
+        .map(|t| format!("transition {}", token(t)))
+        .collect();
+    transition_lines.sort();
+    let mut place_lines: Vec<String> = net
+        .places()
+        .map(|p| {
+            let mut pre: Vec<String> = net.place_preset(p).iter().map(|&t| token(t)).collect();
+            let mut post: Vec<String> = net.place_postset(p).iter().map(|&t| token(t)).collect();
+            pre.sort();
+            post.sort();
+            let name = net.place_name(p);
+            let shown = if name.starts_with('<') { "" } else { name };
+            format!(
+                "place {} [{}] -> [{}] {shown}",
+                net.initial_tokens(p),
+                pre.join(","),
+                post.join(","),
+            )
+        })
+        .collect();
+    place_lines.sort();
+    for line in signal_lines
+        .iter()
+        .chain(transition_lines.iter())
+        .chain(place_lines.iter())
+    {
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Content hash of a specification: SHA-256 of its canonical text.
+#[must_use]
+pub fn stg_digest(stg: &Stg) -> Digest {
+    keyed_digest(stg, &[])
+}
+
+/// Content hash of a specification salted with configuration strings
+/// (flow options, cache schema versions, stage tags, …). Each extra is
+/// length-prefixed so distinct extra lists can never collide by
+/// concatenation.
+#[must_use]
+pub fn keyed_digest(stg: &Stg, extras: &[&str]) -> Digest {
+    let mut h = Sha256::new();
+    let text = canonical_text(stg);
+    h.update(&(text.len() as u64).to_be_bytes());
+    h.update(text.as_bytes());
+    for extra in extras {
+        h.update(&(extra.len() as u64).to_be_bytes());
+        h.update(extra.as_bytes());
+    }
+    h.finish()
+}

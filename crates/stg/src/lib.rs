@@ -9,6 +9,8 @@
 //! * [`Stg`] — the model: typed signals (input/output/internal/dummy),
 //!   labelled transitions, construction API ([`StgBuilder`]);
 //! * [`parse`] — reader/writer for the `.g` (astg, petrify) text format;
+//! * [`canon`] — canonical serialisation and SHA-256 content hashing
+//!   (the identity the synthesis-service result cache is addressed by);
 //! * [`StateSpace`] — the pluggable state-space abstraction every
 //!   analysis and synthesis stage consumes, with two engines selected by
 //!   [`Backend`]: the explicit [`StateGraph`] (§1.4, Fig. 4) and the
@@ -30,6 +32,7 @@
 //! # Ok::<(), stg::StgError>(())
 //! ```
 
+pub mod canon;
 pub mod encoding;
 pub mod examples;
 mod model;

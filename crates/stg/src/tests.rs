@@ -426,3 +426,146 @@ mod state_space_backends {
         ));
     }
 }
+
+mod canon {
+    use std::str::FromStr;
+
+    use crate::canon::{canonical_text, digest_bytes, keyed_digest, stg_digest, Digest};
+    use crate::examples::{toggle, vme_read, vme_read_csc, vme_read_write};
+    use crate::model::{SignalEdge, SignalKind, StgBuilder};
+    use crate::parse::{parse_g, write_g};
+
+    #[test]
+    fn sha256_known_answers() {
+        assert_eq!(
+            digest_bytes(b"").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            digest_bytes(b"abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        // Multi-block message (> 64 bytes) exercises the buffering path.
+        let long = [b'a'; 200];
+        let mut split = crate::canon::Sha256::new();
+        split.update(&long[..3]);
+        split.update(&long[3..70]);
+        split.update(&long[70..]);
+        assert_eq!(split.finish(), digest_bytes(&long));
+    }
+
+    #[test]
+    fn digest_hex_round_trips() {
+        let d = stg_digest(&toggle());
+        let parsed = Digest::from_str(&d.to_hex()).expect("hex parses");
+        assert_eq!(parsed, d);
+        assert!(Digest::from_str("xyz").is_err());
+    }
+
+    #[test]
+    fn round_trip_through_g_format_preserves_digest() {
+        for spec in [vme_read(), vme_read_csc(), vme_read_write(), toggle()] {
+            let reparsed = parse_g(&write_g(&spec)).expect("write_g output parses");
+            assert_eq!(
+                canonical_text(&spec),
+                canonical_text(&reparsed),
+                "canonical text of {} survives serialise → parse",
+                spec.name()
+            );
+            assert_eq!(stg_digest(&spec), stg_digest(&reparsed));
+        }
+    }
+
+    /// Two builds of the same toggle circuit with places, transitions and
+    /// signals inserted in different orders.
+    fn toggle_variants() -> (crate::Stg, crate::Stg) {
+        let first = {
+            let mut b = StgBuilder::new("t");
+            let a = b.add_signal("a", SignalKind::Input);
+            let x = b.add_signal("x", SignalKind::Output);
+            let ap = b.add_edge(a, SignalEdge::Rise);
+            let xp = b.add_edge(x, SignalEdge::Rise);
+            let am = b.add_edge(a, SignalEdge::Fall);
+            let xm = b.add_edge(x, SignalEdge::Fall);
+            b.connect(ap, xp);
+            b.connect(xp, am);
+            b.connect(am, xm);
+            let p = b.connect(xm, ap);
+            b.mark_place(p, 1);
+            b.build()
+        };
+        let second = {
+            let mut b = StgBuilder::new("t");
+            let x = b.add_signal("x", SignalKind::Output);
+            let a = b.add_signal("a", SignalKind::Input);
+            let xm = b.add_edge(x, SignalEdge::Fall);
+            let am = b.add_edge(a, SignalEdge::Fall);
+            let xp = b.add_edge(x, SignalEdge::Rise);
+            let ap = b.add_edge(a, SignalEdge::Rise);
+            let p = b.connect(xm, ap);
+            b.mark_place(p, 1);
+            b.connect(am, xm);
+            b.connect(xp, am);
+            b.connect(ap, xp);
+            b.build()
+        };
+        (first, second)
+    }
+
+    #[test]
+    fn digest_stable_under_insertion_reordering() {
+        let (first, second) = toggle_variants();
+        assert_eq!(canonical_text(&first), canonical_text(&second));
+        assert_eq!(stg_digest(&first), stg_digest(&second));
+    }
+
+    #[test]
+    fn digest_differs_on_semantic_edits() {
+        let base = toggle();
+        let base_digest = stg_digest(&base);
+
+        // Different marking.
+        let remarked = {
+            let mut b = toggle().into_builder();
+            let extra = b.add_place("extra", 1);
+            let t = b.net().transitions().next().expect("has transitions");
+            b.arc_pt(extra, t);
+            b.build()
+        };
+        assert_ne!(
+            stg_digest(&remarked),
+            base_digest,
+            "extra place changes hash"
+        );
+
+        // Different signal kind (input vs output is a semantic difference).
+        let text = write_g(&base);
+        let flipped = text.replace(".inputs a", ".outputs a");
+        if flipped != text {
+            let respec = parse_g(&flipped).expect("still parses");
+            assert_ne!(stg_digest(&respec), base_digest, "signal kind changes hash");
+        }
+
+        // Different model name.
+        let renamed =
+            parse_g(&text.replace(&format!(".model {}", base.name()), ".model other-name"))
+                .expect("renamed spec parses");
+        assert_ne!(stg_digest(&renamed), base_digest, "model name changes hash");
+    }
+
+    #[test]
+    fn keyed_digest_separates_configurations() {
+        let spec = vme_read();
+        let plain = stg_digest(&spec);
+        let a = keyed_digest(&spec, &["explicit", "complex"]);
+        let b = keyed_digest(&spec, &["symbolic", "complex"]);
+        assert_ne!(plain, a);
+        assert_ne!(a, b);
+        // Length-prefixing means concatenation cannot collide.
+        assert_ne!(
+            keyed_digest(&spec, &["ab", "c"]),
+            keyed_digest(&spec, &["a", "bc"])
+        );
+        assert_eq!(a, keyed_digest(&spec, &["explicit", "complex"]));
+    }
+}

@@ -14,7 +14,7 @@
 //!    allowed."*
 
 use petri::TransitionId;
-use stg::{Backend, SignalEdge, SignalKind, Stg};
+use stg::{Backend, SignalEdge, SignalKind, StateSpace, Stg};
 
 /// Outcome of a successful CSC resolution.
 #[derive(Debug, Clone)]
@@ -25,6 +25,49 @@ pub struct CscResolution {
     pub description: String,
     /// State count of the new state graph.
     pub num_states: usize,
+}
+
+/// Outcome of a successful CSC resolution that carries the candidate's
+/// already-built state space through to synthesis.
+///
+/// The search routines build and validate a full state space for every
+/// candidate they rank; [`CscResolution`] used to drop that space, forcing
+/// the flow driver to rebuild the winner's space from scratch before
+/// synthesis. This sibling is deliberately **not** `Clone` (a
+/// `Box<dyn StateSpace>` has no useful copy) so the space is moved, not
+/// duplicated, on its way downstream.
+#[derive(Debug)]
+pub struct CscResolutionWithSpace {
+    /// The transformed STG (CSC holds on its state space).
+    pub stg: Stg,
+    /// Human-readable description of the applied transformation.
+    pub description: String,
+    /// State count of the new state space.
+    pub num_states: usize,
+    /// The validated state space of `stg`, when the search still holds it
+    /// (the ranking sweeps keep only the winner's space to bound memory).
+    pub space: Option<Box<dyn StateSpace>>,
+}
+
+impl From<CscResolutionWithSpace> for CscResolution {
+    fn from(r: CscResolutionWithSpace) -> Self {
+        CscResolution {
+            stg: r.stg,
+            description: r.description,
+            num_states: r.num_states,
+        }
+    }
+}
+
+impl From<CscResolution> for CscResolutionWithSpace {
+    fn from(r: CscResolution) -> Self {
+        CscResolutionWithSpace {
+            stg: r.stg,
+            description: r.description,
+            num_states: r.num_states,
+            space: None,
+        }
+    }
 }
 
 /// Attempts to restore CSC by inserting one internal state signal.
@@ -54,7 +97,10 @@ pub fn resolve_by_signal_insertion_with(stg: &Stg, backend: Backend) -> Option<C
             num_states: sg.num_states(),
         });
     }
-    insertion_candidates_with(stg, backend).into_iter().next()
+    insertion_candidates_with(stg, backend)
+        .into_iter()
+        .next()
+        .map(Into::into)
 }
 
 /// All acceptable single-signal insertions, best first.
@@ -68,11 +114,19 @@ pub fn resolve_by_signal_insertion_with(stg: &Stg, backend: Backend) -> Option<C
 #[must_use]
 pub fn insertion_candidates(stg: &Stg) -> Vec<CscResolution> {
     insertion_candidates_with(stg, Backend::Explicit)
+        .into_iter()
+        .map(Into::into)
+        .collect()
 }
 
 /// [`insertion_candidates`] over a chosen state-space backend.
+///
+/// The best candidate carries its validated state space
+/// ([`CscResolutionWithSpace::space`]) so the flow driver does not
+/// rebuild it before synthesis; the runner-up candidates carry `None`
+/// (keeping every swept space alive would be O(T²) memory).
 #[must_use]
-pub fn insertion_candidates_with(stg: &Stg, backend: Backend) -> Vec<CscResolution> {
+pub fn insertion_candidates_with(stg: &Stg, backend: Backend) -> Vec<CscResolutionWithSpace> {
     let splittable: Vec<TransitionId> = stg
         .net()
         .transitions()
@@ -81,7 +135,9 @@ pub fn insertion_candidates_with(stg: &Stg, backend: Backend) -> Vec<CscResoluti
                 .is_some_and(|l| stg.signal_kind(l.signal).is_non_input())
         })
         .collect();
-    let mut ranked: Vec<((usize, usize, TransitionId, TransitionId), Stg)> = Vec::new();
+    type Key = (usize, usize, TransitionId, TransitionId);
+    let mut ranked: Vec<(Key, Stg)> = Vec::new();
+    let mut best_space: Option<(Key, Box<dyn StateSpace>)> = None;
     for &tp in &splittable {
         for &tm in &splittable {
             if tp == tm {
@@ -105,21 +161,30 @@ pub fn insertion_candidates_with(stg: &Stg, backend: Backend) -> Vec<CscResoluti
                 continue;
             };
             let cost: usize = equations.iter().map(|e| e.cover.literal_count()).sum();
-            ranked.push(((states, cost, tp, tm), candidate));
+            let key = (states, cost, tp, tm);
+            if best_space.as_ref().is_none_or(|(bk, _)| key < *bk) {
+                best_space = Some((key, csg));
+            }
+            ranked.push((key, candidate));
         }
     }
     ranked.sort_by_key(|r| r.0);
+    let mut winner_space = best_space
+        .and_then(|(key, space)| (ranked.first().map(|r| r.0) == Some(key)).then_some(space));
     ranked
         .into_iter()
-        .map(|((num_states, _, tp, tm), new_stg)| CscResolution {
-            description: format!(
-                "inserted csc signal: + before {}, - before {}",
-                stg.label_string(tp),
-                stg.label_string(tm)
-            ),
-            num_states,
-            stg: new_stg,
-        })
+        .map(
+            |((num_states, _, tp, tm), new_stg)| CscResolutionWithSpace {
+                description: format!(
+                    "inserted csc signal: + before {}, - before {}",
+                    stg.label_string(tp),
+                    stg.label_string(tm)
+                ),
+                num_states,
+                stg: new_stg,
+                space: winner_space.take(),
+            },
+        )
         .collect()
 }
 
@@ -206,18 +271,23 @@ fn next_csc_name(stg: &Stg) -> String {
 /// (checked on determinised label traces).
 #[must_use]
 pub fn resolve_by_concurrency_reduction(stg: &Stg) -> Option<CscResolution> {
-    resolve_by_concurrency_reduction_with(stg, Backend::Explicit)
+    resolve_by_concurrency_reduction_with(stg, Backend::Explicit).map(Into::into)
 }
 
-/// [`resolve_by_concurrency_reduction`] over a chosen state-space backend.
+/// [`resolve_by_concurrency_reduction`] over a chosen state-space
+/// backend; the accepted candidate carries its validated state space.
 #[must_use]
-pub fn resolve_by_concurrency_reduction_with(stg: &Stg, backend: Backend) -> Option<CscResolution> {
+pub fn resolve_by_concurrency_reduction_with(
+    stg: &Stg,
+    backend: Backend,
+) -> Option<CscResolutionWithSpace> {
     let sg = backend.build(stg).ok()?;
     if stg::encoding::has_csc(stg, &*sg) {
-        return Some(CscResolution {
+        return Some(CscResolutionWithSpace {
             stg: stg.clone(),
             description: "CSC already holds; no reduction needed".to_owned(),
             num_states: sg.num_states(),
+            space: Some(sg),
         });
     }
     let transitions: Vec<TransitionId> = stg.net().transitions().collect();
@@ -249,7 +319,7 @@ pub fn resolve_by_concurrency_reduction_with(stg: &Stg, backend: Backend) -> Opt
             if csg.num_states() >= sg.num_states() {
                 continue; // not a reduction
             }
-            return Some(CscResolution {
+            return Some(CscResolutionWithSpace {
                 description: format!(
                     "concurrency reduction: {} now waits for {}",
                     stg.label_string(b_t),
@@ -257,6 +327,7 @@ pub fn resolve_by_concurrency_reduction_with(stg: &Stg, backend: Backend) -> Opt
                 ),
                 num_states: csg.num_states(),
                 stg: candidate,
+                space: Some(csg),
             });
         }
     }
@@ -376,19 +447,24 @@ pub fn resolve_iteratively_with(
 /// for the cross-branch conflicts and an insertion for the in-branch one.
 #[must_use]
 pub fn resolve_mixed(stg: &Stg, max_steps: usize) -> Option<CscResolution> {
-    resolve_mixed_with(stg, max_steps, Backend::Explicit)
+    resolve_mixed_with(stg, max_steps, Backend::Explicit).map(Into::into)
 }
 
-/// [`resolve_mixed`] over a chosen state-space backend.
+/// [`resolve_mixed`] over a chosen state-space backend; the final
+/// conflict-free specification carries its validated state space.
 #[must_use]
-pub fn resolve_mixed_with(stg: &Stg, max_steps: usize, backend: Backend) -> Option<CscResolution> {
+pub fn resolve_mixed_with(
+    stg: &Stg,
+    max_steps: usize,
+    backend: Backend,
+) -> Option<CscResolutionWithSpace> {
     let mut current = stg.clone();
     let mut descriptions: Vec<String> = Vec::new();
     for _ in 0..=max_steps {
         let sg = backend.build_bounded(&current, 200_000).ok()?;
         let conflicts = stg::encoding::csc_conflicts(&current, &*sg).len();
         if conflicts == 0 {
-            return Some(CscResolution {
+            return Some(CscResolutionWithSpace {
                 stg: current,
                 description: if descriptions.is_empty() {
                     "CSC already holds".to_owned()
@@ -396,6 +472,7 @@ pub fn resolve_mixed_with(stg: &Stg, max_steps: usize, backend: Backend) -> Opti
                     descriptions.join("; ")
                 },
                 num_states: sg.num_states(),
+                space: Some(sg),
             });
         }
         if descriptions.len() == max_steps {

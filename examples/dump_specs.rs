@@ -1,0 +1,35 @@
+//! Dumps the paper's example controllers in `.g` format.
+//!
+//! ```text
+//! cargo run --example dump_specs               # list available models
+//! cargo run --example dump_specs vme_read      # one model to stdout
+//! ```
+//!
+//! The committed files under `examples/specs/` are produced by this
+//! example; regenerate them after changing `stg::examples`.
+
+type Model = (&'static str, fn() -> stg::Stg);
+
+fn main() {
+    let models: &[Model] = &[
+        ("vme_read", stg::examples::vme_read),
+        ("vme_read_csc", stg::examples::vme_read_csc),
+        ("vme_read_write", stg::examples::vme_read_write),
+        ("toggle", stg::examples::toggle),
+    ];
+    let arg = std::env::args().nth(1);
+    match arg.as_deref() {
+        Some(name) => match models.iter().find(|(n, _)| *n == name) {
+            Some((_, build)) => print!("{}", stg::parse::write_g(&build())),
+            None => {
+                eprintln!("unknown model {name:?}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            for (name, _) in models {
+                println!("{name}");
+            }
+        }
+    }
+}

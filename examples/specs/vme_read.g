@@ -1,0 +1,16 @@
+.model vme-read
+.inputs DSr LDTACK
+.outputs DTACK LDS D
+.graph
+DSr+ LDS+
+DSr- D-
+DTACK+ DSr-
+DTACK- DSr+
+LDTACK+ D+
+LDTACK- LDS+
+LDS+ LDTACK+
+LDS- LDTACK-
+D+ DTACK+
+D- DTACK- LDS-
+.marking { <DTACK-,DSr+> <LDTACK-,LDS+> }
+.end

@@ -1,0 +1,19 @@
+.model vme-read-csc
+.inputs DSr LDTACK
+.outputs DTACK LDS D
+.internal csc0
+.graph
+DSr+ csc0+
+DSr- csc0-
+DTACK+ DSr-
+DTACK- DSr+
+LDTACK+ D+
+LDTACK- csc0+
+LDS+ LDTACK+
+LDS- LDTACK-
+D+ DTACK+
+D- DTACK- LDS-
+csc0+ LDS+
+csc0- D-
+.marking { <DTACK-,DSr+> <LDTACK-,csc0+> }
+.end

@@ -1,0 +1,27 @@
+.model vme-read-write
+.inputs DSr DSw LDTACK
+.outputs DTACK LDS D
+.graph
+DSr+ LDS+
+DSr- D-
+LDS+ LDTACK+
+LDTACK+ D+
+D+ DTACK+
+DTACK+ DSr-
+D- p1 p2
+DSw+ D+/2
+DSw- p1
+D+/2 LDS+/2
+LDS+/2 LDTACK+/2
+LDTACK+/2 D-/2
+D-/2 DTACK+/2 p2
+DTACK+/2 DSw-
+LDS- LDTACK-
+LDTACK- p3
+DTACK- p0
+p1 DTACK-
+p2 LDS-
+p0 DSr+ DSw+
+p3 LDS+ LDS+/2
+.marking { p0 p3 }
+.end

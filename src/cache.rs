@@ -1,0 +1,239 @@
+//! The on-disk, content-addressed result cache of the synthesis service.
+//!
+//! Synthesis of an STG flow (check → CSC → logic → verify) is
+//! deterministic in `(specification, options)`, so its results are
+//! perfectly cacheable. Keys are SHA-256 digests over the
+//! [`stg::canon`] canonical form of the specification salted with the
+//! flow options and a schema version ([`crate::pipeline::cache_key`]);
+//! values are JSON documents (usually a
+//! [`crate::summary::SynthesisSummary`] or a CSC stage checkpoint).
+//!
+//! Robustness properties:
+//!
+//! * **Atomic writes** — entries are written to a temporary file in the
+//!   cache directory and `rename`d into place, so concurrent workers and
+//!   crashed processes can never leave a half-written entry behind;
+//! * **Self-verifying entries** — every entry embeds the SHA-256 of its
+//!   payload and its schema version. A corrupted, truncated or
+//!   version-skewed entry is detected on load, counted, deleted and
+//!   treated as a miss — never trusted;
+//! * **Key-echo** — entries also record their own key, so a file that
+//!   was moved or hand-edited to a different name cannot impersonate
+//!   another specification's result.
+//!
+//! Layout: `<root>/<first two hex digits>/<64-hex-digit key>.json`
+//! (fan-out keeps directories small under heavy traffic).
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use stg::canon::{digest_bytes, Digest};
+
+use crate::json::Json;
+
+/// On-disk entry schema version; bump on breaking layout changes.
+pub const CACHE_FORMAT_VERSION: u64 = 1;
+
+/// Monotone counters describing a cache's traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Entries served.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries written.
+    pub stores: u64,
+    /// Entries rejected as corrupt (and deleted).
+    pub corrupt: u64,
+}
+
+/// A content-addressed store of synthesis results.
+#[derive(Debug)]
+pub struct ResultCache {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    corrupt: AtomicU64,
+    tmp_counter: AtomicU64,
+}
+
+impl ResultCache {
+    /// Opens (creating if necessary) a cache rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(root: impl AsRef<Path>) -> io::Result<ResultCache> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        Ok(ResultCache {
+            root,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            tmp_counter: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The entry path for a key.
+    #[must_use]
+    pub fn entry_path(&self, key: &Digest) -> PathBuf {
+        let hex = key.to_hex();
+        self.root.join(&hex[..2]).join(format!("{hex}.json"))
+    }
+
+    /// Loads and verifies the payload stored under `key`.
+    ///
+    /// Returns `None` on a miss *and* on a corrupt entry (which is
+    /// deleted and counted in [`CacheStats::corrupt`]).
+    #[must_use]
+    pub fn load(&self, key: &Digest) -> Option<Json> {
+        let path = self.entry_path(key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match verify_entry(key, &text) {
+            Ok(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload)
+            }
+            Err(_) => {
+                // Corrupt: never trust it; drop the file so the slot heals
+                // on the next store.
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Stores `payload` under `key`, atomically (tmp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; a failed store leaves no partial entry.
+    pub fn store(&self, key: &Digest, payload: &Json) -> io::Result<()> {
+        let path = self.entry_path(key);
+        let dir = path.parent().expect("entry paths have a parent");
+        std::fs::create_dir_all(dir)?;
+        let payload_text = payload.render();
+        let entry = Json::obj(vec![
+            ("version", Json::Num(CACHE_FORMAT_VERSION as f64)),
+            ("key", Json::str(key.to_hex())),
+            (
+                "checksum",
+                Json::str(digest_bytes(payload_text.as_bytes()).to_hex()),
+            ),
+            ("payload", payload.clone()),
+        ]);
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, entry.render())?;
+        std::fs::rename(&tmp, &path)?;
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// A snapshot of the traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Parses an entry document and verifies version, key echo and payload
+/// checksum; returns the payload on success.
+fn verify_entry(key: &Digest, text: &str) -> Result<Json, String> {
+    let doc = Json::parse(text)?;
+    if doc.get("version").and_then(Json::as_u64) != Some(CACHE_FORMAT_VERSION) {
+        return Err("cache entry version mismatch".to_owned());
+    }
+    if doc.get("key").and_then(Json::as_str) != Some(key.to_hex().as_str()) {
+        return Err("cache entry key mismatch".to_owned());
+    }
+    let checksum = doc
+        .get("checksum")
+        .and_then(Json::as_str)
+        .ok_or("missing checksum")?;
+    let payload = doc.get("payload").ok_or("missing payload")?;
+    if digest_bytes(payload.render().as_bytes()).to_hex() != checksum {
+        return Err("payload checksum mismatch".to_owned());
+    }
+    Ok(payload.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ResultCache;
+    use crate::json::Json;
+    use stg::canon::digest_bytes;
+
+    fn temp_root(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "asyncsynth-cache-test-{}-{tag}",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn store_load_and_corruption() {
+        let root = temp_root("basic");
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = ResultCache::open(&root).expect("open");
+        let key = digest_bytes(b"some spec");
+        assert!(cache.load(&key).is_none());
+        let payload = Json::obj(vec![("answer", Json::num(42))]);
+        cache.store(&key, &payload).expect("store");
+        assert_eq!(cache.load(&key), Some(payload.clone()));
+
+        // Tamper with the payload: the checksum must catch it.
+        let path = cache.entry_path(&key);
+        let tampered = std::fs::read_to_string(&path)
+            .expect("entry readable")
+            .replace("42", "43");
+        std::fs::write(&path, tampered).expect("tamper");
+        assert_eq!(cache.load(&key), None, "tampered entry rejected");
+        assert!(!path.exists(), "corrupt entry deleted");
+
+        // Truncated garbage is also rejected.
+        cache.store(&key, &payload).expect("restore");
+        std::fs::write(&path, "{\"version\":1,").expect("truncate");
+        assert_eq!(cache.load(&key), None);
+
+        // A valid entry copied under the wrong key must not be served.
+        cache.store(&key, &payload).expect("restore again");
+        let other = digest_bytes(b"other spec");
+        let other_path = cache.entry_path(&other);
+        std::fs::create_dir_all(other_path.parent().unwrap()).unwrap();
+        std::fs::copy(&path, &other_path).expect("copy");
+        assert_eq!(cache.load(&other), None, "key echo rejects moved entry");
+
+        let stats = cache.stats();
+        assert_eq!(stats.stores, 3);
+        assert_eq!(stats.corrupt, 3);
+        assert!(stats.hits >= 1 && stats.misses >= 3);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`timing`] | time separation of events, cycle time, relative-timing optimisation |
 //! | `sim` | event-driven gate-level simulation with glitch monitors |
 //! | [`verify`] | speed-independence and conformance checking |
+//! | `server` | the synthesis service: job queue, worker pool, NDJSON protocol, CLI |
 //!
 //! This crate ties them together in [`pipeline`]: the §3 flow (property
 //! checking → CSC resolution → synthesis in three architectures →
@@ -32,6 +33,13 @@
 //! many controllers concurrently; [`FlowEvent`] gives structured
 //! diagnostics. The legacy one-shot [`flow::run_flow`] remains as a
 //! deprecated shim.
+//!
+//! The flow is deterministic in its inputs, so results are
+//! content-addressable: [`run_cached`] consults an on-disk
+//! [`ResultCache`] (keys from [`stg::canon`], per-stage entries, atomic
+//! self-verifying writes) before running anything, and the `server`
+//! crate turns that into a persistent synthesis daemon with a job
+//! queue and worker pool (`asyncsynth serve` / `asyncsynth submit`).
 //!
 //! # Quickstart
 //!
@@ -64,11 +72,18 @@
 //! assert!(results.iter().all(|r| r.is_ok()));
 //! ```
 
+pub mod cache;
 pub mod flow;
+pub mod json;
 pub mod pipeline;
+pub mod summary;
 
+pub use cache::{CacheStats, ResultCache};
+pub use json::Json;
 pub use pipeline::{
-    run_batch, Architecture, Backend, Checked, Circuit, CscCandidate, CscKind, CscResolved,
-    CscStrategy, CscTransformation, FlowEvent, PipelineError, Synthesis, SynthesisOptions,
-    Synthesized, Verification, Verified,
+    cache_key, run_batch, run_cached, run_cached_with, Architecture, Backend, CacheOutcome,
+    CacheStage, CachedRun, Checked, Circuit, CscCandidate, CscKind, CscResolved, CscStrategy,
+    CscTransformation, FlowEvent, FlowObserver, NullObserver, PipelineError, Synthesis,
+    SynthesisOptions, Synthesized, Verification, Verified,
 };
+pub use summary::SynthesisSummary;

@@ -34,7 +34,7 @@ use std::sync::Mutex;
 use stg::properties::ImplementabilityReport;
 use stg::{StateSpace, Stg};
 use synth::complex_gate::{synthesize_complex_gates, ComplexGateCircuit};
-use synth::csc::CscResolution;
+use synth::csc::CscResolutionWithSpace;
 use synth::decompose::{decompose, resubstitute, DecomposedCircuit};
 use synth::latch_arch::{synthesize_latch_circuit, LatchCircuit, LatchStyle};
 use synth::library::{map_to_library, Library, Mapping};
@@ -57,6 +57,41 @@ pub enum Architecture {
     Decomposed,
 }
 
+impl Architecture {
+    /// The architecture's canonical CLI/protocol name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Architecture::ComplexGate => "complex",
+            Architecture::CElement => "celement",
+            Architecture::RsLatch => "rs",
+            Architecture::Decomposed => "decomposed",
+        }
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Architecture {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "complex" => Ok(Architecture::ComplexGate),
+            "celement" => Ok(Architecture::CElement),
+            "rs" => Ok(Architecture::RsLatch),
+            "decomposed" => Ok(Architecture::Decomposed),
+            other => Err(format!(
+                "unknown architecture {other:?} (expected complex|celement|rs|decomposed)"
+            )),
+        }
+    }
+}
+
 /// How CSC conflicts are resolved when the input specification has them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CscStrategy {
@@ -70,6 +105,41 @@ pub enum CscStrategy {
     ConcurrencyReduction,
     /// Fail if CSC does not hold.
     Fail,
+}
+
+impl CscStrategy {
+    /// The strategy's canonical CLI/protocol name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CscStrategy::Auto => "auto",
+            CscStrategy::SignalInsertion => "insertion",
+            CscStrategy::ConcurrencyReduction => "reduction",
+            CscStrategy::Fail => "fail",
+        }
+    }
+}
+
+impl fmt::Display for CscStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for CscStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(CscStrategy::Auto),
+            "insertion" => Ok(CscStrategy::SignalInsertion),
+            "reduction" => Ok(CscStrategy::ConcurrencyReduction),
+            "fail" => Ok(CscStrategy::Fail),
+            other => Err(format!(
+                "unknown csc strategy {other:?} (expected auto|insertion|reduction|fail)"
+            )),
+        }
+    }
 }
 
 /// Options shared by [`Synthesis`] and [`run_batch`].
@@ -111,6 +181,9 @@ pub enum PipelineError {
         /// The full diagnostic log up to the failure.
         events: Vec<FlowEvent>,
     },
+    /// The run was cancelled between stages (service job cancellation —
+    /// see [`FlowObserver::cancelled`]).
+    Cancelled,
 }
 
 impl fmt::Display for PipelineError {
@@ -134,6 +207,7 @@ impl fmt::Display for PipelineError {
                     "all {rejected} CSC candidate(s) failed; last error: {last}"
                 )
             }
+            PipelineError::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -157,6 +231,19 @@ impl fmt::Display for CscKind {
             CscKind::SignalInsertion => write!(f, "signal insertion"),
             CscKind::ConcurrencyReduction => write!(f, "concurrency reduction"),
             CscKind::Mixed => write!(f, "mixed"),
+        }
+    }
+}
+
+impl std::str::FromStr for CscKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "signal insertion" => Ok(CscKind::SignalInsertion),
+            "concurrency reduction" => Ok(CscKind::ConcurrencyReduction),
+            "mixed" => Ok(CscKind::Mixed),
+            other => Err(format!("unknown csc kind {other:?}")),
         }
     }
 }
@@ -273,6 +360,17 @@ pub enum FlowEvent {
     },
     /// Verification was skipped on request.
     VerificationSkipped,
+    /// The whole run was served from the result cache.
+    CacheHit {
+        /// The content-addressed cache key (hex).
+        key: String,
+    },
+    /// The CSC stage was resumed from a cached checkpoint (the search
+    /// was skipped; synthesis re-ran on the checkpointed specification).
+    CscStageResumed {
+        /// The checkpoint's cache key (hex).
+        key: String,
+    },
 }
 
 impl fmt::Display for FlowEvent {
@@ -312,6 +410,10 @@ impl fmt::Display for FlowEvent {
                 write!(f, "verification passed ({states_explored} composed states)")
             }
             FlowEvent::VerificationSkipped => write!(f, "verification skipped"),
+            FlowEvent::CacheHit { key } => write!(f, "cache hit: {key}"),
+            FlowEvent::CscStageResumed { key } => {
+                write!(f, "csc checkpoint resumed: {key}")
+            }
         }
     }
 }
@@ -585,7 +687,7 @@ pub struct CscCandidate {
 }
 
 impl CscCandidate {
-    fn from_resolution(r: CscResolution, kind: CscKind) -> Self {
+    fn from_resolution(r: CscResolutionWithSpace, kind: CscKind) -> Self {
         CscCandidate {
             spec: r.stg,
             transformation: Some(CscTransformation {
@@ -593,7 +695,7 @@ impl CscCandidate {
                 description: r.description,
                 num_states: r.num_states,
             }),
-            space: None,
+            space: r.space,
             report: None,
         }
     }
@@ -1007,4 +1109,333 @@ pub fn run_batch(
         .into_iter()
         .map(|slot| slot.expect("every slot filled by a worker"))
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// The cached, observable flow (the synthesis service's entry point)
+// ---------------------------------------------------------------------
+
+use stg::canon::Digest;
+
+use crate::cache::ResultCache;
+use crate::json::Json;
+use crate::summary::SynthesisSummary;
+
+/// Schema tag folded into every cache key; bump whenever the meaning of
+/// a cached payload changes so stale entries can never be served.
+pub const CACHE_SCHEMA: &str = "asyncsynth-flow-v1";
+
+/// Which stage's artifact a cache key addresses. Each stage salts its
+/// key with exactly the options that influence its result, so e.g. a
+/// `Check` entry is shared across architectures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStage {
+    /// The §2.1 implementability report.
+    Check,
+    /// The CSC-resolution checkpoint (the winning transformed
+    /// specification, before synthesis).
+    Csc,
+    /// The complete flow result ([`SynthesisSummary`]).
+    Full,
+}
+
+impl CacheStage {
+    fn tag(self) -> &'static str {
+        match self {
+            CacheStage::Check => "check",
+            CacheStage::Csc => "csc",
+            CacheStage::Full => "full",
+        }
+    }
+}
+
+/// The content-addressed cache key of one stage of the flow on
+/// `(spec, options)`: a SHA-256 over the canonical specification, the
+/// schema version, the stage tag and the options that stage depends on.
+#[must_use]
+pub fn cache_key(spec: &Stg, options: &SynthesisOptions, stage: CacheStage) -> Digest {
+    let fanin = options
+        .max_fanin
+        .map_or_else(|| "default".to_owned(), |n| n.to_string());
+    let mut extras: Vec<&str> = vec![CACHE_SCHEMA, stage.tag(), options.backend.name()];
+    if matches!(stage, CacheStage::Csc | CacheStage::Full) {
+        extras.push(options.csc.name());
+    }
+    if matches!(stage, CacheStage::Full) {
+        extras.push(options.architecture.name());
+        extras.push(&fanin);
+        extras.push(if options.skip_verification {
+            "noverify"
+        } else {
+            "verify"
+        });
+    }
+    stg::canon::keyed_digest(spec, &extras)
+}
+
+/// Observes a cached flow run: one callback per completed stage (with
+/// the events that stage appended) plus a cancellation poll between
+/// stages. The synthesis service uses this to stream [`FlowEvent`]s to
+/// clients and to abort cancelled jobs without killing the worker.
+pub trait FlowObserver {
+    /// Called after each stage with the stage's name and new events.
+    fn stage(&mut self, stage: &str, events: &[FlowEvent]);
+
+    /// Polled between stages; returning `true` aborts the run with
+    /// [`PipelineError::Cancelled`].
+    fn cancelled(&self) -> bool {
+        false
+    }
+}
+
+/// The no-op observer ([`run_cached`]'s default).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl FlowObserver for NullObserver {
+    fn stage(&mut self, _stage: &str, _events: &[FlowEvent]) {}
+}
+
+/// How the cache participated in a [`run_cached`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The complete result was served from the cache; no synthesis
+    /// stage ran.
+    Hit,
+    /// The CSC search was skipped thanks to a stage checkpoint; the
+    /// remaining stages ran.
+    CscResumed,
+    /// Everything ran; the result was stored for next time.
+    Miss,
+    /// No cache was configured.
+    Disabled,
+}
+
+impl CacheOutcome {
+    /// Canonical protocol name (`hit`, `csc_resumed`, `miss`, `disabled`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::CscResumed => "csc_resumed",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Disabled => "disabled",
+        }
+    }
+}
+
+/// Result of [`run_cached`]: the serialisable summary plus how the
+/// cache participated.
+#[derive(Debug, Clone)]
+pub struct CachedRun {
+    /// The flow's outcome.
+    pub summary: SynthesisSummary,
+    /// Hit / resumed / miss / disabled.
+    pub outcome: CacheOutcome,
+    /// The full-result cache key, when a cache was configured.
+    pub key: Option<Digest>,
+}
+
+/// Runs the full flow through the content-addressed result cache.
+///
+/// Equivalent to [`run_cached_with`] with a no-op observer.
+///
+/// # Errors
+///
+/// See [`run_cached_with`].
+pub fn run_cached(
+    spec: &Stg,
+    options: &SynthesisOptions,
+    cache: &ResultCache,
+) -> Result<CachedRun, PipelineError> {
+    run_cached_with(spec, options, Some(cache), &mut NullObserver)
+}
+
+/// The resumable cached flow: consults the cache per stage, runs only
+/// what is missing, and reports stage completions to `observer`.
+///
+/// * On a **full hit** the stored [`SynthesisSummary`] is returned as-is
+///   and no synthesis stage runs (the observer sees a single `cache`
+///   stage carrying [`FlowEvent::CacheHit`]).
+/// * On a **CSC checkpoint hit** the O(T²) CSC candidate search is
+///   skipped: synthesis restarts from the checkpointed winning
+///   specification.
+/// * On a **miss** everything runs, then both the checkpoint and the
+///   full result are stored (atomically — concurrent workers race
+///   benignly; last write wins with identical content).
+///
+/// # Errors
+///
+/// Any [`PipelineError`] of the underlying stages, plus
+/// [`PipelineError::Cancelled`] when the observer requests cancellation
+/// between stages. Cache I/O failures are deliberately swallowed (a
+/// broken cache degrades to recomputation, never to a wrong answer).
+pub fn run_cached_with(
+    spec: &Stg,
+    options: &SynthesisOptions,
+    cache: Option<&ResultCache>,
+    observer: &mut dyn FlowObserver,
+) -> Result<CachedRun, PipelineError> {
+    if observer.cancelled() {
+        return Err(PipelineError::Cancelled);
+    }
+    let full_key = cache.map(|_| cache_key(spec, options, CacheStage::Full));
+    if let (Some(cache), Some(key)) = (cache, full_key) {
+        if let Some(payload) = cache.load(&key) {
+            if let Ok(summary) = SynthesisSummary::from_json(&payload) {
+                let event = FlowEvent::CacheHit { key: key.to_hex() };
+                observer.stage("cache", std::slice::from_ref(&event));
+                return Ok(CachedRun {
+                    summary,
+                    outcome: CacheOutcome::Hit,
+                    key: Some(key),
+                });
+            }
+        }
+    }
+
+    // CSC stage checkpoint, if one is cached.
+    let csc_key = cache.map(|_| cache_key(spec, options, CacheStage::Csc));
+    let checkpoint = match (cache, csc_key) {
+        (Some(cache), Some(key)) => cache
+            .load(&key)
+            .and_then(|p| decode_csc_checkpoint(&p))
+            .map(|cp| (key, cp)),
+        _ => None,
+    };
+    let (verified, resumed) = match checkpoint {
+        Some(cp) => match run_stages(spec, options, cache, observer, Some(cp)) {
+            Ok(v) => (v, true),
+            Err(PipelineError::Cancelled) => return Err(PipelineError::Cancelled),
+            // The checkpoint key is shared across architectures (the
+            // CSC search does not depend on them), but resuming pins
+            // the flow to the single checkpointed candidate — which a
+            // different architecture, fan-in bound or verification
+            // policy may reject even though the full search would
+            // backtrack to another candidate. A failed resume therefore
+            // falls back to the complete flow instead of failing a run
+            // that would succeed cold.
+            Err(_) => (run_stages(spec, options, cache, observer, None)?, false),
+        },
+        None => (run_stages(spec, options, cache, observer, None)?, false),
+    };
+
+    if let (Some(cache), Some(key)) = (cache, csc_key) {
+        if !resumed {
+            let _ = cache.store(&key, &encode_csc_checkpoint(&verified));
+        }
+    }
+    let summary = SynthesisSummary::from_verified(&verified, options);
+    if let (Some(cache), Some(key)) = (cache, full_key) {
+        let _ = cache.store(&key, &summary.to_json());
+    }
+    Ok(CachedRun {
+        summary,
+        outcome: if cache.is_none() {
+            CacheOutcome::Disabled
+        } else if resumed {
+            CacheOutcome::CscResumed
+        } else {
+            CacheOutcome::Miss
+        },
+        key: full_key,
+    })
+}
+
+/// One complete pass through the four stages, reporting each stage to
+/// the observer; with a checkpoint, the CSC search is replaced by the
+/// checkpointed winning candidate.
+fn run_stages(
+    spec: &Stg,
+    options: &SynthesisOptions,
+    cache: Option<&ResultCache>,
+    observer: &mut dyn FlowObserver,
+    checkpoint: Option<(Digest, (Stg, Option<CscTransformation>))>,
+) -> Result<Verified, PipelineError> {
+    let mut seen = 0usize;
+    let emit =
+        |observer: &mut dyn FlowObserver, stage: &str, events: &[FlowEvent], seen: &mut usize| {
+            observer.stage(stage, &events[*seen..]);
+            *seen = events.len();
+        };
+
+    let checked = Synthesis::with_options(spec.clone(), options.clone()).check()?;
+    emit(observer, "check", checked.events(), &mut seen);
+    if let Some(cache) = cache {
+        // The check stage's artifact is cacheable on its own (shared by
+        // every architecture); used by the service's `check` operation.
+        let key = cache_key(spec, options, CacheStage::Check);
+        let _ = cache.store(&key, &crate::summary::report_to_json(checked.report()));
+    }
+    if observer.cancelled() {
+        return Err(PipelineError::Cancelled);
+    }
+
+    let resolved = match checkpoint {
+        Some((key, (csc_spec, transformation))) => {
+            let Checked {
+                options,
+                mut events,
+                ..
+            } = checked;
+            events.push(FlowEvent::CscStageResumed { key: key.to_hex() });
+            CscResolved {
+                options,
+                candidates: vec![CscCandidate {
+                    spec: csc_spec,
+                    transformation,
+                    space: None,
+                    report: None,
+                }],
+                events,
+            }
+        }
+        None => checked.resolve_csc()?,
+    };
+    emit(observer, "csc", resolved.events(), &mut seen);
+    if observer.cancelled() {
+        return Err(PipelineError::Cancelled);
+    }
+
+    let synthesized = resolved.synthesize()?;
+    emit(observer, "synthesize", synthesized.events(), &mut seen);
+    if observer.cancelled() {
+        return Err(PipelineError::Cancelled);
+    }
+
+    let verified = synthesized.verify()?;
+    emit(observer, "verify", verified.events(), &mut seen);
+    Ok(verified)
+}
+
+/// Encodes the CSC stage checkpoint: the winning (possibly transformed)
+/// specification and the transformation that produced it.
+fn encode_csc_checkpoint(verified: &Verified) -> Json {
+    Json::obj(vec![
+        ("spec", Json::str(stg::parse::write_g(&verified.spec))),
+        (
+            "transformation",
+            verified.transformation.as_ref().map_or(Json::Null, |t| {
+                Json::obj(vec![
+                    ("kind", Json::str(t.kind.to_string())),
+                    ("description", Json::str(&t.description)),
+                    ("states", Json::num(t.num_states)),
+                ])
+            }),
+        ),
+    ])
+}
+
+/// Decodes a CSC checkpoint; `None` on any mismatch (treated as a miss).
+fn decode_csc_checkpoint(payload: &Json) -> Option<(Stg, Option<CscTransformation>)> {
+    let spec = stg::parse::parse_g(payload.get("spec")?.as_str()?).ok()?;
+    let transformation = match payload.get("transformation")? {
+        Json::Null => None,
+        t => Some(CscTransformation {
+            kind: t.get("kind")?.as_str()?.parse().ok()?,
+            description: t.get("description")?.as_str()?.to_owned(),
+            num_states: t.get("states")?.as_usize()?,
+        }),
+    };
+    Some((spec, transformation))
 }
