@@ -31,6 +31,20 @@ pub struct SymbolicReachability {
     pub iterations: usize,
 }
 
+/// Result of a symbolic reachability run inside a caller-owned manager
+/// (see [`symbolic_reachability_bounded_in`]): the same artifacts as
+/// [`SymbolicReachability`] minus the manager itself.
+#[derive(Debug, Clone, Copy)]
+pub struct SymbolicRun {
+    /// Characteristic function of the reachable markings, over the
+    /// current-state variables.
+    pub reached: Bdd,
+    /// Number of reachable markings.
+    pub num_markings: u128,
+    /// Number of image-computation iterations until the fixed point.
+    pub iterations: usize,
+}
+
 fn cur_var(p: PlaceId) -> VarId {
     2 * p.0
 }
@@ -83,6 +97,33 @@ pub fn symbolic_reachability_bounded(
     max_markings: u128,
 ) -> Result<SymbolicReachability, crate::reach::ReachError> {
     let mut m = Manager::new();
+    let run = symbolic_reachability_bounded_in(&mut m, net, max_markings)?;
+    Ok(SymbolicReachability {
+        manager: m,
+        reached: run.reached,
+        num_markings: run.num_markings,
+        iterations: run.iterations,
+    })
+}
+
+/// [`symbolic_reachability_bounded`] inside a caller-owned BDD manager,
+/// so repeated traversals of structurally similar nets (e.g. the CSC
+/// candidate sweep, where every candidate shares the base net's places)
+/// reuse the manager's unique table and operation caches instead of
+/// rebuilding every relation node from scratch.
+///
+/// The caller must only reuse a manager across nets with the **same
+/// place count** — the variable universe is `2 × places` and marking
+/// counts divide by it (`stg::BuildContext` enforces this).
+///
+/// # Errors
+///
+/// See [`symbolic_reachability_bounded`].
+pub fn symbolic_reachability_bounded_in(
+    m: &mut Manager,
+    net: &PetriNet,
+    max_markings: u128,
+) -> Result<SymbolicRun, crate::reach::ReachError> {
     // Touch all variables to fix the universe.
     for p in net.places() {
         m.var(cur_var(p));
@@ -151,15 +192,14 @@ pub fn symbolic_reachability_bounded(
         let image = m.rename(image_next, &next_vars, &cur_vars);
         frontier = m.diff(image, reached);
         reached = m.or(reached, frontier);
-        if max_markings < u128::MAX && count_markings(&mut m, reached) > max_markings {
+        if max_markings < u128::MAX && count_markings(&mut *m, reached) > max_markings {
             let limit = usize::try_from(max_markings).unwrap_or(usize::MAX);
             return Err(crate::reach::ReachError::StateLimit(limit));
         }
     }
 
-    let num_markings = count_markings(&mut m, reached);
-    Ok(SymbolicReachability {
-        manager: m,
+    let num_markings = count_markings(&mut *m, reached);
+    Ok(SymbolicRun {
         reached,
         num_markings,
         iterations,
@@ -181,11 +221,19 @@ pub fn symbolic_reachability_bounded(
 /// explicit checker's bound-violation report.
 #[must_use]
 pub fn unsafe_witness(net: &PetriNet, sym: &mut SymbolicReachability) -> Option<Marking> {
+    let reached = sym.reached;
+    unsafe_witness_in(net, &mut sym.manager, reached)
+}
+
+/// [`unsafe_witness`] over a caller-owned manager (the shared-manager
+/// counterpart used with [`symbolic_reachability_bounded_in`]).
+#[must_use]
+pub fn unsafe_witness_in(net: &PetriNet, manager: &mut Manager, reached: Bdd) -> Option<Marking> {
     for t in net.transitions() {
         let pre = net.preset(t).to_vec();
         let post = net.postset(t).to_vec();
-        let m = &mut sym.manager;
-        let mut enabled = sym.reached;
+        let m = &mut *manager;
+        let mut enabled = reached;
         for &p in &pre {
             let v = m.var(cur_var(p));
             enabled = m.and(enabled, v);

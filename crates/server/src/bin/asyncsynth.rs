@@ -13,6 +13,9 @@
 //!   --arch complex|celement|rs|decomposed   (default: complex)
 //!   --backend explicit|symbolic             (default: explicit)
 //!   --csc auto|insertion|reduction|fail     (default: auto)
+//!   --csc-threads N                         CSC sweep workers (0 = per core)
+//!   --csc-bound N                           CSC per-candidate state bound
+//!   --csc-no-prune                          disable conflict-locality pruning
 //!   --fanin N                               (decomposed fan-in bound)
 //!   --assume "a<b"                          relative-timing assumption
 //!   --cache DIR                             content-addressed result cache
@@ -136,6 +139,9 @@ fn synth(spec: &stg::Stg, opts: &[String]) -> Result<(), String> {
             "--arch",
             "--backend",
             "--csc",
+            "--csc-threads",
+            "--csc-bound",
+            "--csc-no-prune",
             "--fanin",
             "--assume",
             "--cache",
@@ -342,6 +348,9 @@ fn submit(spec_text: &str, opts: &[String]) -> Result<(), String> {
             "--arch",
             "--backend",
             "--csc",
+            "--csc-threads",
+            "--csc-bound",
+            "--csc-no-prune",
             "--fanin",
             "--no-verify",
             "--events",

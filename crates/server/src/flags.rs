@@ -7,7 +7,7 @@
 
 use std::path::PathBuf;
 
-use asyncsynth::{Architecture, Backend, CscStrategy, SynthesisOptions};
+use asyncsynth::{Architecture, Backend, CscStrategy, SweepOptions, SynthesisOptions};
 
 /// Parsed common flags, with their defaults.
 #[derive(Debug, Clone)]
@@ -20,6 +20,15 @@ pub struct CliFlags {
     pub arch: Architecture,
     /// `--csc auto|insertion|reduction|fail`.
     pub csc: CscStrategy,
+    /// `--csc-threads N`: CSC candidate-sweep worker threads (0 = one
+    /// per core, the default).
+    pub csc_threads: Option<usize>,
+    /// `--csc-bound N`: per-candidate state-space bound of the CSC
+    /// sweeps; candidates above it are skipped and reported.
+    pub csc_bound: Option<usize>,
+    /// `--csc-no-prune`: disable conflict-locality pruning (debugging
+    /// escape hatch; pruning never changes results, only work).
+    pub csc_no_prune: bool,
     /// `--fanin N` (decomposed fan-in bound).
     pub fanin: Option<usize>,
     /// `--no-verify`: skip the exhaustive verification stage.
@@ -47,6 +56,9 @@ impl Default for CliFlags {
             json: false,
             arch: Architecture::default(),
             csc: CscStrategy::default(),
+            csc_threads: None,
+            csc_bound: None,
+            csc_no_prune: false,
             fanin: None,
             no_verify: false,
             assumptions: Vec::new(),
@@ -64,10 +76,17 @@ impl CliFlags {
     /// The pipeline options these flags select.
     #[must_use]
     pub fn options(&self) -> SynthesisOptions {
+        let defaults = SweepOptions::default();
         SynthesisOptions {
             backend: self.backend,
             architecture: self.arch,
             csc: self.csc,
+            sweep: SweepOptions {
+                threads: self.csc_threads.unwrap_or(defaults.threads),
+                bound: self.csc_bound.unwrap_or(defaults.bound),
+                prune: !self.csc_no_prune,
+                keep_spaces: defaults.keep_spaces,
+            },
             max_fanin: self.fanin,
             skip_verification: self.no_verify,
         }
@@ -103,6 +122,21 @@ pub fn parse_flags(args: &[String], allowed: &[&str]) -> Result<CliFlags, String
             "--json" => flags.json = true,
             "--arch" => flags.arch = value(args, &mut i, flag)?.parse()?,
             "--csc" => flags.csc = value(args, &mut i, flag)?.parse()?,
+            "--csc-threads" => {
+                flags.csc_threads = Some(
+                    value(args, &mut i, flag)?
+                        .parse()
+                        .map_err(|_| "bad --csc-threads value")?,
+                );
+            }
+            "--csc-bound" => {
+                flags.csc_bound = Some(
+                    value(args, &mut i, flag)?
+                        .parse()
+                        .map_err(|_| "bad --csc-bound value")?,
+                );
+            }
+            "--csc-no-prune" => flags.csc_no_prune = true,
             "--fanin" => {
                 flags.fanin = Some(
                     value(args, &mut i, flag)?
@@ -165,6 +199,31 @@ mod tests {
             parse_flags(&["--backend".to_owned()], &["--backend"]).is_err(),
             "missing value"
         );
+    }
+
+    #[test]
+    fn csc_sweep_flags_reach_the_options() {
+        let args: Vec<String> = [
+            "--csc-threads",
+            "4",
+            "--csc-bound",
+            "50000",
+            "--csc-no-prune",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let flags = parse_flags(&args, &["--csc-threads", "--csc-bound", "--csc-no-prune"])
+            .expect("parses");
+        let options = flags.options();
+        assert_eq!(options.sweep.threads, 4);
+        assert_eq!(options.sweep.bound, 50_000);
+        assert!(!options.sweep.prune);
+
+        // Defaults: auto threads, pruning on.
+        let defaults = parse_flags(&[], &[]).expect("parses").options();
+        assert_eq!(defaults.sweep, asyncsynth::SweepOptions::default());
+        assert!(defaults.sweep.prune);
     }
 
     #[test]

@@ -64,13 +64,24 @@ impl WorkerPool {
         cache: Option<Arc<ResultCache>>,
     ) -> WorkerPool {
         let workers = workers.max(1);
+        // Split the core budget between pool workers and each job's CSC
+        // sweep: a job that leaves the sweep's thread count on "auto"
+        // gets cores/workers sweep threads instead of one-per-core —
+        // otherwise every concurrent job would spawn a full per-core
+        // sweep and oversubscribe the machine quadratically. Explicit
+        // client-requested counts are honoured (clamped upstream), and
+        // thread count never changes a job's result or cache key.
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        let auto_sweep_threads = (cores / workers).max(1);
         let handles = (0..workers)
             .map(|i| {
                 let queue = Arc::clone(&queue);
                 let cache = cache.clone();
                 std::thread::Builder::new()
                     .name(format!("synth-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, cache.as_deref()))
+                    .spawn(move || worker_loop(&queue, cache.as_deref(), auto_sweep_threads))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -96,7 +107,7 @@ impl WorkerPool {
     }
 }
 
-fn worker_loop(queue: &JobQueue, cache: Option<&ResultCache>) {
+fn worker_loop(queue: &JobQueue, cache: Option<&ResultCache>, auto_sweep_threads: usize) {
     while let Some(job) = queue.take() {
         if job.cancel.load(Ordering::Relaxed) {
             queue.mark_done(job.id);
@@ -109,13 +120,13 @@ fn worker_loop(queue: &JobQueue, cache: Option<&ResultCache>) {
         queue.mark_running(job.id, Arc::clone(&job.cancel));
         // A panicking specification must fail its job, never take the
         // worker (and with it the whole service) down.
-        let response =
-            catch_unwind(AssertUnwindSafe(|| run_job(&job, cache))).unwrap_or_else(|panic| {
-                Response::Error {
-                    job: Some(job.id),
-                    message: format!("job panicked: {}", panic_message(&panic)),
-                }
-            });
+        let response = catch_unwind(AssertUnwindSafe(|| {
+            run_job(&job, cache, auto_sweep_threads)
+        }))
+        .unwrap_or_else(|panic| Response::Error {
+            job: Some(job.id),
+            message: format!("job panicked: {}", panic_message(&panic)),
+        });
         // Counters first: by the time a client holds this job's result,
         // `status` already reports it as completed.
         queue.mark_done(job.id);
@@ -123,7 +134,7 @@ fn worker_loop(queue: &JobQueue, cache: Option<&ResultCache>) {
     }
 }
 
-fn run_job(job: &Job, cache: Option<&ResultCache>) -> Response {
+fn run_job(job: &Job, cache: Option<&ResultCache>, auto_sweep_threads: usize) -> Response {
     match job.kind {
         JobKind::Synth { stream_events } => {
             let mut observer = JobObserver {
@@ -132,7 +143,11 @@ fn run_job(job: &Job, cache: Option<&ResultCache>) -> Response {
                 cancel: &job.cancel,
                 reply: &job.reply,
             };
-            match run_cached_with(&job.spec, &job.options, cache, &mut observer) {
+            let mut options = job.options.clone();
+            if options.sweep.threads == 0 {
+                options.sweep.threads = auto_sweep_threads;
+            }
+            match run_cached_with(&job.spec, &options, cache, &mut observer) {
                 Ok(run) => Response::Result {
                     job: job.id,
                     cache: run.outcome.name().to_owned(),

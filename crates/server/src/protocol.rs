@@ -5,7 +5,8 @@
 //!
 //! ```json
 //! {"op":"synth","spec":"<.g text>","backend":"explicit","arch":"complex",
-//!  "csc":"auto","fanin":2,"skip_verification":false,"events":true}
+//!  "csc":"auto","csc_threads":0,"csc_bound":200000,"csc_prune":true,
+//!  "fanin":2,"skip_verification":false,"events":true}
 //! {"op":"check","spec":"<.g text>","backend":"symbolic"}
 //! {"op":"status"}
 //! {"op":"cancel","job":3}
@@ -151,6 +152,19 @@ fn options_fields(v: &Json) -> Result<SynthesisOptions, String> {
     if let Some(csc) = v.get("csc").and_then(Json::as_str) {
         options.csc = csc.parse()?;
     }
+    if let Some(threads) = v.get("csc_threads") {
+        options.sweep.threads = threads
+            .as_usize()
+            .ok_or("\"csc_threads\" must be a non-negative integer")?;
+    }
+    if let Some(bound) = v.get("csc_bound") {
+        options.sweep.bound = bound
+            .as_usize()
+            .ok_or("\"csc_bound\" must be a non-negative integer")?;
+    }
+    if let Some(prune) = v.get("csc_prune").and_then(Json::as_bool) {
+        options.sweep.prune = prune;
+    }
     if let Some(fanin) = v.get("fanin") {
         options.max_fanin = Some(
             fanin
@@ -169,7 +183,12 @@ fn option_pairs(options: &SynthesisOptions) -> Vec<(&'static str, Json)> {
         ("backend", Json::str(options.backend.name())),
         ("arch", Json::str(options.architecture.name())),
         ("csc", Json::str(options.csc.name())),
+        ("csc_threads", Json::num(options.sweep.threads)),
+        ("csc_bound", Json::num(options.sweep.bound)),
     ];
+    if !options.sweep.prune {
+        pairs.push(("csc_prune", Json::Bool(false)));
+    }
     if let Some(fanin) = options.max_fanin {
         pairs.push(("fanin", Json::num(fanin)));
     }
@@ -407,6 +426,12 @@ mod tests {
                 options: asyncsynth::SynthesisOptions {
                     backend: asyncsynth::Backend::Symbolic,
                     max_fanin: Some(3),
+                    sweep: asyncsynth::SweepOptions {
+                        threads: 4,
+                        bound: 50_000,
+                        prune: false,
+                        ..Default::default()
+                    },
                     ..Default::default()
                 },
                 events: true,

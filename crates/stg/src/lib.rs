@@ -46,7 +46,7 @@ pub mod waveform;
 
 pub use model::{SignalEdge, SignalId, SignalKind, Stg, StgBuilder, TransitionLabel};
 pub use state_graph::{SgState, StateGraph, StgError};
-pub use state_space::{Backend, StateSpace};
+pub use state_space::{Backend, BuildContext, StateSpace};
 pub use symbolic::{SymbolicStateSpace, SymbolicStats};
 
 #[cfg(test)]

@@ -186,12 +186,61 @@ impl Backend {
         stg: &Stg,
         max_states: usize,
     ) -> Result<Box<dyn StateSpace>, StgError> {
+        self.build_bounded_in(stg, max_states, &mut BuildContext::default())
+    }
+
+    /// Like [`Backend::build_bounded`] with reusable cross-build scratch.
+    ///
+    /// Repeated builds of structurally similar STGs (the CSC candidate
+    /// sweep: every candidate shares the base net's place layout) pass
+    /// the same [`BuildContext`] so the symbolic backend keeps one BDD
+    /// manager — unique table and operation caches included — across
+    /// the whole sweep. The produced space is identical to a
+    /// fresh-context build; the explicit backend has no scratch and
+    /// ignores the context.
+    ///
+    /// # Errors
+    ///
+    /// See [`Backend::build`].
+    pub fn build_bounded_in(
+        self,
+        stg: &Stg,
+        max_states: usize,
+        ctx: &mut BuildContext,
+    ) -> Result<Box<dyn StateSpace>, StgError> {
         match self {
             Backend::Explicit => Ok(Box::new(StateGraph::build_bounded(stg, max_states)?)),
-            Backend::Symbolic => Ok(Box::new(SymbolicStateSpace::build_bounded(
-                stg, max_states,
-            )?)),
+            Backend::Symbolic => {
+                let manager = ctx.manager_for(stg.net().num_places());
+                Ok(Box::new(SymbolicStateSpace::build_bounded_in(
+                    stg, max_states, manager,
+                )?))
+            }
         }
+    }
+}
+
+/// Reusable scratch for repeated [`Backend::build_bounded_in`] calls.
+///
+/// Today this is the symbolic backend's shared BDD manager. Managers
+/// encode one variable pair per place, so reuse is only sound across
+/// nets with the same place count — the context checks and transparently
+/// starts a fresh manager when the shape changes.
+#[derive(Debug, Default)]
+pub struct BuildContext {
+    /// `(num_places, manager)` of the manager currently held.
+    manager: Option<(usize, bdd::Manager)>,
+}
+
+impl BuildContext {
+    /// The shared manager for nets with `num_places` places, creating or
+    /// replacing it when the held one was built for a different shape.
+    fn manager_for(&mut self, num_places: usize) -> &mut bdd::Manager {
+        let reusable = matches!(&self.manager, Some((p, _)) if *p == num_places);
+        if !reusable {
+            self.manager = Some((num_places, bdd::Manager::new()));
+        }
+        &mut self.manager.as_mut().expect("manager just ensured").1
     }
 }
 

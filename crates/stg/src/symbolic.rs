@@ -13,7 +13,7 @@ use std::collections::HashMap;
 
 use bdd::{Bdd, Manager};
 use petri::reach::ReachError;
-use petri::symbolic::{current_var, symbolic_reachability_bounded, unsafe_witness};
+use petri::symbolic::{current_var, symbolic_reachability_bounded_in, unsafe_witness_in};
 use petri::{Marking, PetriNet, TransitionId, TransitionSystem};
 
 use crate::model::Stg;
@@ -59,27 +59,48 @@ impl SymbolicStateSpace {
     ///
     /// See [`SymbolicStateSpace::build`].
     pub fn build_bounded(stg: &Stg, max_states: usize) -> Result<Self, StgError> {
+        let mut manager = Manager::new();
+        Self::build_bounded_in(stg, max_states, &mut manager)
+    }
+
+    /// Like [`SymbolicStateSpace::build_bounded`] inside a caller-owned
+    /// BDD manager, so a sweep over structurally similar specifications
+    /// (same place count — the CSC candidate grid) shares one unique
+    /// table and operation cache across builds instead of recomputing
+    /// every relation node. The resulting space is identical to a
+    /// fresh-manager build (BDDs are canonical); only
+    /// [`SymbolicStats::bdd_nodes`] reflects the manager's cumulative
+    /// size.
+    ///
+    /// # Errors
+    ///
+    /// See [`SymbolicStateSpace::build`].
+    pub fn build_bounded_in(
+        stg: &Stg,
+        max_states: usize,
+        manager: &mut Manager,
+    ) -> Result<Self, StgError> {
         let net = stg.net();
         if !net.initial_marking().is_safe() {
             return Err(StgError::Reach(ReachError::BoundExceeded(
                 net.initial_marking(),
             )));
         }
-        let mut sym = symbolic_reachability_bounded(net, max_states as u128)
+        let run = symbolic_reachability_bounded_in(manager, net, max_states as u128)
             .map_err(|_| StgError::Reach(ReachError::StateLimit(max_states)))?;
-        if let Some(witness) = unsafe_witness(net, &mut sym) {
+        if let Some(witness) = unsafe_witness_in(net, manager, run.reached) {
             return Err(StgError::Reach(ReachError::BoundExceeded(witness)));
         }
         let stats = SymbolicStats {
-            num_markings: sym.num_markings,
-            iterations: sym.iterations,
-            bdd_nodes: sym.manager.node_count(),
+            num_markings: run.num_markings,
+            iterations: run.iterations,
+            bdd_nodes: manager.node_count(),
         };
 
         // Decode the characteristic function into concrete markings, then
         // place the initial marking at index 0 (every consumer assumes
         // state 0 is initial).
-        let mut markings = enumerate_markings(&sym.manager, sym.reached, net);
+        let mut markings = enumerate_markings(manager, run.reached, net);
         let m0 = net.initial_marking();
         let pos = markings
             .iter()

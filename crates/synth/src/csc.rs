@@ -12,9 +12,42 @@
 //!    delays `DTACK-` until `LDS-` fires). *"The environment should
 //!    usually stay untouched ... therefore delaying input signals is not
 //!    allowed."*
+//!
+//! # The candidate sweep engine
+//!
+//! Every search here is a sweep over a candidate grid — `(t⁺, t⁻)`
+//! insertion pairs, `a → b` ordering arcs — where each candidate builds
+//! and validates a full state space. That makes the sweeps the flow's
+//! dominant cost, so they run through one engine ([`SweepOptions`]) that
+//!
+//! * **parallelises** the grid on scoped work-stealing workers
+//!   ([`crate::par`]), merging per-worker rankings deterministically so
+//!   the output is byte-identical to a serial sweep at any thread count;
+//! * **prunes** by conflict locality: a pair `(t⁺, t⁻)` whose inserted
+//!   signal provably cannot distinguish a CSC-conflicting state pair is
+//!   skipped before any space is built (see [`ConflictPruner`]'s
+//!   internal docs for the soundness argument — pruning never changes
+//!   the result set, only the work);
+//! * **memoises** across candidates: the base specification's state
+//!   space seeds the pruner instead of being rebuilt, the symbolic
+//!   backend shares one BDD manager per worker across all of its
+//!   candidate builds ([`stg::BuildContext`]), and the greedy loops
+//!   carry the winning candidate's space into the next step instead of
+//!   rebuilding it;
+//! * **diagnoses** instead of dropping: candidates whose space exceeds
+//!   [`SweepOptions::bound`] are counted in
+//!   [`SweepStats::skipped_by_bound`] so callers can surface them (the
+//!   pipeline emits a `FlowEvent`), never silently report "no CSC
+//!   resolution" when one may exist beyond the bound.
 
-use petri::TransitionId;
-use stg::{Backend, SignalEdge, SignalKind, StateSpace, Stg};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use petri::reach::ReachError;
+use petri::{TransitionId, TransitionSystem};
+use stg::{Backend, BuildContext, SignalEdge, SignalKind, StateSpace, Stg, StgError};
+
+use crate::par;
 
 /// Outcome of a successful CSC resolution.
 #[derive(Debug, Clone)]
@@ -45,7 +78,8 @@ pub struct CscResolutionWithSpace {
     /// State count of the new state space.
     pub num_states: usize,
     /// The validated state space of `stg`, when the search still holds it
-    /// (the ranking sweeps keep only the winner's space to bound memory).
+    /// (the ranking sweeps keep the spaces of the top
+    /// [`SweepOptions::keep_spaces`] candidates to bound memory).
     pub space: Option<Box<dyn StateSpace>>,
 }
 
@@ -70,6 +104,223 @@ impl From<CscResolution> for CscResolutionWithSpace {
     }
 }
 
+// ---------------------------------------------------------------------
+// Sweep configuration and diagnostics
+// ---------------------------------------------------------------------
+
+/// Configuration of the candidate sweep engine.
+///
+/// `threads` and `prune` can never change a sweep's *candidates* — only
+/// its wall-clock cost (the parity tests assert byte-identical output).
+/// `bound` can change them: a candidate whose state space exceeds it is
+/// skipped (and counted). The flow's cache keys salt `bound` and also
+/// `prune` (the diagnostic counters in the cached event log depend on
+/// it) but never `threads`, which is fully output-neutral.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Worker threads for the candidate grid; `0` = one per core.
+    pub threads: usize,
+    /// Per-candidate state-space bound. Candidates above it are counted
+    /// in [`SweepStats::skipped_by_bound`], never silently dropped.
+    pub bound: usize,
+    /// Conflict-locality pruning: skip `(t⁺, t⁻)` pairs that provably
+    /// cannot separate (any / all, depending on the search) conflicting
+    /// state pairs, before building their space.
+    pub prune: bool,
+    /// How many top-ranked candidates keep their validated state space
+    /// (memory bound: one full space each). The flow driver sets this to
+    /// its backtracking depth so no tried candidate is ever rebuilt.
+    pub keep_spaces: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            threads: 0,
+            bound: 200_000,
+            prune: true,
+            keep_spaces: 1,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// This configuration with a different space-retention count.
+    #[must_use]
+    pub fn with_keep_spaces(mut self, keep_spaces: usize) -> Self {
+        self.keep_spaces = keep_spaces;
+        self
+    }
+}
+
+/// Deterministic counters of one sweep: how the candidate grid was cut
+/// down. Independent of the thread count by construction (every grid
+/// item is classified identically no matter which worker takes it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Total candidate pairs in the grid.
+    pub grid: usize,
+    /// Pairs skipped by conflict-locality pruning (no space built).
+    pub pruned: usize,
+    /// Pairs whose space was actually built and validated.
+    pub evaluated: usize,
+    /// Pairs skipped because their space exceeded [`SweepOptions::bound`].
+    pub skipped_by_bound: usize,
+    /// Pairs that passed every check (ranked candidates / greedy moves).
+    pub accepted: usize,
+}
+
+impl SweepStats {
+    fn absorb(&mut self, other: SweepStats) {
+        self.grid += other.grid;
+        self.pruned += other.pruned;
+        self.evaluated += other.evaluated;
+        self.skipped_by_bound += other.skipped_by_bound;
+        self.accepted += other.accepted;
+    }
+}
+
+/// Result of [`insertion_sweep`]: the ranked candidates plus the
+/// engine's diagnostics.
+#[derive(Debug)]
+pub struct Sweep {
+    /// Acceptable insertions, best first (see [`insertion_candidates`]
+    /// for the ranking).
+    pub candidates: Vec<CscResolutionWithSpace>,
+    /// What the engine did to the grid.
+    pub stats: SweepStats,
+}
+
+// ---------------------------------------------------------------------
+// Conflict-locality pruning
+// ---------------------------------------------------------------------
+
+/// Decides, from the *base* specification's state space alone, which
+/// insertion pairs `(t⁺, t⁻)` cannot separate a CSC-conflicting state
+/// pair — before any candidate space is built.
+///
+/// Soundness: the inserted signal rises just before `t⁺` and falls just
+/// before `t⁻`, so its value only changes when one of them fires. If the
+/// base space has a path between two conflicting states `s₁ → s₂` that
+/// fires neither `t⁺` nor `t⁻`, then the transformed STG reaches images
+/// of both states with the *same* inserted-signal value (the insertion
+/// only delays `t⁺`/`t⁻`; every other transition's preset is untouched,
+/// so the avoiding path replays verbatim). Those images still share a
+/// code, and their non-input excitations still differ — any excitation
+/// "lost" by delaying `t⁺`/`t⁻` reappears as an excitation of the
+/// inserted signal itself, with the edge polarity ruling out accidental
+/// agreement. The pair therefore still violates CSC and the candidate
+/// would be rejected by the full check; skipping it changes nothing but
+/// the work. (Candidates whose transformed STG fails to build — e.g. the
+/// insertion makes it inconsistent — are rejected by both paths alike.)
+struct ConflictPruner<'a> {
+    ts: &'a TransitionSystem<TransitionId>,
+    /// CSC-conflicting state pairs of the base space.
+    conflicts: Vec<(usize, usize)>,
+}
+
+/// Per-worker reusable BFS scratch for the pruner: generation-stamped
+/// visited marks plus the work queue, so the per-pair reachability
+/// probes allocate nothing after a worker's first call.
+#[derive(Default)]
+struct PruneScratch {
+    stamp: u64,
+    visited: Vec<u64>,
+    queue: VecDeque<usize>,
+}
+
+impl<'a> ConflictPruner<'a> {
+    /// A pruner over the base space's conflicts; `None` when the space
+    /// has no CSC conflicts (nothing to reason about — prune nothing).
+    fn new(stg: &Stg, space: &'a dyn StateSpace) -> Option<Self> {
+        let conflicts: Vec<(usize, usize)> = stg::encoding::csc_conflicts(stg, space)
+            .into_iter()
+            .map(|c| c.states)
+            .collect();
+        (!conflicts.is_empty()).then_some(ConflictPruner {
+            ts: space.ts(),
+            conflicts,
+        })
+    }
+
+    /// `true` if some path `from → to` avoids both split transitions.
+    fn connects_avoiding(
+        &self,
+        scratch: &mut PruneScratch,
+        from: usize,
+        to: usize,
+        tp: TransitionId,
+        tm: TransitionId,
+    ) -> bool {
+        scratch.visited.resize(self.ts.num_states(), 0);
+        scratch.stamp += 1;
+        let stamp = scratch.stamp;
+        scratch.queue.clear();
+        scratch.visited[from] = stamp;
+        scratch.queue.push_back(from);
+        while let Some(s) = scratch.queue.pop_front() {
+            for (&t, succ) in self.ts.successors(s) {
+                if t == tp || t == tm {
+                    continue;
+                }
+                if succ == to {
+                    return true;
+                }
+                if scratch.visited[succ] != stamp {
+                    scratch.visited[succ] = stamp;
+                    scratch.queue.push_back(succ);
+                }
+            }
+        }
+        false
+    }
+
+    /// The conflict pair stays conflicting under `(tp, tm)`: a path
+    /// avoiding both split transitions connects its states (in either
+    /// direction), forcing equal inserted-signal values on their images.
+    fn unseparated(
+        &self,
+        scratch: &mut PruneScratch,
+        pair: (usize, usize),
+        tp: TransitionId,
+        tm: TransitionId,
+    ) -> bool {
+        self.connects_avoiding(scratch, pair.0, pair.1, tp, tm)
+            || self.connects_avoiding(scratch, pair.1, pair.0, tp, tm)
+    }
+
+    /// At least one conflict survives `(tp, tm)` — the insertion can
+    /// never reach full CSC, so the exhaustive sweep may skip it.
+    fn any_unseparated(
+        &self,
+        scratch: &mut PruneScratch,
+        tp: TransitionId,
+        tm: TransitionId,
+    ) -> bool {
+        self.conflicts
+            .iter()
+            .any(|&p| self.unseparated(scratch, p, tp, tm))
+    }
+
+    /// *Every* conflict survives `(tp, tm)` — the insertion cannot even
+    /// reduce the conflict count, so the greedy progress-seeking loops
+    /// may skip it.
+    fn all_unseparated(
+        &self,
+        scratch: &mut PruneScratch,
+        tp: TransitionId,
+        tm: TransitionId,
+    ) -> bool {
+        self.conflicts
+            .iter()
+            .all(|&p| self.unseparated(scratch, p, tp, tm))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Signal-insertion sweep
+// ---------------------------------------------------------------------
+
 /// Attempts to restore CSC by inserting one internal state signal.
 ///
 /// The search space is pairs `(t⁺, t⁻)` of non-input transitions: the new
@@ -83,24 +334,32 @@ impl From<CscResolution> for CscResolutionWithSpace {
 /// larger controllers may need multiple signals; apply repeatedly.
 #[must_use]
 pub fn resolve_by_signal_insertion(stg: &Stg) -> Option<CscResolution> {
-    resolve_by_signal_insertion_with(stg, Backend::Explicit)
+    resolve_by_signal_insertion_with(stg, Backend::Explicit).map(Into::into)
 }
 
 /// [`resolve_by_signal_insertion`] over a chosen state-space backend.
+///
+/// The winning candidate carries its validated state space
+/// ([`CscResolutionWithSpace::space`]), as does the no-op resolution
+/// when CSC already holds — callers never need to rebuild it.
 #[must_use]
-pub fn resolve_by_signal_insertion_with(stg: &Stg, backend: Backend) -> Option<CscResolution> {
+pub fn resolve_by_signal_insertion_with(
+    stg: &Stg,
+    backend: Backend,
+) -> Option<CscResolutionWithSpace> {
     let sg = backend.build(stg).ok()?;
     if stg::encoding::has_csc(stg, &*sg) {
-        return Some(CscResolution {
+        return Some(CscResolutionWithSpace {
             stg: stg.clone(),
             description: "CSC already holds; no insertion needed".to_owned(),
             num_states: sg.num_states(),
+            space: Some(sg),
         });
     }
-    insertion_candidates_with(stg, backend)
+    insertion_sweep_from(stg, backend, &SweepOptions::default(), Some(&*sg))
+        .candidates
         .into_iter()
         .next()
-        .map(Into::into)
 }
 
 /// All acceptable single-signal insertions, best first.
@@ -123,10 +382,34 @@ pub fn insertion_candidates(stg: &Stg) -> Vec<CscResolution> {
 ///
 /// The best candidate carries its validated state space
 /// ([`CscResolutionWithSpace::space`]) so the flow driver does not
-/// rebuild it before synthesis; the runner-up candidates carry `None`
-/// (keeping every swept space alive would be O(T²) memory).
+/// rebuild it before synthesis; runner-up candidates beyond
+/// [`SweepOptions::keep_spaces`] carry `None` (keeping every swept space
+/// alive would be O(T²) memory).
 #[must_use]
 pub fn insertion_candidates_with(stg: &Stg, backend: Backend) -> Vec<CscResolutionWithSpace> {
+    insertion_sweep(stg, backend, &SweepOptions::default()).candidates
+}
+
+/// The full candidate sweep with explicit engine configuration; builds
+/// the base state space itself when pruning needs it.
+#[must_use]
+pub fn insertion_sweep(stg: &Stg, backend: Backend, options: &SweepOptions) -> Sweep {
+    insertion_sweep_from(stg, backend, options, None)
+}
+
+/// [`insertion_sweep`] seeded with the base specification's already-built
+/// state space (the memoising entry point used by the flow driver: the
+/// check stage's space feeds the pruner instead of being rebuilt).
+///
+/// Output is byte-identical for any `threads` setting and for pruned vs
+/// unpruned runs; see [`SweepOptions`].
+#[must_use]
+pub fn insertion_sweep_from(
+    stg: &Stg,
+    backend: Backend,
+    options: &SweepOptions,
+    base: Option<&dyn StateSpace>,
+) -> Sweep {
     let splittable: Vec<TransitionId> = stg
         .net()
         .transitions()
@@ -135,46 +418,122 @@ pub fn insertion_candidates_with(stg: &Stg, backend: Backend) -> Vec<CscResoluti
                 .is_some_and(|l| stg.signal_kind(l.signal).is_non_input())
         })
         .collect();
-    type Key = (usize, usize, TransitionId, TransitionId);
-    let mut ranked: Vec<(Key, Stg)> = Vec::new();
-    let mut best_space: Option<(Key, Box<dyn StateSpace>)> = None;
+    let mut pairs: Vec<(TransitionId, TransitionId)> =
+        Vec::with_capacity(splittable.len() * splittable.len().saturating_sub(1));
     for &tp in &splittable {
         for &tm in &splittable {
-            if tp == tm {
-                continue;
+            if tp != tm {
+                pairs.push((tp, tm));
             }
+        }
+    }
+
+    // The pruner wants the base space; reuse the caller's, build one
+    // only when pruning is on and nothing was supplied. A base that
+    // fails to build simply disables pruning (the sweep itself never
+    // needed it).
+    let owned_base: Option<Box<dyn StateSpace>> = match (&base, options.prune) {
+        (None, true) => backend.build(stg).ok(),
+        _ => None,
+    };
+    let base_ref: Option<&dyn StateSpace> = base.or(owned_base.as_deref());
+    let pruner = if options.prune {
+        base_ref.and_then(|space| ConflictPruner::new(stg, space))
+    } else {
+        None
+    };
+
+    type Key = (usize, usize, TransitionId, TransitionId);
+    struct Acc {
+        ranked: Vec<(Key, Stg)>,
+        /// Local best spaces, sorted by key, truncated to `keep_spaces`.
+        spaces: Vec<(Key, Box<dyn StateSpace>)>,
+        ctx: BuildContext,
+        scratch: PruneScratch,
+        stats: SweepStats,
+    }
+    let keep = options.keep_spaces;
+    let accs = par::par_fold(
+        &pairs,
+        options.threads,
+        || Acc {
+            ranked: Vec::new(),
+            spaces: Vec::new(),
+            ctx: BuildContext::default(),
+            scratch: PruneScratch::default(),
+            stats: SweepStats::default(),
+        },
+        |acc, _i, &(tp, tm)| {
+            if let Some(pruner) = &pruner {
+                if pruner.any_unseparated(&mut acc.scratch, tp, tm) {
+                    acc.stats.pruned += 1;
+                    return;
+                }
+            }
+            acc.stats.evaluated += 1;
             let candidate = insert_state_signal(stg, tp, tm);
-            let Ok(csg) = backend.build_bounded(&candidate, 100_000) else {
-                continue;
+            let csg = match backend.build_bounded_in(&candidate, options.bound, &mut acc.ctx) {
+                Ok(csg) => csg,
+                Err(StgError::Reach(ReachError::StateLimit(_))) => {
+                    acc.stats.skipped_by_bound += 1;
+                    return;
+                }
+                Err(_) => return,
             };
             if !stg::encoding::has_csc(&candidate, &*csg) {
-                continue;
+                return;
             }
             if !csg.ts().deadlocks().is_empty() {
-                continue;
+                return;
             }
             if !stg::persistency::is_persistent(&candidate, &*csg) {
-                continue;
+                return;
             }
             let states = csg.num_states();
             let Ok(equations) = crate::nextstate::all_equations(&candidate, &*csg) else {
-                continue;
+                return;
             };
             let cost: usize = equations.iter().map(|e| e.cover.literal_count()).sum();
             let key = (states, cost, tp, tm);
-            if best_space.as_ref().is_none_or(|(bk, _)| key < *bk) {
-                best_space = Some((key, csg));
+            acc.stats.accepted += 1;
+            acc.ranked.push((key, candidate));
+            if keep > 0 {
+                let at = acc.spaces.partition_point(|(k, _)| *k < key);
+                if at < keep {
+                    acc.spaces.insert(at, (key, csg));
+                    acc.spaces.truncate(keep);
+                }
             }
-            ranked.push((key, candidate));
-        }
+        },
+    );
+
+    // Deterministic merge: keys embed `(tp, tm)`, so the total order is
+    // independent of how workers split the grid — the concatenated
+    // ranking sorts to exactly the serial sweep's order, and the global
+    // top-`keep_spaces` spaces are a subset of the workers' local tops.
+    let mut stats = SweepStats::default();
+    let mut ranked: Vec<(Key, Stg)> = Vec::new();
+    let mut spaces: Vec<(Key, Box<dyn StateSpace>)> = Vec::new();
+    for acc in accs {
+        stats.absorb(acc.stats);
+        ranked.extend(acc.ranked);
+        spaces.extend(acc.spaces);
     }
+    stats.grid = pairs.len();
     ranked.sort_by_key(|r| r.0);
-    let mut winner_space = best_space
-        .and_then(|(key, space)| (ranked.first().map(|r| r.0) == Some(key)).then_some(space));
-    ranked
+    spaces.sort_by_key(|s| s.0);
+    spaces.truncate(keep);
+
+    let mut spaces = VecDeque::from(spaces);
+    let candidates = ranked
         .into_iter()
-        .map(
-            |((num_states, _, tp, tm), new_stg)| CscResolutionWithSpace {
+        .map(|((num_states, cost, tp, tm), new_stg)| {
+            let key = (num_states, cost, tp, tm);
+            let space = match spaces.front() {
+                Some((k, _)) if *k == key => spaces.pop_front().map(|(_, s)| s),
+                _ => None,
+            };
+            CscResolutionWithSpace {
                 description: format!(
                     "inserted csc signal: + before {}, - before {}",
                     stg.label_string(tp),
@@ -182,10 +541,11 @@ pub fn insertion_candidates_with(stg: &Stg, backend: Backend) -> Vec<CscResoluti
                 ),
                 num_states,
                 stg: new_stg,
-                space: winner_space.take(),
-            },
-        )
-        .collect()
+                space,
+            }
+        })
+        .collect();
+    Sweep { candidates, stats }
 }
 
 /// Builds the STG with a fresh internal signal whose rising edge precedes
@@ -261,14 +621,17 @@ fn next_csc_name(stg: &Stg) -> String {
     }
 }
 
+// ---------------------------------------------------------------------
+// Concurrency-reduction sweep
+// ---------------------------------------------------------------------
+
 /// Attempts to restore CSC by concurrency reduction: adding one causal arc
 /// `a → b` (with `b` non-input, so the environment is untouched) that
 /// removes the conflicting states.
 ///
 /// Accepts the first candidate (in deterministic transition order) whose
 /// transformed STG is consistent, safe, CSC, deadlock-free,
-/// output-persistent and whose language is a subset of the original's
-/// (checked on determinised label traces).
+/// output-persistent and whose state count shrinks.
 #[must_use]
 pub fn resolve_by_concurrency_reduction(stg: &Stg) -> Option<CscResolution> {
     resolve_by_concurrency_reduction_with(stg, Backend::Explicit).map(Into::into)
@@ -290,7 +653,39 @@ pub fn resolve_by_concurrency_reduction_with(
             space: Some(sg),
         });
     }
+    concurrency_reduction_sweep(stg, backend, &SweepOptions::default(), Some(&*sg)).0
+}
+
+/// The ordering-arc sweep with explicit engine configuration.
+///
+/// Returns the first acceptable candidate in grid order — the same
+/// winner the serial scan finds — along with deterministic sweep
+/// diagnostics. The scan keeps the serial search's early exit in
+/// parallel form: once some worker accepts grid index `w`, indices
+/// beyond the best accepted one are skipped (a shared atomic
+/// best-index), and the reported counters cover exactly the indices up
+/// to the winner, so they are identical at any thread count. `base` is
+/// the already-built state space of `stg` when the caller has one (the
+/// state count to beat); it is built once here otherwise. The caller is
+/// expected to have already established that CSC fails on the base.
+#[must_use]
+pub fn concurrency_reduction_sweep(
+    stg: &Stg,
+    backend: Backend,
+    options: &SweepOptions,
+    base: Option<&dyn StateSpace>,
+) -> (Option<CscResolutionWithSpace>, SweepStats) {
+    let owned_base: Option<Box<dyn StateSpace>> = match &base {
+        Some(_) => None,
+        None => backend.build(stg).ok(),
+    };
+    let Some(base_ref) = base.or(owned_base.as_deref()) else {
+        return (None, SweepStats::default());
+    };
+    let base_states = base_ref.num_states();
+
     let transitions: Vec<TransitionId> = stg.net().transitions().collect();
+    let mut pairs: Vec<(TransitionId, TransitionId)> = Vec::new();
     for &a in &transitions {
         for &b_t in &transitions {
             if a == b_t {
@@ -300,38 +695,112 @@ pub fn resolve_by_concurrency_reduction_with(
             let delayable = stg
                 .label(b_t)
                 .is_some_and(|l| stg.signal_kind(l.signal).is_non_input());
-            if !delayable {
-                continue;
+            if delayable {
+                pairs.push((a, b_t));
             }
-            let candidate = add_ordering_arc(stg, a, b_t);
-            let Ok(csg) = backend.build_bounded(&candidate, 100_000) else {
-                continue;
-            };
-            if !stg::encoding::has_csc(&candidate, &*csg) {
-                continue;
-            }
-            if !csg.ts().deadlocks().is_empty() {
-                continue;
-            }
-            if !stg::persistency::is_persistent(&candidate, &*csg) {
-                continue;
-            }
-            if csg.num_states() >= sg.num_states() {
-                continue; // not a reduction
-            }
-            return Some(CscResolutionWithSpace {
-                description: format!(
-                    "concurrency reduction: {} now waits for {}",
-                    stg.label_string(b_t),
-                    stg.label_string(a)
-                ),
-                num_states: csg.num_states(),
-                stg: candidate,
-                space: Some(csg),
-            });
         }
     }
-    None
+
+    /// How one evaluated grid index ended (for deterministic counting).
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum Outcome {
+        Rejected,
+        SkippedByBound,
+        Accepted,
+    }
+    struct Acc {
+        /// Lowest grid index accepted by this worker, with its artifacts.
+        best: Option<(usize, CscResolutionWithSpace)>,
+        /// Per-index outcomes; filtered to `index ≤ winner` at merge so
+        /// racy evaluations beyond the winner never leak into stats.
+        outcomes: Vec<(usize, Outcome)>,
+        ctx: BuildContext,
+    }
+    // The early-exit signal: the lowest grid index accepted so far. It
+    // only ever shrinks towards the final winner, and every index at or
+    // below the final winner is always evaluated (the skip test can
+    // only fire for indices above some accepted one), so the winner and
+    // the ≤-winner counters are thread-independent.
+    let best_seen = AtomicUsize::new(usize::MAX);
+    let accs = par::par_fold(
+        &pairs,
+        options.threads,
+        || Acc {
+            best: None,
+            outcomes: Vec::new(),
+            ctx: BuildContext::default(),
+        },
+        |acc, i, &(a, b_t)| {
+            if i > best_seen.load(Ordering::Relaxed) {
+                return; // a better candidate is already accepted
+            }
+            let candidate = add_ordering_arc(stg, a, b_t);
+            let csg = match backend.build_bounded_in(&candidate, options.bound, &mut acc.ctx) {
+                Ok(csg) => csg,
+                Err(StgError::Reach(ReachError::StateLimit(_))) => {
+                    acc.outcomes.push((i, Outcome::SkippedByBound));
+                    return;
+                }
+                Err(_) => {
+                    acc.outcomes.push((i, Outcome::Rejected));
+                    return;
+                }
+            };
+            let acceptable = stg::encoding::has_csc(&candidate, &*csg)
+                && csg.ts().deadlocks().is_empty()
+                && stg::persistency::is_persistent(&candidate, &*csg)
+                && csg.num_states() < base_states; // must be a reduction
+            if !acceptable {
+                acc.outcomes.push((i, Outcome::Rejected));
+                return;
+            }
+            acc.outcomes.push((i, Outcome::Accepted));
+            best_seen.fetch_min(i, Ordering::Relaxed);
+            if acc.best.as_ref().is_none_or(|(bi, _)| i < *bi) {
+                acc.best = Some((
+                    i,
+                    CscResolutionWithSpace {
+                        description: format!(
+                            "concurrency reduction: {} now waits for {}",
+                            stg.label_string(b_t),
+                            stg.label_string(a)
+                        ),
+                        num_states: csg.num_states(),
+                        stg: candidate,
+                        space: Some(csg),
+                    },
+                ));
+            }
+        },
+    );
+
+    let mut best: Option<(usize, CscResolutionWithSpace)> = None;
+    let mut outcomes: Vec<(usize, Outcome)> = Vec::new();
+    for acc in accs {
+        outcomes.extend(acc.outcomes);
+        if let Some((i, r)) = acc.best {
+            if best.as_ref().is_none_or(|(bi, _)| i < *bi) {
+                best = Some((i, r));
+            }
+        }
+    }
+    let winner_index = best.as_ref().map_or(usize::MAX, |(i, _)| *i);
+    let mut stats = SweepStats {
+        grid: pairs.len(),
+        ..SweepStats::default()
+    };
+    for (i, outcome) in outcomes {
+        if i > winner_index {
+            continue; // evaluated only by losing a race with the winner
+        }
+        stats.evaluated += 1;
+        match outcome {
+            Outcome::Rejected => {}
+            Outcome::SkippedByBound => stats.skipped_by_bound += 1,
+            Outcome::Accepted => stats.accepted += 1,
+        }
+    }
+    (best.map(|(_, r)| r), stats)
 }
 
 /// Adds a causal place `a → b`, marked so the *first* firing of `b` is
@@ -343,6 +812,10 @@ pub fn add_ordering_arc(stg: &Stg, a: TransitionId, b_t: TransitionId) -> Stg {
     b.connect(a, b_t);
     b.build()
 }
+
+// ---------------------------------------------------------------------
+// Greedy multi-step searches
+// ---------------------------------------------------------------------
 
 /// Iterative multi-signal CSC resolution: inserts state signals one at a
 /// time, each step picking the insertion that most reduces the number of
@@ -364,77 +837,211 @@ pub fn resolve_iteratively_with(
     max_signals: usize,
     backend: Backend,
 ) -> Option<CscResolution> {
+    resolve_iteratively_sweep(stg, max_signals, backend, &SweepOptions::default())
+        .0
+        .map(Into::into)
+}
+
+/// [`resolve_iteratively`] through the sweep engine: each greedy step
+/// evaluates its insertion grid in parallel (pruned by conflict
+/// locality) and carries the chosen candidate's state space into the
+/// next step instead of rebuilding it.
+#[must_use]
+pub fn resolve_iteratively_sweep(
+    stg: &Stg,
+    max_signals: usize,
+    backend: Backend,
+    options: &SweepOptions,
+) -> (Option<CscResolutionWithSpace>, SweepStats) {
+    let mut stats = SweepStats::default();
     let mut current = stg.clone();
     let mut descriptions: Vec<String> = Vec::new();
-    for _ in 0..max_signals {
-        let sg = backend.build_bounded(&current, 200_000).ok()?;
+    let mut carried: Option<Box<dyn StateSpace>> = None;
+    let mut base_ctx = BuildContext::default();
+    for _ in 0..=max_signals {
+        let sg: Box<dyn StateSpace> = match carried.take() {
+            Some(sg) => sg,
+            None => match backend.build_bounded_in(&current, options.bound, &mut base_ctx) {
+                Ok(sg) => sg,
+                Err(e) => {
+                    // A base specification over the bound is itself a
+                    // bound skip — report it, don't silently give up.
+                    if matches!(e, StgError::Reach(ReachError::StateLimit(_))) {
+                        stats.skipped_by_bound += 1;
+                    }
+                    return (None, stats);
+                }
+            },
+        };
         let conflicts = stg::encoding::csc_conflicts(&current, &*sg).len();
         if conflicts == 0 {
-            return Some(CscResolution {
-                stg: current,
-                description: if descriptions.is_empty() {
-                    "CSC already holds; no insertion needed".to_owned()
-                } else {
-                    descriptions.join("; ")
-                },
-                num_states: sg.num_states(),
-            });
+            return (
+                Some(CscResolutionWithSpace {
+                    num_states: sg.num_states(),
+                    space: Some(sg),
+                    stg: current,
+                    description: if descriptions.is_empty() {
+                        "CSC already holds; no insertion needed".to_owned()
+                    } else {
+                        descriptions.join("; ")
+                    },
+                }),
+                stats,
+            );
         }
-        let splittable: Vec<TransitionId> = current
-            .net()
-            .transitions()
-            .filter(|&t| {
-                current
-                    .label(t)
-                    .is_some_and(|l| current.signal_kind(l.signal).is_non_input())
-            })
-            .collect();
-        let mut best: Option<((usize, usize, usize), Stg, String)> = None;
-        for &tp in &splittable {
-            for &tm in &splittable {
-                if tp == tm {
-                    continue;
-                }
-                let candidate = insert_state_signal(&current, tp, tm);
-                let Ok(csg) = backend.build_bounded(&candidate, 200_000) else {
-                    continue;
-                };
-                if !csg.ts().deadlocks().is_empty() {
-                    continue;
-                }
-                if !stg::persistency::is_persistent(&candidate, &*csg) {
-                    continue;
-                }
-                let remaining = stg::encoding::csc_conflicts(&candidate, &*csg).len();
-                if remaining >= conflicts {
-                    continue; // must make progress
-                }
-                let key = (remaining, csg.num_states(), tp.index() * 1000 + tm.index());
-                if best.as_ref().is_none_or(|(bk, _, _)| key < *bk) {
-                    let desc = format!(
-                        "inserted csc signal: + before {}, - before {}",
-                        current.label_string(tp),
-                        current.label_string(tm)
-                    );
-                    best = Some((key, candidate, desc));
-                }
+        if descriptions.len() == max_signals {
+            return (None, stats);
+        }
+        // Each step's move is keyed `(remaining conflicts, states,
+        // tie-break on transition ids)` — a total order, so the parallel
+        // minimum equals the serial scan's choice.
+        type Key = (usize, usize, usize);
+        let step = greedy_insertion_step::<Key>(
+            &current,
+            backend,
+            options,
+            &*sg,
+            conflicts,
+            |remaining, states, tp, tm| (remaining, states, tp.index() * 1000 + tm.index()),
+        );
+        stats.absorb(step.stats);
+        let Some((_, _, cand, desc, space)) = step.best else {
+            return (None, stats);
+        };
+        descriptions.push(desc);
+        current = cand;
+        carried = Some(space);
+    }
+    (None, stats)
+}
+
+/// The per-step insertion-grid evaluation shared by the greedy searches:
+/// evaluates every `(t⁺, t⁻)` move in parallel (pruned: a move that
+/// provably cannot separate *any* conflict cannot reduce the conflict
+/// count — see [`ConflictPruner::all_unseparated`]) and returns the
+/// progress-making move with the smallest key.
+struct GreedyStep<K> {
+    /// The winning move, when one exists.
+    best: BestMove<K>,
+    stats: SweepStats,
+}
+
+/// The best greedy move seen so far: `(key, grid index, transformed
+/// STG, move description, the move's validated state space)`.
+type BestMove<K> = Option<(K, usize, Stg, String, Box<dyn StateSpace>)>;
+
+/// Keeps the move with the smallest `(key, grid index)` — the one
+/// tie-break every greedy merge shares, so the parallel minimum always
+/// reproduces the serial scan's choice.
+fn merge_best_move<K: Ord + Copy>(best: &mut BestMove<K>, other: BestMove<K>) {
+    if let Some(b) = other {
+        if best
+            .as_ref()
+            .is_none_or(|(bk, bi, ..)| (b.0, b.1) < (*bk, *bi))
+        {
+            *best = Some(b);
+        }
+    }
+}
+
+fn greedy_insertion_step<K: Ord + Copy + Send>(
+    current: &Stg,
+    backend: Backend,
+    options: &SweepOptions,
+    sg: &dyn StateSpace,
+    conflicts: usize,
+    key_of: impl Fn(usize, usize, TransitionId, TransitionId) -> K + Sync,
+) -> GreedyStep<K> {
+    let splittable: Vec<TransitionId> = current
+        .net()
+        .transitions()
+        .filter(|&t| {
+            current
+                .label(t)
+                .is_some_and(|l| current.signal_kind(l.signal).is_non_input())
+        })
+        .collect();
+    let mut pairs: Vec<(TransitionId, TransitionId)> = Vec::new();
+    for &tp in &splittable {
+        for &tm in &splittable {
+            if tp != tm {
+                pairs.push((tp, tm));
             }
         }
-        let (_, next, desc) = best?;
-        descriptions.push(desc);
-        current = next;
     }
-    // Out of budget: accept only if CSC now holds.
-    let sg = backend.build_bounded(&current, 200_000).ok()?;
-    if stg::encoding::has_csc(&current, &*sg) {
-        Some(CscResolution {
-            stg: current,
-            description: descriptions.join("; "),
-            num_states: sg.num_states(),
-        })
+    let pruner = if options.prune {
+        ConflictPruner::new(current, sg)
     } else {
         None
+    };
+
+    struct Acc<K> {
+        best: BestMove<K>,
+        ctx: BuildContext,
+        scratch: PruneScratch,
+        stats: SweepStats,
     }
+    let accs = par::par_fold(
+        &pairs,
+        options.threads,
+        || Acc::<K> {
+            best: None,
+            ctx: BuildContext::default(),
+            scratch: PruneScratch::default(),
+            stats: SweepStats::default(),
+        },
+        |acc, i, &(tp, tm)| {
+            if let Some(pruner) = &pruner {
+                if pruner.all_unseparated(&mut acc.scratch, tp, tm) {
+                    acc.stats.pruned += 1;
+                    return;
+                }
+            }
+            acc.stats.evaluated += 1;
+            let candidate = insert_state_signal(current, tp, tm);
+            let csg = match backend.build_bounded_in(&candidate, options.bound, &mut acc.ctx) {
+                Ok(csg) => csg,
+                Err(StgError::Reach(ReachError::StateLimit(_))) => {
+                    acc.stats.skipped_by_bound += 1;
+                    return;
+                }
+                Err(_) => return,
+            };
+            if !csg.ts().deadlocks().is_empty() {
+                return;
+            }
+            if !stg::persistency::is_persistent(&candidate, &*csg) {
+                return;
+            }
+            let remaining = stg::encoding::csc_conflicts(&candidate, &*csg).len();
+            if remaining >= conflicts {
+                return; // must make progress
+            }
+            acc.stats.accepted += 1;
+            let key = key_of(remaining, csg.num_states(), tp, tm);
+            if acc
+                .best
+                .as_ref()
+                .is_none_or(|(bk, bi, ..)| (key, i) < (*bk, *bi))
+            {
+                let desc = format!(
+                    "inserted csc signal: + before {}, - before {}",
+                    current.label_string(tp),
+                    current.label_string(tm)
+                );
+                acc.best = Some((key, i, candidate, desc, csg));
+            }
+        },
+    );
+
+    let mut stats = SweepStats::default();
+    let mut best: BestMove<K> = None;
+    for acc in accs {
+        stats.absorb(acc.stats);
+        merge_best_move(&mut best, acc.best);
+    }
+    stats.grid = pairs.len();
+    GreedyStep { best, stats }
 }
 
 /// Mixed greedy CSC resolution: at every step considers both concurrency
@@ -458,32 +1065,157 @@ pub fn resolve_mixed_with(
     max_steps: usize,
     backend: Backend,
 ) -> Option<CscResolutionWithSpace> {
+    resolve_mixed_sweep(stg, max_steps, backend, &SweepOptions::default(), None).0
+}
+
+/// [`resolve_mixed`] through the sweep engine: every step's combined
+/// move grid (ordering arcs first, then insertions — the serial scan
+/// order) is evaluated in parallel, insertion moves are pruned by
+/// conflict locality, and the chosen move's state space is carried into
+/// the next step instead of being rebuilt. `base`, when given, is the
+/// already-built state space of `stg` (moved in — it seeds the first
+/// step the same way).
+#[must_use]
+pub fn resolve_mixed_sweep(
+    stg: &Stg,
+    max_steps: usize,
+    backend: Backend,
+    options: &SweepOptions,
+    base: Option<Box<dyn StateSpace>>,
+) -> (Option<CscResolutionWithSpace>, SweepStats) {
+    /// One move of the combined grid, in serial scan order.
+    #[derive(Clone, Copy)]
+    enum Move {
+        Arc(TransitionId, TransitionId),
+        Insert(TransitionId, TransitionId),
+    }
+
+    let mut stats = SweepStats::default();
     let mut current = stg.clone();
     let mut descriptions: Vec<String> = Vec::new();
+    let mut carried: Option<Box<dyn StateSpace>> = base;
+    let mut base_ctx = BuildContext::default();
     for _ in 0..=max_steps {
-        let sg = backend.build_bounded(&current, 200_000).ok()?;
+        let sg: Box<dyn StateSpace> = match carried.take() {
+            Some(sg) => sg,
+            None => match backend.build_bounded_in(&current, options.bound, &mut base_ctx) {
+                Ok(sg) => sg,
+                Err(e) => {
+                    // A base specification over the bound is itself a
+                    // bound skip — report it, don't silently give up.
+                    if matches!(e, StgError::Reach(ReachError::StateLimit(_))) {
+                        stats.skipped_by_bound += 1;
+                    }
+                    return (None, stats);
+                }
+            },
+        };
         let conflicts = stg::encoding::csc_conflicts(&current, &*sg).len();
         if conflicts == 0 {
-            return Some(CscResolutionWithSpace {
-                stg: current,
-                description: if descriptions.is_empty() {
-                    "CSC already holds".to_owned()
-                } else {
-                    descriptions.join("; ")
-                },
-                num_states: sg.num_states(),
-                space: Some(sg),
-            });
+            return (
+                Some(CscResolutionWithSpace {
+                    num_states: sg.num_states(),
+                    space: Some(sg),
+                    stg: current,
+                    description: if descriptions.is_empty() {
+                        "CSC already holds".to_owned()
+                    } else {
+                        descriptions.join("; ")
+                    },
+                }),
+                stats,
+            );
         }
         if descriptions.len() == max_steps {
-            return None;
+            return (None, stats);
         }
-        // Candidate moves, scored by (remaining conflicts, states).
-        let mut best: Option<((usize, usize), Stg, String)> = None;
-        let consider =
-            |cand: Stg, desc: String, best: &mut Option<((usize, usize), Stg, String)>| {
-                let Ok(csg) = backend.build_bounded(&cand, 200_000) else {
-                    return;
+
+        let transitions: Vec<TransitionId> = current.net().transitions().collect();
+        let splittable: Vec<TransitionId> = transitions
+            .iter()
+            .copied()
+            .filter(|&t| {
+                current
+                    .label(t)
+                    .is_some_and(|l| current.signal_kind(l.signal).is_non_input())
+            })
+            .collect();
+        let mut moves: Vec<Move> = Vec::new();
+        for &a in &transitions {
+            for &b_t in &splittable {
+                if a != b_t {
+                    moves.push(Move::Arc(a, b_t));
+                }
+            }
+        }
+        for &tp in &splittable {
+            for &tm in &splittable {
+                if tp != tm {
+                    moves.push(Move::Insert(tp, tm));
+                }
+            }
+        }
+        let pruner = if options.prune {
+            ConflictPruner::new(&current, &*sg)
+        } else {
+            None
+        };
+
+        // Moves are scored `(remaining conflicts, states)`; ties fall to
+        // the earliest move in scan order, so the parallel minimum over
+        // `(key, grid index)` reproduces the serial scan exactly.
+        type Key = (usize, usize);
+        struct Acc {
+            best: BestMove<Key>,
+            ctx: BuildContext,
+            scratch: PruneScratch,
+            stats: SweepStats,
+        }
+        let current_ref = &current;
+        let accs = par::par_fold(
+            &moves,
+            options.threads,
+            || Acc {
+                best: None,
+                ctx: BuildContext::default(),
+                scratch: PruneScratch::default(),
+                stats: SweepStats::default(),
+            },
+            |acc, i, m| {
+                let (cand, desc) = match *m {
+                    Move::Arc(a, b_t) => (
+                        add_ordering_arc(current_ref, a, b_t),
+                        format!(
+                            "concurrency reduction: {} waits for {}",
+                            current_ref.label_string(b_t),
+                            current_ref.label_string(a)
+                        ),
+                    ),
+                    Move::Insert(tp, tm) => {
+                        if let Some(pruner) = &pruner {
+                            if pruner.all_unseparated(&mut acc.scratch, tp, tm) {
+                                acc.stats.pruned += 1;
+                                return;
+                            }
+                        }
+                        (
+                            insert_state_signal(current_ref, tp, tm),
+                            format!(
+                                "inserted csc signal: + before {}, - before {}",
+                                current_ref.label_string(tp),
+                                current_ref.label_string(tm)
+                            ),
+                        )
+                    }
+                };
+                acc.stats.evaluated += 1;
+                let csg = match backend.build_bounded_in(&cand, options.bound, &mut acc.ctx) {
+                    Ok(csg) => csg,
+                    Err(StgError::Reach(ReachError::StateLimit(_))) => {
+                        acc.stats.skipped_by_bound += 1;
+                        return;
+                    }
+                    Err(_) => return,
                 };
                 if !csg.ts().deadlocks().is_empty() {
                     return;
@@ -495,52 +1227,32 @@ pub fn resolve_mixed_with(
                 if rem >= conflicts {
                     return;
                 }
+                acc.stats.accepted += 1;
                 let key = (rem, csg.num_states());
-                if best.as_ref().is_none_or(|(bk, _, _)| key < *bk) {
-                    *best = Some((key, cand, desc));
+                if acc
+                    .best
+                    .as_ref()
+                    .is_none_or(|(bk, bi, ..)| (key, i) < (*bk, *bi))
+                {
+                    acc.best = Some((key, i, cand, desc, csg));
                 }
-            };
-        let transitions: Vec<TransitionId> = current.net().transitions().collect();
-        let splittable: Vec<TransitionId> = transitions
-            .iter()
-            .copied()
-            .filter(|&t| {
-                current
-                    .label(t)
-                    .is_some_and(|l| current.signal_kind(l.signal).is_non_input())
-            })
-            .collect();
-        for &a in &transitions {
-            for &b_t in &splittable {
-                if a == b_t {
-                    continue;
-                }
-                let cand = add_ordering_arc(&current, a, b_t);
-                let desc = format!(
-                    "concurrency reduction: {} waits for {}",
-                    current.label_string(b_t),
-                    current.label_string(a)
-                );
-                consider(cand, desc, &mut best);
-            }
+            },
+        );
+
+        let mut best: BestMove<Key> = None;
+        let mut step_stats = SweepStats::default();
+        for acc in accs {
+            step_stats.absorb(acc.stats);
+            merge_best_move(&mut best, acc.best);
         }
-        for &tp in &splittable {
-            for &tm in &splittable {
-                if tp == tm {
-                    continue;
-                }
-                let cand = insert_state_signal(&current, tp, tm);
-                let desc = format!(
-                    "inserted csc signal: + before {}, - before {}",
-                    current.label_string(tp),
-                    current.label_string(tm)
-                );
-                consider(cand, desc, &mut best);
-            }
-        }
-        let (_, next, desc) = best?;
+        step_stats.grid = moves.len();
+        stats.absorb(step_stats);
+        let Some((_, _, next, desc, space)) = best else {
+            return (None, stats);
+        };
         descriptions.push(desc);
         current = next;
+        carried = Some(space);
     }
-    None
+    (None, stats)
 }

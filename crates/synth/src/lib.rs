@@ -41,6 +41,7 @@ pub mod latch_arch;
 pub mod library;
 mod netlist;
 pub mod nextstate;
+pub mod par;
 pub mod regions;
 
 pub use netlist::{Gate, GateKind, NetId, Netlist};

@@ -1,0 +1,170 @@
+//! Scoped work-stealing parallelism shared by the CSC candidate sweep
+//! and the flow driver's `run_batch`.
+//!
+//! Both callers have the same shape: a list of independent work items, a
+//! per-item evaluation that is pure (no shared mutable state), and a
+//! deterministic merge. The utilities here only distribute the items —
+//! workers steal indices off one atomic cursor, so an expensive item
+//! never serialises the cheap ones behind it — and leave the merge to
+//! the caller, which is what keeps parallel output byte-identical to
+//! the serial run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Hard ceiling on workers per parallel call. The sweeps are CPU-bound
+/// (nothing is gained beyond core count), and the synthesis service
+/// accepts client-supplied thread counts — a hostile or mistyped
+/// `csc_threads` must not translate into an unbounded thread spawn.
+pub const MAX_WORKERS: usize = 64;
+
+/// Resolves a requested worker count: `0` means one worker per
+/// available core; any other value is clamped to [`MAX_WORKERS`].
+#[must_use]
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+            .min(MAX_WORKERS)
+    } else {
+        requested.min(MAX_WORKERS)
+    }
+}
+
+/// Maps `f` over `items` on `threads` scoped workers (0 = all cores),
+/// returning results in input order.
+///
+/// `f` receives `(index, item)`. With one worker (or one item) the map
+/// runs inline on the calling thread — no spawn, same semantics.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = resolve_threads(threads).min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let n = items.len();
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                slots.lock().expect("no panics while holding the lock")[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("worker threads joined")
+        .into_iter()
+        .map(|slot| slot.expect("every slot filled by a worker"))
+        .collect()
+}
+
+/// Folds `items` into per-worker accumulators on `threads` scoped
+/// workers (0 = all cores).
+///
+/// Each worker steals indices off a shared cursor and folds its items
+/// into a private accumulator created by `init`; the accumulators are
+/// returned in no particular order. The caller's merge must therefore
+/// be insensitive to how items were distributed — e.g. concatenate and
+/// sort by a total key, sum counters, or take a global minimum.
+///
+/// This is the sweep-shaped primitive: accumulators can hold state that
+/// is expensive to keep per item (a shared BDD manager, the best-so-far
+/// candidate space) without every item's result staying alive.
+pub fn par_fold<T, A, I, F>(items: &[T], threads: usize, init: I, fold: F) -> Vec<A>
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, usize, &T) + Sync,
+{
+    let workers = resolve_threads(threads).min(items.len());
+    if workers <= 1 {
+        let mut acc = init();
+        for (i, t) in items.iter().enumerate() {
+            fold(&mut acc, i, t);
+        }
+        return vec![acc];
+    }
+    let n = items.len();
+    let cursor = AtomicUsize::new(0);
+    let accs: Mutex<Vec<A>> = Mutex::new(Vec::with_capacity(workers));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut acc = init();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    fold(&mut acc, i, &items[i]);
+                }
+                accs.lock()
+                    .expect("no panics while holding the lock")
+                    .push(acc);
+            });
+        }
+    });
+    accs.into_inner().expect("worker threads joined")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{par_fold, par_map, resolve_threads};
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 3, 0] {
+            let out = par_map(&items, threads, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(&empty, 0, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u8], 0, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn fold_covers_every_item_exactly_once() {
+        let items: Vec<usize> = (0..257).collect();
+        for threads in [1, 2, 5, 0] {
+            let accs = par_fold(&items, threads, Vec::new, |acc: &mut Vec<usize>, _, &x| {
+                acc.push(x);
+            });
+            let mut all: Vec<usize> = accs.into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(all, items, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_resolves_to_at_least_one_worker() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn hostile_thread_requests_are_clamped() {
+        assert_eq!(resolve_threads(1_000_000), super::MAX_WORKERS);
+        assert!(resolve_threads(0) <= super::MAX_WORKERS);
+    }
+}

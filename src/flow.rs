@@ -79,6 +79,7 @@ pub fn run_flow(spec: &Stg, options: &FlowOptions) -> Result<FlowResult, FlowErr
             backend: stg::Backend::Explicit,
             architecture: options.architecture,
             csc: options.csc,
+            sweep: Default::default(),
             max_fanin: options.max_fanin,
             skip_verification: options.skip_verification,
         },

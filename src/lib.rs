@@ -83,7 +83,7 @@ pub use json::Json;
 pub use pipeline::{
     cache_key, run_batch, run_cached, run_cached_with, Architecture, Backend, CacheOutcome,
     CacheStage, CachedRun, Checked, Circuit, CscCandidate, CscKind, CscResolved, CscStrategy,
-    CscTransformation, FlowEvent, FlowObserver, NullObserver, PipelineError, Synthesis,
-    SynthesisOptions, Synthesized, Verification, Verified,
+    CscTransformation, FlowEvent, FlowObserver, NullObserver, PipelineError, SweepOptions,
+    SweepStats, Synthesis, SynthesisOptions, Synthesized, Verification, Verified,
 };
 pub use summary::SynthesisSummary;

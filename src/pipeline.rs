@@ -22,19 +22,19 @@
 //! its artifacts (implementability report, candidate CSC transformations,
 //! equations, netlist, verification outcome) and the accumulated
 //! [`FlowEvent`] log, and hands its state space, report and verification
-//! probe forward for reuse (the CSC-clean fast path recomputes nothing;
-//! transformed candidates rebuild their winner's space once after the
-//! ranking sweep — see ROADMAP). [`run_batch`] synthesises many
+//! probe forward for reuse: the CSC-clean fast path recomputes nothing,
+//! the check stage's space seeds the CSC candidate sweeps, and every
+//! candidate the synthesiser may try carries its validated space — no
+//! stage builds the same space twice. [`run_batch`] synthesises many
 //! controllers concurrently on scoped threads.
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use stg::properties::ImplementabilityReport;
 use stg::{StateSpace, Stg};
 use synth::complex_gate::{synthesize_complex_gates, ComplexGateCircuit};
 use synth::csc::CscResolutionWithSpace;
+pub use synth::csc::{SweepOptions, SweepStats};
 use synth::decompose::{decompose, resubstitute, DecomposedCircuit};
 use synth::latch_arch::{synthesize_latch_circuit, LatchCircuit, LatchStyle};
 use synth::library::{map_to_library, Library, Mapping};
@@ -151,6 +151,12 @@ pub struct SynthesisOptions {
     pub architecture: Architecture,
     /// CSC resolution strategy.
     pub csc: CscStrategy,
+    /// CSC candidate-sweep engine configuration (worker threads,
+    /// per-candidate state bound, conflict-locality pruning). The
+    /// thread count never changes the flow's output and stays out of
+    /// cache keys; the bound (can change results) and pruning (changes
+    /// the diagnostic counters in the event log) both participate.
+    pub sweep: SweepOptions,
     /// Fan-in bound for [`Architecture::Decomposed`] (default 2, the
     /// two-input library of Fig. 9).
     pub max_fanin: Option<usize>,
@@ -165,8 +171,16 @@ pub enum PipelineError {
     /// automatic transformation fixes (unbounded, inconsistent,
     /// non-persistent, deadlocking).
     NotImplementable(Box<ImplementabilityReport>),
-    /// CSC resolution failed under the requested strategy.
-    CscUnresolved,
+    /// CSC resolution failed under the requested strategy. Carries the
+    /// diagnostic log up to the failure — including the sweep events
+    /// whose counters say how many candidates were pruned and, more
+    /// importantly, how many were skipped because their state space
+    /// exceeded [`SweepOptions::bound`]: "no resolution" with
+    /// bound-skipped candidates means raising the bound may find one.
+    CscUnresolved {
+        /// The diagnostic log up to the failure.
+        events: Vec<FlowEvent>,
+    },
     /// Synthesis failed (carries the underlying message).
     Synthesis(String),
     /// The synthesised circuit failed verification.
@@ -192,7 +206,24 @@ impl fmt::Display for PipelineError {
             PipelineError::NotImplementable(r) => {
                 write!(f, "specification not implementable:\n{r}")
             }
-            PipelineError::CscUnresolved => write!(f, "could not resolve CSC conflicts"),
+            PipelineError::CscUnresolved { events } => {
+                write!(f, "could not resolve CSC conflicts")?;
+                let skipped: usize = events
+                    .iter()
+                    .map(|e| match e {
+                        FlowEvent::CscSweep { stats, .. } => stats.skipped_by_bound,
+                        _ => 0,
+                    })
+                    .sum();
+                if skipped > 0 {
+                    write!(
+                        f,
+                        " ({skipped} candidate(s) exceeded the state bound — \
+                         a higher --csc-bound may find a resolution)"
+                    )?;
+                }
+                Ok(())
+            }
             PipelineError::Synthesis(m) => write!(f, "synthesis failed: {m}"),
             PipelineError::VerificationFailed(r) => {
                 write!(f, "verification failed: {}", r.summary())
@@ -320,6 +351,17 @@ pub enum FlowEvent {
         /// Number of CSC-violating state pairs.
         csc_conflicts: usize,
     },
+    /// A CSC candidate sweep ran; how its grid was cut down. The
+    /// counters are deterministic (independent of the sweep's thread
+    /// count), and `stats.skipped_by_bound` surfaces candidates whose
+    /// state space exceeded [`SweepOptions::bound`] — they are reported
+    /// here, never silently dropped.
+    CscSweep {
+        /// Which search swept (insertion grid, ordering arcs, mixed).
+        kind: CscKind,
+        /// The engine's counters.
+        stats: SweepStats,
+    },
     /// CSC candidates were gathered under a strategy.
     CscCandidates {
         /// The strategy used.
@@ -388,6 +430,11 @@ impl fmt::Display for FlowEvent {
             } => write!(
                 f,
                 "properties checked: implementable={implementable}, csc conflicts={csc_conflicts}"
+            ),
+            FlowEvent::CscSweep { kind, stats } => write!(
+                f,
+                "csc sweep ({kind}): grid={} pruned={} evaluated={} skipped-by-bound={} accepted={}",
+                stats.grid, stats.pruned, stats.evaluated, stats.skipped_by_bound, stats.accepted
             ),
             FlowEvent::CscCandidates { strategy, count } => {
                 write!(f, "csc candidates ({strategy:?}): {count}")
@@ -559,6 +606,11 @@ impl Synthesis {
     }
 }
 
+/// How many ranked CSC candidates the synthesis stage will try (its
+/// backtracking depth) — and therefore how many validated candidate
+/// state spaces the sweeps keep alive so no tried candidate is rebuilt.
+const CSC_CANDIDATE_LIMIT: usize = 12;
+
 /// Stage 1 artifact: the specification passed every non-CSC §2.1 check.
 #[derive(Debug)]
 pub struct Checked {
@@ -614,6 +666,10 @@ impl Checked {
             mut events,
         } = self;
         let backend = options.backend;
+        // The sweeps retain validated spaces for as many candidates as
+        // this stage hands to the backtracking synthesiser, so no tried
+        // candidate is ever rebuilt downstream.
+        let sweep_options = options.sweep.clone().with_keep_spaces(CSC_CANDIDATE_LIMIT);
         let candidates: Vec<CscCandidate> = if report.complete_state_coding {
             vec![CscCandidate {
                 spec: spec.clone(),
@@ -623,16 +679,31 @@ impl Checked {
             }]
         } else {
             let mut list: Vec<CscCandidate> = Vec::new();
-            let push_insertions = |list: &mut Vec<CscCandidate>| {
-                for r in synth::csc::insertion_candidates_with(&spec, backend)
-                    .into_iter()
-                    .take(12)
-                {
+            let run_insertions = |list: &mut Vec<CscCandidate>, events: &mut Vec<FlowEvent>| {
+                // The check stage's space seeds the sweep's pruner —
+                // the base is never rebuilt.
+                let sweep =
+                    synth::csc::insertion_sweep_from(&spec, backend, &sweep_options, Some(&*space));
+                events.push(FlowEvent::CscSweep {
+                    kind: CscKind::SignalInsertion,
+                    stats: sweep.stats,
+                });
+                for r in sweep.candidates.into_iter().take(CSC_CANDIDATE_LIMIT) {
                     list.push(CscCandidate::from_resolution(r, CscKind::SignalInsertion));
                 }
             };
-            let push_reduction = |list: &mut Vec<CscCandidate>| {
-                if let Some(r) = synth::csc::resolve_by_concurrency_reduction_with(&spec, backend) {
+            let run_reduction = |list: &mut Vec<CscCandidate>, events: &mut Vec<FlowEvent>| {
+                let (r, stats) = synth::csc::concurrency_reduction_sweep(
+                    &spec,
+                    backend,
+                    &sweep_options,
+                    Some(&*space),
+                );
+                events.push(FlowEvent::CscSweep {
+                    kind: CscKind::ConcurrencyReduction,
+                    stats,
+                });
+                if let Some(r) = r {
                     list.push(CscCandidate::from_resolution(
                         r,
                         CscKind::ConcurrencyReduction,
@@ -641,15 +712,27 @@ impl Checked {
             };
             match options.csc {
                 CscStrategy::Fail => {}
-                CscStrategy::SignalInsertion => push_insertions(&mut list),
-                CscStrategy::ConcurrencyReduction => push_reduction(&mut list),
+                CscStrategy::SignalInsertion => run_insertions(&mut list, &mut events),
+                CscStrategy::ConcurrencyReduction => run_reduction(&mut list, &mut events),
                 CscStrategy::Auto => {
-                    push_insertions(&mut list);
-                    push_reduction(&mut list);
+                    run_insertions(&mut list, &mut events);
+                    run_reduction(&mut list, &mut events);
                     // Mixed fall-back for controllers needing several
                     // transformations (e.g. the READ+WRITE spec of Fig. 5
-                    // takes a reduction plus a state signal).
-                    if let Some(r) = synth::csc::resolve_mixed_with(&spec, 5, backend) {
+                    // takes a reduction plus a state signal). The check
+                    // stage's space is moved in as its first-step base.
+                    let (r, stats) = synth::csc::resolve_mixed_sweep(
+                        &spec,
+                        5,
+                        backend,
+                        &sweep_options,
+                        Some(space),
+                    );
+                    events.push(FlowEvent::CscSweep {
+                        kind: CscKind::Mixed,
+                        stats,
+                    });
+                    if let Some(r) = r {
                         list.push(CscCandidate::from_resolution(r, CscKind::Mixed));
                     }
                 }
@@ -659,7 +742,7 @@ impl Checked {
                 count: list.len(),
             });
             if list.is_empty() {
-                return Err(PipelineError::CscUnresolved);
+                return Err(PipelineError::CscUnresolved { events });
             }
             list
         };
@@ -735,7 +818,7 @@ impl CscResolved {
     ///
     /// The last candidate's error when all of them fail.
     pub fn synthesize(mut self) -> Result<Synthesized, PipelineError> {
-        let mut last_error = PipelineError::CscUnresolved;
+        let mut last_error = PipelineError::CscUnresolved { events: Vec::new() };
         let candidates = std::mem::take(&mut self.candidates);
         let tried = candidates.len();
         for (index, candidate) in candidates.into_iter().enumerate() {
@@ -1071,7 +1154,8 @@ impl Verified {
 }
 
 /// Synthesises many controllers concurrently on scoped threads (one
-/// worker per available core, work-stealing over the input list).
+/// worker per available core, work-stealing over the input list via
+/// [`synth::par`], the same engine the CSC candidate sweep runs on).
 ///
 /// Results are returned in input order; per-spec failures do not abort
 /// the batch.
@@ -1080,35 +1164,16 @@ pub fn run_batch(
     specs: &[Stg],
     options: &SynthesisOptions,
 ) -> Vec<Result<Verified, PipelineError>> {
-    let n = specs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(n);
-    let cursor = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<Result<Verified, PipelineError>>>> =
-        Mutex::new((0..n).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let result = Synthesis::with_options(specs[i].clone(), options.clone()).run();
-                slots.lock().expect("no panics while holding the lock")[i] = Some(result);
-            });
-        }
-    });
-    slots
-        .into_inner()
-        .expect("worker threads joined")
-        .into_iter()
-        .map(|slot| slot.expect("every slot filled by a worker"))
-        .collect()
+    // The batch workers already occupy every core; nested per-core CSC
+    // sweep workers would oversubscribe the machine quadratically (and
+    // multiply each sweep's retained candidate spaces), so each spec's
+    // sweep runs serially inside its batch worker. Thread count is
+    // output-neutral, so results are identical either way.
+    let mut options = options.clone();
+    options.sweep.threads = 1;
+    synth::par::par_map(specs, 0, |_, spec| {
+        Synthesis::with_options(spec.clone(), options.clone()).run()
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -1157,9 +1222,23 @@ pub fn cache_key(spec: &Stg, options: &SynthesisOptions, stage: CacheStage) -> D
     let fanin = options
         .max_fanin
         .map_or_else(|| "default".to_owned(), |n| n.to_string());
+    // The sweep's state bound can change the result (candidates above
+    // it are skipped) and pruning changes the diagnostic counters
+    // embedded in the cached summary's event log, so both salt the key.
+    // The thread count is fully neutral — circuit *and* diagnostics are
+    // byte-identical at any count (the parity tests assert it) — so it
+    // stays out, and a cache warmed at one thread count serves every
+    // other.
+    let sweep_bound = options.sweep.bound.to_string();
     let mut extras: Vec<&str> = vec![CACHE_SCHEMA, stage.tag(), options.backend.name()];
     if matches!(stage, CacheStage::Csc | CacheStage::Full) {
         extras.push(options.csc.name());
+        extras.push(&sweep_bound);
+        extras.push(if options.sweep.prune {
+            "prune"
+        } else {
+            "noprune"
+        });
     }
     if matches!(stage, CacheStage::Full) {
         extras.push(options.architecture.name());
