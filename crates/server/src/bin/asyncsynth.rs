@@ -11,7 +11,7 @@
 //!
 //! synth options:
 //!   --arch complex|celement|rs|decomposed   (default: complex)
-//!   --backend explicit|symbolic             (default: explicit)
+//!   --backend explicit|symbolic|symbolic-set  (default: explicit)
 //!   --csc auto|insertion|reduction|fail     (default: auto)
 //!   --csc-threads N                         CSC sweep workers (0 = per core)
 //!   --csc-bound N                           CSC per-candidate state bound
@@ -75,15 +75,41 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 // check
 // -------------------------------------------------------------------
 
+/// Conflict pairs listed in full; beyond this the listing truncates
+/// (and is skipped entirely when even *enumerating* the duplicated-code
+/// classes would decode an unreasonable number of states on the
+/// resident-BDD backend). The report's counts are always exact.
+const MAX_LISTED_CONFLICTS: usize = 256;
+
+/// Duplication excess (states minus distinct codes — a lower bound on
+/// the same-code pair count) beyond which witness enumeration is not
+/// attempted at all.
+const MAX_ENUMERATED_EXCESS: u128 = 4096;
+
 fn check(spec: &stg::Stg, opts: &[String]) -> Result<(), String> {
     let flags = parse_flags(opts, &["--backend", "--json"])?;
-    let (report, conflicts) = match flags.backend.build(spec) {
+    let (report, conflicts, truncated) = match flags.backend.build(spec) {
         Ok(space) => {
             let report = stg::properties::report_from_sg(spec, &*space);
-            let conflicts = stg::encoding::csc_conflicts(spec, &*space);
-            (report, conflicts)
+            // Witness extraction enumerates every duplicated-code class
+            // (USC pairs, not just CSC ones) and decodes their states;
+            // gate on the duplication excess — a lower bound on the
+            // same-code pair count — so a large USC-violating space
+            // never decodes, whatever its CSC verdict. Within the gate,
+            // list the first MAX_LISTED_CONFLICTS pairs and say when the
+            // listing is cut; the report's counts are always exact.
+            let duplication_excess = space.marking_count() - space.distinct_code_count();
+            let (conflicts, truncated) = if duplication_excess <= MAX_ENUMERATED_EXCESS {
+                let mut all = stg::encoding::csc_conflicts(spec, &*space);
+                let truncated = all.len() > MAX_LISTED_CONFLICTS;
+                all.truncate(MAX_LISTED_CONFLICTS);
+                (all, truncated)
+            } else {
+                (Vec::new(), report.csc_conflict_pairs > 0)
+            };
+            (report, conflicts, truncated)
         }
-        Err(e) => (stg::properties::failure_report(e), Vec::new()),
+        Err(e) => (stg::properties::failure_report(e), Vec::new(), false),
     };
     if flags.json {
         let conflict_json: Vec<Json> = conflicts
@@ -111,17 +137,25 @@ fn check(spec: &stg::Stg, opts: &[String]) -> Result<(), String> {
             ("backend", Json::str(flags.backend.name())),
             ("report", report_to_json(&report)),
             ("conflicts", Json::Arr(conflict_json)),
+            ("conflicts_truncated", Json::Bool(truncated)),
         ]);
         println!("{}", out.render());
     } else {
         println!("model: {}", spec.name());
         println!("backend: {}", flags.backend);
         println!("{report}");
+        let listed = conflicts.len();
         for c in conflicts {
             let code: String = c.code.iter().map(|&b| if b { '1' } else { '0' }).collect();
             println!(
                 "  CSC conflict: states s{} / s{} share code {code}",
                 c.states.0, c.states.1
+            );
+        }
+        if truncated {
+            println!(
+                "  ({} CSC conflict pair(s) total; listing cut after {listed})",
+                report.csc_conflict_pairs
             );
         }
     }
@@ -223,6 +257,17 @@ fn print_summary(summary: &SynthesisSummary, outcome: CacheOutcome) {
 fn wave(spec: &stg::Stg, opts: &[String]) -> Result<(), String> {
     let flags = parse_flags(opts, &["--backend", "--json"])?;
     let space = flags.backend.build(spec).map_err(|e| e.to_string())?;
+    // Waveform extraction walks the transition structure per state; the
+    // resident backend only serves that through its small-space view.
+    if space.set_level_native() && space.num_states() > stg::MATERIALISE_LIMIT {
+        return Err(format!(
+            "state space has {} states — too large for per-state waveform \
+             rendering on the resident-BDD backend (limit {}); use an \
+             enumerating backend",
+            space.num_states(),
+            stg::MATERIALISE_LIMIT
+        ));
+    }
     let cycle = stg::waveform::canonical_cycle(&*space, 1000);
     if cycle.is_empty() {
         return Err("no cycle through the initial state".to_owned());

@@ -3,7 +3,7 @@
 //!
 //! Each subcommand declares which flags it accepts; values, defaults
 //! and error messages are uniform across the CLI, so `--backend
-//! symbolic --json` means the same thing everywhere it is allowed.
+//! symbolic-set --json` means the same thing everywhere it is allowed.
 
 use std::path::PathBuf;
 
@@ -12,7 +12,7 @@ use asyncsynth::{Architecture, Backend, CscStrategy, SweepOptions, SynthesisOpti
 /// Parsed common flags, with their defaults.
 #[derive(Debug, Clone)]
 pub struct CliFlags {
-    /// `--backend explicit|symbolic`.
+    /// `--backend explicit|symbolic|symbolic-set`.
     pub backend: Backend,
     /// `--json`: machine-readable output.
     pub json: bool,

@@ -7,7 +7,7 @@
 //! {"op":"synth","spec":"<.g text>","backend":"explicit","arch":"complex",
 //!  "csc":"auto","csc_threads":0,"csc_bound":200000,"csc_prune":true,
 //!  "fanin":2,"skip_verification":false,"events":true}
-//! {"op":"check","spec":"<.g text>","backend":"symbolic"}
+//! {"op":"check","spec":"<.g text>","backend":"symbolic-set"}
 //! {"op":"status"}
 //! {"op":"cancel","job":3}
 //! {"op":"shutdown"}
@@ -435,6 +435,13 @@ mod tests {
                     ..Default::default()
                 },
                 events: true,
+            },
+            Request::Check {
+                spec_text: ".model m\n.end\n".to_owned(),
+                options: asyncsynth::SynthesisOptions {
+                    backend: asyncsynth::Backend::SymbolicSet,
+                    ..Default::default()
+                },
             },
             Request::Status,
             Request::Cancel { job: 7 },

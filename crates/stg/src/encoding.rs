@@ -5,11 +5,17 @@
 //! conflict if they carry the same binary code; the conflict matters for
 //! implementability (CSC) when the states disagree on the excitation of
 //! some non-input signal.
-
-use std::collections::HashMap;
+//!
+//! The *verdict* queries ([`has_usc`], [`has_csc`],
+//! [`csc_conflict_pair_count`]) are phrased over the set-level
+//! [`StateSpace`] API — marking counts, code projections, excitation
+//! regions — so the resident-BDD backend answers them without enumerating
+//! states. Only the witness-producing [`encoding_conflicts`] /
+//! [`csc_conflicts`] materialise state indices, and only for the codes
+//! that are actually duplicated.
 
 use crate::model::{SignalEdge, SignalId, Stg};
-use crate::state_space::StateSpace;
+use crate::state_space::{StateSet, StateSpace};
 
 /// A pair of states with identical binary codes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,17 +39,16 @@ impl EncodingConflict {
 
 /// All pairs of states with equal codes (*Unique State Coding* violations),
 /// annotated with the non-input signals whose excitation disagrees.
+///
+/// This is the witness extractor: per-state decode happens only for the
+/// states of genuinely duplicated codes. For verdicts and counts use
+/// [`has_usc`] / [`has_csc`] / [`csc_conflict_pair_count`], which never
+/// materialise states.
 #[must_use]
 pub fn encoding_conflicts<S: StateSpace + ?Sized>(stg: &Stg, sg: &S) -> Vec<EncodingConflict> {
-    let mut by_code: HashMap<Vec<bool>, Vec<usize>> = HashMap::new();
-    for i in 0..sg.num_states() {
-        by_code.entry(sg.code(i).to_vec()).or_default().push(i);
-    }
     let non_inputs = stg.non_input_signals();
     let mut out = Vec::new();
-    let mut groups: Vec<(Vec<bool>, Vec<usize>)> = by_code.into_iter().collect();
-    groups.sort();
-    for (code, states) in groups {
+    for (code, states) in sg.duplicate_code_classes() {
         for (a_idx, &a) in states.iter().enumerate() {
             for &b in &states[a_idx + 1..] {
                 let conflicting_signals: Vec<SignalId> = non_inputs
@@ -74,21 +79,166 @@ fn excitation_of<S: StateSpace + ?Sized>(
         .map(|(_, _, e)| e)
 }
 
-/// `true` if the STG has *Unique State Coding*: no two states share a code.
+/// `true` if the STG has *Unique State Coding*: no two states share a
+/// code — equivalently, the number of distinct codes equals the number of
+/// states (a pure counting query: two BDD counts on the resident
+/// backend).
 #[must_use]
-pub fn has_usc<S: StateSpace + ?Sized>(stg: &Stg, sg: &S) -> bool {
-    encoding_conflicts(stg, sg).is_empty()
+pub fn has_usc<S: StateSpace + ?Sized>(_stg: &Stg, sg: &S) -> bool {
+    sg.distinct_code_count() == sg.marking_count()
+}
+
+/// The three excitation classes of one signal: rising-excited,
+/// falling-excited and unexcited states.
+fn excitation_classes<S: StateSpace + ?Sized>(stg: &Stg, sg: &S, s: SignalId) -> [StateSet; 3] {
+    let rise = sg.excitation_region(stg, s, SignalEdge::Rise);
+    let fall = sg.excitation_region(stg, s, SignalEdge::Fall);
+    let excited = sg.set_union(&rise, &fall);
+    let none = sg.set_minus(&sg.all_states(), &excited);
+    [rise, fall, none]
 }
 
 /// `true` if the STG has *Complete State Coding*: states sharing a code
-/// agree on all non-input excitations (§3.1 — the property logic synthesis
-/// requires).
+/// agree on all non-input excitations (§3.1 — the property logic
+/// synthesis requires).
+///
+/// Set-level formulation: a CSC conflict exists iff, for some non-input
+/// signal, two of its three excitation classes (rising / falling /
+/// unexcited) contain states with a common code.
 #[must_use]
 pub fn has_csc<S: StateSpace + ?Sized>(stg: &Stg, sg: &S) -> bool {
-    encoding_conflicts(stg, sg).iter().all(|c| !c.is_csc())
+    if has_usc(stg, sg) {
+        return true;
+    }
+    if !sg.set_level_native() {
+        // Enumerating backends: one indexed pass over the duplicated
+        // classes beats per-signal full-space scans (this verdict sits
+        // in the CSC sweeps' per-candidate hot path).
+        let non_inputs = stg.non_input_signals();
+        return sg.duplicate_code_classes().iter().all(|(_, states)| {
+            let first = excitation_profile(stg, sg, states[0], &non_inputs);
+            states[1..]
+                .iter()
+                .all(|&b| excitation_profile(stg, sg, b, &non_inputs) == first)
+        });
+    }
+    for s in stg.non_input_signals() {
+        let [rise, fall, none] = excitation_classes(stg, sg, s);
+        if sg.sets_share_code(&rise, &fall)
+            || sg.sets_share_code(&rise, &none)
+            || sg.sets_share_code(&fall, &none)
+        {
+            return false;
+        }
+    }
+    true
 }
 
-/// Only the CSC-violating conflicts.
+/// The non-input excitation profile of one state (the equivalence whose
+/// disagreement on a shared code *is* a CSC conflict).
+fn excitation_profile<S: StateSpace + ?Sized>(
+    stg: &Stg,
+    sg: &S,
+    state: usize,
+    non_inputs: &[SignalId],
+) -> Vec<Option<SignalEdge>> {
+    let excitations = sg.excitations(stg, state);
+    non_inputs
+        .iter()
+        .map(|&s| {
+            excitations
+                .iter()
+                .find(|&&(_, sig, _)| sig == s)
+                .map(|&(_, _, e)| e)
+        })
+        .collect()
+}
+
+/// Number of CSC-violating state pairs: same-code pairs disagreeing on
+/// some non-input excitation.
+///
+/// Counted per duplicated code by refining its state set against the
+/// excitation classes of every non-input signal: pairs inside one
+/// refined part agree everywhere, so `C(total, 2) − Σ C(part, 2)` is the
+/// conflict count — set counts only, witnesses are never materialised.
+#[must_use]
+pub fn csc_conflict_pair_count<S: StateSpace + ?Sized>(stg: &Stg, sg: &S) -> usize {
+    if has_usc(stg, sg) {
+        return 0;
+    }
+    let non_inputs = stg.non_input_signals();
+    if !sg.set_level_native() {
+        // Enumerating backends: group each duplicated class by profile.
+        let pairs_of = |n: usize| n * n.saturating_sub(1) / 2;
+        let mut conflicts = 0usize;
+        for (_, states) in sg.duplicate_code_classes() {
+            let mut groups: std::collections::HashMap<Vec<Option<SignalEdge>>, usize> =
+                std::collections::HashMap::new();
+            for &s in &states {
+                *groups
+                    .entry(excitation_profile(stg, sg, s, &non_inputs))
+                    .or_default() += 1;
+            }
+            let agreeing: usize = groups.values().map(|&n| pairs_of(n)).sum();
+            conflicts += pairs_of(states.len()) - agreeing;
+        }
+        return conflicts;
+    }
+    let classes: Vec<[StateSet; 3]> = non_inputs
+        .iter()
+        .map(|&s| excitation_classes(stg, sg, s))
+        .collect();
+    let pairs_of = |n: u128| n * n.saturating_sub(1) / 2;
+    let mut conflicts = 0u128;
+    for code in duplicate_codes(sg) {
+        let set = sg.states_with_code_set(&code);
+        let total = sg.set_count(&set);
+        if total < 2 {
+            continue;
+        }
+        // Refine the code's states by excitation profile.
+        let mut parts = vec![set];
+        for class3 in &classes {
+            let mut next = Vec::with_capacity(parts.len());
+            for part in &parts {
+                if sg.set_count(part) < 2 {
+                    next.push(part.clone());
+                    continue;
+                }
+                for class in class3 {
+                    let piece = sg.set_intersect(part, class);
+                    if !sg.set_is_empty(&piece) {
+                        next.push(piece);
+                    }
+                }
+            }
+            parts = next;
+        }
+        let agreeing: u128 = parts.iter().map(|p| pairs_of(sg.set_count(p))).sum();
+        conflicts += pairs_of(total) - agreeing;
+    }
+    usize::try_from(conflicts).expect("conflict pair count fits usize")
+}
+
+/// The duplicated codes of a space, without state materialisation.
+fn duplicate_codes<S: StateSpace + ?Sized>(sg: &S) -> Vec<Vec<bool>> {
+    if sg.set_level_native() {
+        // Enumerate codes from the projection and keep the duplicated
+        // ones by count — states stay symbolic.
+        sg.set_codes(&sg.all_states())
+            .into_iter()
+            .filter(|c| sg.set_count(&sg.states_with_code_set(c)) > 1)
+            .collect()
+    } else {
+        sg.duplicate_code_classes()
+            .into_iter()
+            .map(|(c, _)| c)
+            .collect()
+    }
+}
+
+/// Only the CSC-violating conflicts (witness-producing; see
+/// [`encoding_conflicts`]).
 #[must_use]
 pub fn csc_conflicts<S: StateSpace + ?Sized>(stg: &Stg, sg: &S) -> Vec<EncodingConflict> {
     encoding_conflicts(stg, sg)

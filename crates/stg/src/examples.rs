@@ -272,3 +272,48 @@ pub fn micropipeline(n: usize) -> Stg {
     }
     b.build()
 }
+
+/// The signal-labelled `k`-token `n`-stage pipeline ring
+/// (`petri::generators::pipeline_with_tokens` with edge labels): stage
+/// pair `(t_{2m}, t_{2m+1})` becomes `s_m+ / s_m−`, so the STG is
+/// consistent (adjacent ring transitions alternate strictly — the place
+/// between them is safe) and its state space has `C(2·half, k)` states.
+/// Initial values follow the token layout: `s_m` starts at 1 exactly
+/// when its "full" place `f_{2m}` is initially marked.
+///
+/// This is the scale workload of the resident-BDD backend: state counts
+/// grow combinatorially while the net stays linear.
+///
+/// # Panics
+///
+/// Panics if `half == 0` or `k > 2 * half`.
+#[must_use]
+pub fn token_ring(half: usize, k: usize) -> Stg {
+    let n = 2 * half;
+    assert!(half > 0 && k <= n);
+    let mut b = StgBuilder::new(format!("token-ring-{half}-{k}"));
+    let sigs: Vec<_> = (0..half)
+        .map(|m| b.add_signal(format!("s{m}"), SignalKind::Output))
+        .collect();
+    let ts: Vec<_> = (0..n)
+        .map(|i| {
+            let edge = if i % 2 == 0 {
+                SignalEdge::Rise
+            } else {
+                SignalEdge::Fall
+            };
+            b.add_edge(sigs[i / 2], edge)
+        })
+        .collect();
+    for i in 0..n {
+        let j = (i + 1) % n;
+        let full = b.add_place(format!("f{i}"), u32::from(i < k));
+        let empty = b.add_place(format!("e{i}"), u32::from(i >= k));
+        b.arc_pt(full, ts[j]);
+        b.arc_tp(ts[j], empty);
+        b.arc_pt(empty, ts[i]);
+        b.arc_tp(ts[i], full);
+    }
+    b.set_initial_values((0..half).map(|m| 2 * m < k).collect());
+    b.build()
+}

@@ -42,12 +42,14 @@ pub mod properties;
 mod state_graph;
 mod state_space;
 mod symbolic;
+mod symbolic_set;
 pub mod waveform;
 
 pub use model::{SignalEdge, SignalId, SignalKind, Stg, StgBuilder, TransitionLabel};
 pub use state_graph::{SgState, StateGraph, StgError};
-pub use state_space::{Backend, BuildContext, StateSpace};
+pub use state_space::{Backend, BuildContext, StateSet, StateSpace, DEFAULT_STATE_BOUND};
 pub use symbolic::{SymbolicStateSpace, SymbolicStats};
+pub use symbolic_set::{SymbolicSetSpace, MATERIALISE_LIMIT};
 
 #[cfg(test)]
 mod tests;

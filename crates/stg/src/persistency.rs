@@ -90,11 +90,51 @@ fn classify(stg: &Stg, disabled: TransitionId, by: TransitionId) -> ViolationKin
 
 /// `true` if the STG is persistent in the paper's sense: the only
 /// disabling events are input-versus-input choices.
+///
+/// On set-level-native backends this never enumerates states: each
+/// blocking-classified transition pair is refuted by one symbolic
+/// disabling query, with an early exit on the first violation.
 #[must_use]
 pub fn is_persistent<S: StateSpace + ?Sized>(stg: &Stg, sg: &S) -> bool {
+    if sg.set_level_native() {
+        for (t, u) in blocking_pairs(stg) {
+            if sg.disabling_count(t, u) > 0 {
+                return false;
+            }
+        }
+        return true;
+    }
     persistency_violations(stg, sg)
         .iter()
         .all(|v| v.kind == ViolationKind::InputChoice)
+}
+
+/// Number of blocking disabling occurrences (`(state, disabled, by)`
+/// triples), the count [`blocking_violations`] would enumerate — but
+/// phrased per transition pair so set-level backends answer it by
+/// counting, never by materialising states.
+#[must_use]
+pub fn blocking_violation_count<S: StateSpace + ?Sized>(stg: &Stg, sg: &S) -> usize {
+    if sg.set_level_native() {
+        let total: u128 = blocking_pairs(stg)
+            .map(|(t, u)| sg.disabling_count(t, u))
+            .sum();
+        usize::try_from(total).expect("violation count fits usize")
+    } else {
+        blocking_violations(stg, sg).len()
+    }
+}
+
+/// The ordered transition pairs whose disabling would block
+/// implementability (everything but input-disables-input).
+fn blocking_pairs(stg: &Stg) -> impl Iterator<Item = (TransitionId, TransitionId)> + '_ {
+    let transitions: Vec<TransitionId> = stg.net().transitions().collect();
+    let pairs: Vec<(TransitionId, TransitionId)> = transitions
+        .iter()
+        .flat_map(|&t| transitions.iter().map(move |&u| (t, u)))
+        .filter(|&(t, u)| t != u && classify(stg, t, u) != ViolationKind::InputChoice)
+        .collect();
+    pairs.into_iter()
 }
 
 /// The subset of violations that block implementability (everything except

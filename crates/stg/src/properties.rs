@@ -5,9 +5,9 @@
 
 use std::fmt;
 
-use crate::encoding::{csc_conflicts, encoding_conflicts};
+use crate::encoding::{csc_conflict_pair_count, has_usc};
 use crate::model::Stg;
-use crate::persistency::blocking_violations;
+use crate::persistency::blocking_violation_count;
 use crate::state_graph::{StateGraph, StgError};
 use crate::state_space::{Backend, StateSpace};
 
@@ -121,21 +121,30 @@ pub fn failure_report(e: StgError) -> ImplementabilityReport {
 }
 
 /// The report for an already-built state space (any backend).
+///
+/// Every verdict and count is a set-level query — code/marking counting,
+/// excitation-class refinement, per-pair disabling counts, a symbolic
+/// deadlock check — so the resident-BDD backend produces the full report
+/// without enumerating a single state.
 #[must_use]
 pub fn report_from_sg<S: StateSpace + ?Sized>(stg: &Stg, sg: &S) -> ImplementabilityReport {
-    let conflicts = encoding_conflicts(stg, sg);
-    let csc = csc_conflicts(stg, sg);
-    let blocking = blocking_violations(stg, sg);
+    let usc = has_usc(stg, sg);
+    let csc_pairs = if usc {
+        0
+    } else {
+        csc_conflict_pair_count(stg, sg)
+    };
+    let violations = blocking_violation_count(stg, sg);
     ImplementabilityReport {
         bounded: true,
         consistent: true,
         error: None,
         num_states: sg.num_states(),
-        unique_state_coding: conflicts.is_empty(),
-        complete_state_coding: csc.is_empty(),
-        csc_conflict_pairs: csc.len(),
-        persistent: blocking.is_empty(),
-        persistency_violations: blocking.len(),
-        deadlock_free: sg.ts().deadlocks().is_empty(),
+        unique_state_coding: usc,
+        complete_state_coding: csc_pairs == 0,
+        csc_conflict_pairs: csc_pairs,
+        persistent: violations == 0,
+        persistency_violations: violations,
+        deadlock_free: !sg.has_deadlock(),
     }
 }

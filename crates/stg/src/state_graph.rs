@@ -3,8 +3,9 @@
 //! are of primary importance since they form the basis of logic
 //! synthesis."*).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::OnceLock;
 
 use petri::reach::{ReachError, ReachabilityGraph};
 use petri::{Marking, TransitionId, TransitionSystem};
@@ -82,6 +83,8 @@ pub struct StateGraph {
     ts: TransitionSystem<TransitionId>,
     initial_values: Vec<bool>,
     num_signals: usize,
+    /// Lazily built code → states index (see [`StateGraph::code_index`]).
+    code_index: OnceLock<HashMap<Vec<bool>, Vec<usize>>>,
 }
 
 impl StateGraph {
@@ -94,7 +97,7 @@ impl StateGraph {
     /// value 1 (or falling at 0), or a marking is re-reached with a
     /// different code.
     pub fn build(stg: &Stg) -> Result<Self, StgError> {
-        Self::build_bounded(stg, 1_000_000)
+        Self::build_bounded(stg, crate::state_space::DEFAULT_STATE_BOUND)
     }
 
     /// Like [`StateGraph::build`] with an explicit state limit.
@@ -122,6 +125,7 @@ impl StateGraph {
             ts: rg.ts().clone(),
             initial_values,
             num_signals: n,
+            code_index: OnceLock::new(),
         })
     }
 
@@ -229,7 +233,16 @@ impl StateGraph {
             ts: space.ts().clone(),
             initial_values: space.initial_values().to_vec(),
             num_signals: space.num_signals(),
+            code_index: OnceLock::new(),
         }
+    }
+
+    /// The code → states index, built on first use. One hash map build
+    /// replaces the linear scans that used to serve every
+    /// `states_with_code` call (hot in CSC conflict detection).
+    pub(crate) fn code_index(&self) -> &HashMap<Vec<bool>, Vec<usize>> {
+        self.code_index
+            .get_or_init(|| build_code_index(&self.states))
     }
 }
 
@@ -317,6 +330,16 @@ pub(crate) fn propagate_codes(
         .into_iter()
         .map(|c| c.expect("state spaces are connected from state 0"))
         .collect())
+}
+
+/// Builds the code → states index every enumerating backend shares
+/// (state indices per code, in ascending order).
+pub(crate) fn build_code_index(states: &[SgState]) -> HashMap<Vec<bool>, Vec<usize>> {
+    let mut map: HashMap<Vec<bool>, Vec<usize>> = HashMap::new();
+    for (i, s) in states.iter().enumerate() {
+        map.entry(s.code.clone()).or_default().push(i);
+    }
+    map
 }
 
 /// Result alias used throughout the crate.

@@ -2,24 +2,90 @@
 //!
 //! Every synthesis and verification stage consumes a [`StateSpace`] — the
 //! abstract "binary-coded reachable states + transition structure" view —
-//! instead of a concrete [`StateGraph`]. Two implementations exist:
+//! instead of a concrete [`StateGraph`]. Three implementations exist:
 //!
 //! * [`StateGraph`] — the explicit breadth-first token-game construction
 //!   of §1.4 (the seed implementation);
 //! * [`crate::SymbolicStateSpace`] — BDD-based symbolic traversal in the
-//!   spirit of §2.2, backed by `petri::symbolic`.
+//!   spirit of §2.2, backed by `petri::symbolic`; the traversal is
+//!   symbolic but every reachable marking is still decoded afterwards;
+//! * [`crate::SymbolicSetSpace`] — the resident-BDD backend: the
+//!   characteristic function of the reachable (marking, code) pairs stays
+//!   in the manager and queries are answered as cube intersections and
+//!   satisfying-assignment counts, never by enumerating states.
 //!
 //! [`Backend`] selects between them at run time and is what the staged
 //! `Synthesis` pipeline and the CLI expose.
+//!
+//! # The set-level API
+//!
+//! Consumers that used to iterate `0..num_states()` now phrase their
+//! queries over [`StateSet`] handles: excitation and quiescent regions,
+//! code lookups, counts, unions/intersections. Every set-level method has
+//! a default implementation in terms of the per-state accessors, so
+//! explicit backends ([`StateGraph`]) work unchanged; the resident-BDD
+//! backend overrides them with BDD operations and only falls back to
+//! per-state decode ([`StateSpace::decode_code`] /
+//! [`StateSpace::decode_marking`], served from a small LRU of materialised
+//! blocks) where a *witness* state is genuinely needed.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::str::FromStr;
+use std::sync::{Arc, Mutex};
 
 use petri::{Marking, TransitionId, TransitionSystem};
 
 use crate::model::{SignalEdge, SignalId, Stg};
 use crate::state_graph::{StateGraph, StgError};
 use crate::symbolic::SymbolicStateSpace;
+use crate::symbolic_set::SymbolicSetSpace;
+
+/// The default state bound of every unbounded `build` entry point
+/// ([`Backend::build`], [`StateGraph::build`],
+/// [`SymbolicStateSpace::build`], [`SymbolicSetSpace::build`]): builds
+/// that exceed it fail with `StgError::Reach(ReachError::StateLimit)`.
+///
+/// The CSC candidate sweeps deliberately use a *tighter* default
+/// (`synth::csc::DEFAULT_SWEEP_BOUND`, 200 000): a sweep builds hundreds
+/// of candidate spaces and a candidate five times larger than this bound
+/// is never a useful resolution, while a single user-requested build may
+/// legitimately be large. Both defaults are overridable (`build_bounded`,
+/// `--csc-bound`); only the sweep bound participates in cache keys.
+pub const DEFAULT_STATE_BOUND: usize = 1_000_000;
+
+/// A handle to a set of states of one [`StateSpace`].
+///
+/// Handles are backend-owned: a set produced by one space must only be
+/// passed back to that same space. Explicit backends use sorted index
+/// lists; the resident-BDD backend wraps the characteristic function of
+/// the set's markings.
+#[derive(Debug, Clone)]
+pub enum StateSet {
+    /// Sorted, deduplicated dense state indices (explicit backends).
+    Indices(Vec<usize>),
+    /// A characteristic-function handle into the owning backend's BDD
+    /// manager (the resident-BDD backend). Meaningless outside it.
+    Symbolic(bdd::Bdd),
+}
+
+impl StateSet {
+    /// The indices of an explicit set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when handed a symbolic handle — that handle only means
+    /// something to the backend that produced it.
+    #[must_use]
+    pub fn as_indices(&self) -> &[usize] {
+        match self {
+            StateSet::Indices(v) => v,
+            StateSet::Symbolic(_) => {
+                panic!("symbolic state-set handle used with an enumerating backend")
+            }
+        }
+    }
+}
 
 /// The state space of an STG: binary-coded reachable states over a
 /// labelled transition structure.
@@ -29,8 +95,15 @@ use crate::symbolic::SymbolicStateSpace;
 /// [`StateGraph`] establishes: every state is reachable from state `0`,
 /// codes are consistent along arcs, and arcs are labelled with net
 /// transitions.
+///
+/// The per-state reference accessors (`code`, `marking`, `ts`) are only
+/// guaranteed on *materialising* backends; the resident-BDD backend
+/// serves them from a lazily materialised view for small spaces and
+/// panics beyond its materialisation limit — scale-conscious consumers
+/// use the set-level methods and the owned decode accessors instead.
 pub trait StateSpace: fmt::Debug + Send + Sync {
-    /// Number of states.
+    /// Number of states (saturated at `usize::MAX`; see
+    /// [`StateSpace::marking_count`] for the exact count).
     fn num_states(&self) -> usize;
 
     /// Number of signals in each binary code.
@@ -51,6 +124,10 @@ pub trait StateSpace: fmt::Debug + Send + Sync {
 
     /// Which backend produced this space.
     fn backend(&self) -> Backend;
+
+    // -----------------------------------------------------------------
+    // Per-state queries (defaults in terms of the accessors above)
+    // -----------------------------------------------------------------
 
     /// Value of signal `sig` in state `i`.
     fn value(&self, i: usize, sig: SignalId) -> bool {
@@ -89,9 +166,10 @@ pub trait StateSpace: fmt::Debug + Send + Sync {
             .iter()
             .map(|&(_, s, _)| s)
             .collect();
+        let code = self.decode_code(i);
         let mut out = String::new();
         for s in stg.signals() {
-            out.push(if self.code(i)[s.index()] { '1' } else { '0' });
+            out.push(if code[s.index()] { '1' } else { '0' });
             if excited.contains(&s) {
                 out.push('*');
             }
@@ -101,10 +179,22 @@ pub trait StateSpace: fmt::Debug + Send + Sync {
 
     /// The plain binary code of state `i` as a `0`/`1` string.
     fn plain_code_string(&self, i: usize) -> String {
-        self.code(i)
+        self.decode_code(i)
             .iter()
             .map(|&b| if b { '1' } else { '0' })
             .collect()
+    }
+
+    /// The binary code of state `i`, by value. Unlike [`StateSpace::code`]
+    /// this never requires materialised per-state storage — the
+    /// resident-BDD backend decodes it on demand (through its LRU).
+    fn decode_code(&self, i: usize) -> Vec<bool> {
+        self.code(i).to_vec()
+    }
+
+    /// The marking of state `i`, by value (see [`StateSpace::decode_code`]).
+    fn decode_marking(&self, i: usize) -> Marking {
+        self.marking(i).clone()
     }
 
     /// States whose code equals `code`.
@@ -112,6 +202,256 @@ pub trait StateSpace: fmt::Debug + Send + Sync {
         (0..self.num_states())
             .filter(|&i| self.code(i) == code)
             .collect()
+    }
+
+    // -----------------------------------------------------------------
+    // Set-level queries
+    // -----------------------------------------------------------------
+
+    /// Exact number of reachable states (not saturated).
+    fn marking_count(&self) -> u128 {
+        self.num_states() as u128
+    }
+
+    /// The set of all states.
+    fn all_states(&self) -> StateSet {
+        StateSet::Indices((0..self.num_states()).collect())
+    }
+
+    /// Number of states in a set.
+    fn set_count(&self, set: &StateSet) -> u128 {
+        set.as_indices().len() as u128
+    }
+
+    /// `true` when the set is empty.
+    fn set_is_empty(&self, set: &StateSet) -> bool {
+        self.set_count(set) == 0
+    }
+
+    /// Union of two sets.
+    fn set_union(&self, a: &StateSet, b: &StateSet) -> StateSet {
+        let (a, b) = (a.as_indices(), b.as_indices());
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        merge_sorted(a, b, &mut out);
+        StateSet::Indices(out)
+    }
+
+    /// Intersection of two sets.
+    fn set_intersect(&self, a: &StateSet, b: &StateSet) -> StateSet {
+        let (a, b) = (a.as_indices(), b.as_indices());
+        let mut out = Vec::new();
+        let mut j = 0;
+        for &x in a {
+            while j < b.len() && b[j] < x {
+                j += 1;
+            }
+            if j < b.len() && b[j] == x {
+                out.push(x);
+            }
+        }
+        StateSet::Indices(out)
+    }
+
+    /// Difference `a ∖ b`.
+    fn set_minus(&self, a: &StateSet, b: &StateSet) -> StateSet {
+        let (a, b) = (a.as_indices(), b.as_indices());
+        let mut out = Vec::new();
+        let mut j = 0;
+        for &x in a {
+            while j < b.len() && b[j] < x {
+                j += 1;
+            }
+            if j >= b.len() || b[j] != x {
+                out.push(x);
+            }
+        }
+        StateSet::Indices(out)
+    }
+
+    /// Materialises up to `limit` state indices of a set, ascending. This
+    /// is the witness extractor: set-level consumers only call it on sets
+    /// already known (or expected) to be small.
+    fn set_states(&self, set: &StateSet, limit: usize) -> Vec<usize> {
+        let idx = set.as_indices();
+        idx[..idx.len().min(limit)].to_vec()
+    }
+
+    /// The distinct binary codes of a set's states. Explicit backends
+    /// report them in order of first occurrence (ascending state index);
+    /// the resident-BDD backend in lexicographic code order. Consumers
+    /// needing a canonical order sort the result.
+    fn set_codes(&self, set: &StateSet) -> Vec<Vec<bool>> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for &i in set.as_indices() {
+            let code = self.code(i).to_vec();
+            if seen.insert(code.clone()) {
+                out.push(code);
+            }
+        }
+        out
+    }
+
+    /// Number of distinct codes across the whole space.
+    fn distinct_code_count(&self) -> u128 {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..self.num_states() {
+            seen.insert(self.code(i).to_vec());
+        }
+        seen.len() as u128
+    }
+
+    /// `true` when some code occurs in both sets (the CSC-conflict
+    /// primitive: two states with equal codes in different excitation
+    /// classes).
+    fn sets_share_code(&self, a: &StateSet, b: &StateSet) -> bool {
+        let codes: std::collections::HashSet<Vec<bool>> = a
+            .as_indices()
+            .iter()
+            .map(|&i| self.code(i).to_vec())
+            .collect();
+        b.as_indices().iter().any(|&i| codes.contains(self.code(i)))
+    }
+
+    /// States whose code equals `code`, as a set.
+    fn states_with_code_set(&self, code: &[bool]) -> StateSet {
+        StateSet::Indices(self.states_with_code(code))
+    }
+
+    /// Codes shared by two or more states, each with its (ascending)
+    /// state list, sorted by code — the grist of USC/CSC conflict
+    /// reporting. The resident-BDD backend only decodes witnesses for
+    /// the (typically few) genuinely duplicated codes.
+    fn duplicate_code_classes(&self) -> Vec<(Vec<bool>, Vec<usize>)> {
+        let mut by_code: HashMap<Vec<bool>, Vec<usize>> = HashMap::new();
+        for i in 0..self.num_states() {
+            by_code.entry(self.code(i).to_vec()).or_default().push(i);
+        }
+        let mut out: Vec<(Vec<bool>, Vec<usize>)> = by_code
+            .into_iter()
+            .filter(|(_, states)| states.len() > 1)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The excitation region of `(signal, edge)`: states where some
+    /// transition labelled with that edge is enabled.
+    fn excitation_region(&self, stg: &Stg, signal: SignalId, edge: SignalEdge) -> StateSet {
+        let mut out = Vec::new();
+        for i in 0..self.num_states() {
+            if self
+                .excitations(stg, i)
+                .iter()
+                .any(|&(_, s, e)| s == signal && e == edge)
+            {
+                out.push(i);
+            }
+        }
+        StateSet::Indices(out)
+    }
+
+    /// The states where `signal` has the given value (`ON`/`OFF` sets).
+    fn value_region(&self, signal: SignalId, value: bool) -> StateSet {
+        StateSet::Indices(
+            (0..self.num_states())
+                .filter(|&i| self.code(i)[signal.index()] == value)
+                .collect(),
+        )
+    }
+
+    /// `true` when some reachable state enables no transition.
+    fn has_deadlock(&self) -> bool {
+        !self.ts().deadlocks().is_empty()
+    }
+
+    /// Number of states where `t` and `u` are both enabled and firing `u`
+    /// disables `t` — the persistency primitive, counted per ordered
+    /// transition pair so the report never enumerates states.
+    fn disabling_count(&self, t: TransitionId, u: TransitionId) -> u128 {
+        if t == u {
+            return 0;
+        }
+        let mut count = 0u128;
+        for s in 0..self.num_states() {
+            let Some(next) = self.successor(s, u) else {
+                continue;
+            };
+            if self.successor(s, t).is_some() && self.successor(next, t).is_none() {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// `true` if some path `from → to` (of length ≥ 1) fires neither
+    /// avoided transition — the CSC sweep pruner's reachability probe.
+    fn reaches_avoiding(
+        &self,
+        from: usize,
+        to: usize,
+        avoid: (TransitionId, TransitionId),
+    ) -> bool {
+        let ts = self.ts();
+        let mut visited = vec![false; ts.num_states()];
+        let mut queue = std::collections::VecDeque::new();
+        visited[from] = true;
+        queue.push_back(from);
+        while let Some(s) = queue.pop_front() {
+            for (&t, succ) in ts.successors(s) {
+                if t == avoid.0 || t == avoid.1 {
+                    continue;
+                }
+                if succ == to {
+                    return true;
+                }
+                if !visited[succ] {
+                    visited[succ] = true;
+                    queue.push_back(succ);
+                }
+            }
+        }
+        false
+    }
+
+    /// `true` when this backend answers the set-level queries natively
+    /// (resident symbolic representation) rather than by enumerating
+    /// states. Dispatch hint for consumers that keep a specialised
+    /// enumeration path for explicit backends.
+    fn set_level_native(&self) -> bool {
+        false
+    }
+}
+
+/// Merges two sorted, deduplicated index slices.
+fn merge_sorted(a: &[usize], b: &[usize], out: &mut Vec<usize>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let x = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                i += 1;
+                j += 1;
+                x
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                i += 1;
+                x
+            }
+            (Some(_), Some(&y)) => {
+                j += 1;
+                y
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => unreachable!(),
+        };
+        out.push(x);
     }
 }
 
@@ -143,6 +483,27 @@ impl StateSpace for StateGraph {
     fn backend(&self) -> Backend {
         Backend::Explicit
     }
+
+    fn states_with_code(&self, code: &[bool]) -> Vec<usize> {
+        // Indexed override: one lazily built code → states map instead of
+        // a linear scan per call (hot in CSC conflict detection).
+        self.code_index().get(code).cloned().unwrap_or_default()
+    }
+
+    fn duplicate_code_classes(&self) -> Vec<(Vec<bool>, Vec<usize>)> {
+        let mut out: Vec<(Vec<bool>, Vec<usize>)> = self
+            .code_index()
+            .iter()
+            .filter(|(_, states)| states.len() > 1)
+            .map(|(code, states)| (code.clone(), states.clone()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn distinct_code_count(&self) -> u128 {
+        self.code_index().len() as u128
+    }
 }
 
 /// Selects the engine used to build [`StateSpace`]s.
@@ -151,8 +512,12 @@ pub enum Backend {
     /// Explicit breadth-first reachability ([`StateGraph`], §1.4).
     #[default]
     Explicit,
-    /// BDD-based symbolic traversal ([`SymbolicStateSpace`], §2.2).
+    /// BDD-based symbolic traversal with post-hoc decoding
+    /// ([`SymbolicStateSpace`], §2.2).
     Symbolic,
+    /// Resident-BDD symbolic state space answering set-level queries
+    /// without enumeration ([`SymbolicSetSpace`]).
+    SymbolicSet,
 }
 
 impl Backend {
@@ -162,10 +527,12 @@ impl Backend {
         match self {
             Backend::Explicit => "explicit",
             Backend::Symbolic => "symbolic",
+            Backend::SymbolicSet => "symbolic-set",
         }
     }
 
-    /// Builds the state space of `stg` with this backend.
+    /// Builds the state space of `stg` with this backend, bounded by
+    /// [`DEFAULT_STATE_BOUND`].
     ///
     /// # Errors
     ///
@@ -173,7 +540,7 @@ impl Backend {
     /// nets report boundedness failures, inconsistent specifications
     /// report the offending edge or state.
     pub fn build(self, stg: &Stg) -> Result<Box<dyn StateSpace>, StgError> {
-        self.build_bounded(stg, 1_000_000)
+        self.build_bounded(stg, DEFAULT_STATE_BOUND)
     }
 
     /// Like [`Backend::build`] with an explicit state limit.
@@ -193,7 +560,7 @@ impl Backend {
     ///
     /// Repeated builds of structurally similar STGs (the CSC candidate
     /// sweep: every candidate shares the base net's place layout) pass
-    /// the same [`BuildContext`] so the symbolic backend keeps one BDD
+    /// the same [`BuildContext`] so the symbolic backends keep one BDD
     /// manager — unique table and operation caches included — across
     /// the whole sweep. The produced space is identical to a
     /// fresh-context build; the explicit backend has no scratch and
@@ -211,9 +578,21 @@ impl Backend {
         match self {
             Backend::Explicit => Ok(Box::new(StateGraph::build_bounded(stg, max_states)?)),
             Backend::Symbolic => {
-                let manager = ctx.manager_for(stg.net().num_places());
+                let shared = ctx.manager_for(stg.net().num_places());
+                let mut manager = shared.lock().expect("BDD manager poisoned");
                 Ok(Box::new(SymbolicStateSpace::build_bounded_in(
-                    stg, max_states, manager,
+                    stg,
+                    max_states,
+                    &mut manager,
+                )?))
+            }
+            Backend::SymbolicSet => {
+                // The resident backend's counting is robust to leftover
+                // variables from other shapes, so one manager serves the
+                // whole sweep regardless of candidate shape.
+                let shared = ctx.any_manager();
+                Ok(Box::new(SymbolicSetSpace::build_bounded_in(
+                    stg, max_states, shared,
                 )?))
             }
         }
@@ -222,27 +601,62 @@ impl Backend {
 
 /// Reusable scratch for repeated [`Backend::build_bounded_in`] calls.
 ///
-/// Today this is the symbolic backend's shared BDD manager. Managers
-/// encode one variable pair per place, so reuse is only sound across
+/// Today this is the symbolic backends' shared BDD manager. The
+/// `petri::symbolic` encoding counts markings by dividing out the whole
+/// variable universe, so [`Backend::Symbolic`] reuse is only sound across
 /// nets with the same place count — the context checks and transparently
-/// starts a fresh manager when the shape changes.
+/// starts a fresh manager when the shape changes, and a manager the
+/// resident backend has used (which adds signal variables to the
+/// universe) is never handed back to the decoding backend. The
+/// resident-BDD backend brings its own per-build variable map and
+/// shape-robust counting, so it shares one manager unconditionally.
 #[derive(Debug, Default)]
 pub struct BuildContext {
-    /// `(num_places, manager)` of the manager currently held.
-    manager: Option<(usize, bdd::Manager)>,
+    /// The key the held manager is reusable under: `Some(num_places)`
+    /// for the decoding backend's shape-keyed reuse, `None` once the
+    /// resident backend has grown the variable universe beyond what
+    /// `petri::symbolic`'s counting tolerates.
+    key: Option<usize>,
+    manager: Option<Arc<Mutex<bdd::Manager>>>,
 }
 
 impl BuildContext {
     /// The shared manager for nets with `num_places` places, creating or
-    /// replacing it when the held one was built for a different shape.
-    fn manager_for(&mut self, num_places: usize) -> &mut bdd::Manager {
-        let reusable = matches!(&self.manager, Some((p, _)) if *p == num_places);
-        if !reusable {
-            self.manager = Some((num_places, bdd::Manager::new()));
+    /// replacing it when the held one was built for a different shape
+    /// (or was contaminated by the resident backend's variable map).
+    fn manager_for(&mut self, num_places: usize) -> Arc<Mutex<bdd::Manager>> {
+        if self.key != Some(num_places) || self.manager.is_none() {
+            self.manager = Some(Arc::new(Mutex::new(bdd::Manager::new())));
         }
-        &mut self.manager.as_mut().expect("manager just ensured").1
+        self.key = Some(num_places);
+        Arc::clone(self.manager.as_ref().expect("manager just ensured"))
+    }
+
+    /// The held manager regardless of shape, creating one if necessary
+    /// (the resident-BDD backend's entry point). Marks the manager as
+    /// unusable for the shape-keyed decoding backend, and starts fresh
+    /// once the table has grown past [`MANAGER_RESET_NODES`] — the node
+    /// store never garbage-collects, so a long sweep of rejected
+    /// candidates would otherwise accumulate dead nodes without bound.
+    /// (Spaces already built keep their own `Arc` to the old manager,
+    /// so their handles stay valid.)
+    fn any_manager(&mut self) -> Arc<Mutex<bdd::Manager>> {
+        let oversized = self.manager.as_ref().is_some_and(|m| {
+            m.lock().expect("BDD manager poisoned").node_count() > MANAGER_RESET_NODES
+        });
+        if self.manager.is_none() || oversized {
+            self.manager = Some(Arc::new(Mutex::new(bdd::Manager::new())));
+        }
+        self.key = None;
+        Arc::clone(self.manager.as_ref().expect("manager just ensured"))
     }
 }
+
+/// Node count past which [`BuildContext`] retires a shared resident-BDD
+/// manager instead of handing it to the next build (~tens of MB of
+/// never-collected nodes; memoisation across candidates is a win well
+/// below this).
+const MANAGER_RESET_NODES: usize = 4_000_000;
 
 impl fmt::Display for Backend {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -257,8 +671,9 @@ impl FromStr for Backend {
         match s {
             "explicit" => Ok(Backend::Explicit),
             "symbolic" => Ok(Backend::Symbolic),
+            "symbolic-set" | "symbolic_set" => Ok(Backend::SymbolicSet),
             other => Err(format!(
-                "unknown backend {other:?} (expected \"explicit\" or \"symbolic\")"
+                "unknown backend {other:?} (expected \"explicit\", \"symbolic\" or \"symbolic-set\")"
             )),
         }
     }

@@ -10,6 +10,7 @@
 //! exactly what the backend-parity tests assert.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use bdd::{Bdd, Manager};
 use petri::reach::ReachError;
@@ -39,6 +40,9 @@ pub struct SymbolicStateSpace {
     initial_values: Vec<bool>,
     num_signals: usize,
     stats: SymbolicStats,
+    /// Lazily built code → states index (the `states_with_code` fast
+    /// path, mirroring `StateGraph`'s).
+    code_index: OnceLock<HashMap<Vec<bool>, Vec<usize>>>,
 }
 
 impl SymbolicStateSpace {
@@ -50,7 +54,7 @@ impl SymbolicStateSpace {
     /// boundedness failures for unsafe nets (detected symbolically),
     /// consistency violations from the shared code propagation.
     pub fn build(stg: &Stg) -> Result<Self, StgError> {
-        Self::build_bounded(stg, 1_000_000)
+        Self::build_bounded(stg, crate::state_space::DEFAULT_STATE_BOUND)
     }
 
     /// Like [`SymbolicStateSpace::build`] with an explicit state limit.
@@ -145,6 +149,7 @@ impl SymbolicStateSpace {
             initial_values,
             num_signals: stg.num_signals(),
             stats,
+            code_index: OnceLock::new(),
         })
     }
 
@@ -152,6 +157,11 @@ impl SymbolicStateSpace {
     #[must_use]
     pub fn stats(&self) -> SymbolicStats {
         self.stats
+    }
+
+    fn code_index(&self) -> &HashMap<Vec<bool>, Vec<usize>> {
+        self.code_index
+            .get_or_init(|| crate::state_graph::build_code_index(&self.states))
     }
 }
 
@@ -182,6 +192,25 @@ impl StateSpace for SymbolicStateSpace {
 
     fn backend(&self) -> Backend {
         Backend::Symbolic
+    }
+
+    fn states_with_code(&self, code: &[bool]) -> Vec<usize> {
+        self.code_index().get(code).cloned().unwrap_or_default()
+    }
+
+    fn duplicate_code_classes(&self) -> Vec<(Vec<bool>, Vec<usize>)> {
+        let mut out: Vec<(Vec<bool>, Vec<usize>)> = self
+            .code_index()
+            .iter()
+            .filter(|(_, states)| states.len() > 1)
+            .map(|(code, states)| (code.clone(), states.clone()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn distinct_code_count(&self) -> u128 {
+        self.code_index().len() as u128
     }
 }
 

@@ -44,7 +44,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use petri::reach::ReachError;
-use petri::{TransitionId, TransitionSystem};
+use petri::TransitionId;
 use stg::{Backend, BuildContext, SignalEdge, SignalKind, StateSpace, Stg, StgError};
 
 use crate::par;
@@ -133,11 +133,22 @@ pub struct SweepOptions {
     pub keep_spaces: usize,
 }
 
+/// The default per-candidate state bound of the CSC sweeps.
+///
+/// Deliberately tighter than the single-build default
+/// ([`stg::DEFAULT_STATE_BOUND`], 1 000 000): a sweep builds hundreds of
+/// candidate spaces, and a candidate several times larger than its base
+/// specification is never a useful resolution. Standalone `build` calls
+/// use the larger bound; only this one participates in cache keys
+/// (candidates above it are skipped — and counted, never silently
+/// dropped).
+pub const DEFAULT_SWEEP_BOUND: usize = 200_000;
+
 impl Default for SweepOptions {
     fn default() -> Self {
         SweepOptions {
             threads: 0,
-            bound: 200_000,
+            bound: DEFAULT_SWEEP_BOUND,
             prune: true,
             keep_spaces: 1,
         }
@@ -214,10 +225,15 @@ pub struct Sweep {
 /// the work. (Candidates whose transformed STG fails to build — e.g. the
 /// insertion makes it inconsistent — are rejected by both paths alike.)
 struct ConflictPruner<'a> {
-    ts: &'a TransitionSystem<TransitionId>,
+    space: &'a dyn StateSpace,
     /// CSC-conflicting state pairs of the base space.
     conflicts: Vec<(usize, usize)>,
 }
+
+/// Duplication excess (states beyond distinct codes) above which the
+/// pruner declines to extract conflict witnesses from a resident-BDD
+/// space (see [`ConflictPruner::new`]).
+const PRUNER_WITNESS_LIMIT: u128 = 4096;
 
 /// Per-worker reusable BFS scratch for the pruner: generation-stamped
 /// visited marks plus the work queue, so the per-pair reachability
@@ -233,17 +249,35 @@ impl<'a> ConflictPruner<'a> {
     /// A pruner over the base space's conflicts; `None` when the space
     /// has no CSC conflicts (nothing to reason about — prune nothing).
     fn new(stg: &Stg, space: &'a dyn StateSpace) -> Option<Self> {
+        if space.set_level_native() {
+            // Conflict-pair extraction enumerates every duplicated-code
+            // class; on a huge resident space that is unbounded witness
+            // decoding for what is only a work-saving heuristic — run
+            // the sweep unpruned instead.
+            let excess = space
+                .marking_count()
+                .saturating_sub(space.distinct_code_count());
+            if excess > PRUNER_WITNESS_LIMIT {
+                return None;
+            }
+        }
         let conflicts: Vec<(usize, usize)> = stg::encoding::csc_conflicts(stg, space)
             .into_iter()
             .map(|c| c.states)
             .collect();
-        (!conflicts.is_empty()).then_some(ConflictPruner {
-            ts: space.ts(),
-            conflicts,
-        })
+        (!conflicts.is_empty()).then_some(ConflictPruner { space, conflicts })
     }
 
     /// `true` if some path `from → to` avoids both split transitions.
+    /// Backends that can enumerate run a scratch-reusing BFS over the
+    /// transition structure (for the resident-BDD backend that means its
+    /// small-space materialised view — the pruner fires one probe per
+    /// (pair, conflict, direction), far too hot for per-probe fixed
+    /// points); spaces too large to materialise fall back to the
+    /// backend's symbolic avoid-path query
+    /// ([`StateSpace::reaches_avoiding`]). Both answer the same
+    /// reachability question, so pruning decisions are
+    /// backend-independent.
     fn connects_avoiding(
         &self,
         scratch: &mut PruneScratch,
@@ -252,14 +286,18 @@ impl<'a> ConflictPruner<'a> {
         tp: TransitionId,
         tm: TransitionId,
     ) -> bool {
-        scratch.visited.resize(self.ts.num_states(), 0);
+        if self.space.set_level_native() && self.space.num_states() > stg::MATERIALISE_LIMIT {
+            return self.space.reaches_avoiding(from, to, (tp, tm));
+        }
+        let ts = self.space.ts();
+        scratch.visited.resize(ts.num_states(), 0);
         scratch.stamp += 1;
         let stamp = scratch.stamp;
         scratch.queue.clear();
         scratch.visited[from] = stamp;
         scratch.queue.push_back(from);
         while let Some(s) = scratch.queue.pop_front() {
-            for (&t, succ) in self.ts.successors(s) {
+            for (&t, succ) in ts.successors(s) {
                 if t == tp || t == tm {
                     continue;
                 }
@@ -483,7 +521,7 @@ pub fn insertion_sweep_from(
             if !stg::encoding::has_csc(&candidate, &*csg) {
                 return;
             }
-            if !csg.ts().deadlocks().is_empty() {
+            if csg.has_deadlock() {
                 return;
             }
             if !stg::persistency::is_persistent(&candidate, &*csg) {
@@ -747,7 +785,7 @@ pub fn concurrency_reduction_sweep(
                 }
             };
             let acceptable = stg::encoding::has_csc(&candidate, &*csg)
-                && csg.ts().deadlocks().is_empty()
+                && !csg.has_deadlock()
                 && stg::persistency::is_persistent(&candidate, &*csg)
                 && csg.num_states() < base_states; // must be a reduction
             if !acceptable {
@@ -873,7 +911,7 @@ pub fn resolve_iteratively_sweep(
                 }
             },
         };
-        let conflicts = stg::encoding::csc_conflicts(&current, &*sg).len();
+        let conflicts = stg::encoding::csc_conflict_pair_count(&current, &*sg);
         if conflicts == 0 {
             return (
                 Some(CscResolutionWithSpace {
@@ -1007,13 +1045,13 @@ fn greedy_insertion_step<K: Ord + Copy + Send>(
                 }
                 Err(_) => return,
             };
-            if !csg.ts().deadlocks().is_empty() {
+            if csg.has_deadlock() {
                 return;
             }
             if !stg::persistency::is_persistent(&candidate, &*csg) {
                 return;
             }
-            let remaining = stg::encoding::csc_conflicts(&candidate, &*csg).len();
+            let remaining = stg::encoding::csc_conflict_pair_count(&candidate, &*csg);
             if remaining >= conflicts {
                 return; // must make progress
             }
@@ -1110,7 +1148,7 @@ pub fn resolve_mixed_sweep(
                 }
             },
         };
-        let conflicts = stg::encoding::csc_conflicts(&current, &*sg).len();
+        let conflicts = stg::encoding::csc_conflict_pair_count(&current, &*sg);
         if conflicts == 0 {
             return (
                 Some(CscResolutionWithSpace {
@@ -1217,13 +1255,13 @@ pub fn resolve_mixed_sweep(
                     }
                     Err(_) => return,
                 };
-                if !csg.ts().deadlocks().is_empty() {
+                if csg.has_deadlock() {
                     return;
                 }
                 if !stg::persistency::is_persistent(&cand, &*csg) {
                     return;
                 }
-                let rem = stg::encoding::csc_conflicts(&cand, &*csg).len();
+                let rem = stg::encoding::csc_conflict_pair_count(&cand, &*csg);
                 if rem >= conflicts {
                     return;
                 }

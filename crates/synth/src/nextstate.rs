@@ -10,7 +10,7 @@ use std::fmt;
 use boolmin::{minimize_exact, minimize_heuristic, Cover, Cube, IncompleteFunction};
 use stg::{SignalId, StateSpace, Stg};
 
-use crate::regions::signal_regions;
+use crate::regions::signal_region_sets;
 
 /// Why next-state derivation failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,28 +89,31 @@ pub fn derive_function<S: StateSpace + ?Sized>(
         });
     }
     let n = sg.num_signals();
-    let regions = signal_regions(stg, sg, signal);
-    let mut on_cubes: Vec<Cube> = Vec::new();
-    let mut off_cubes: Vec<Cube> = Vec::new();
+    // Set-level derivation: the function is defined by the *codes* of
+    // `ER(z+) ∪ QR(z+)` (on) and `ER(z−) ∪ QR(z−)` (off) — the resident
+    // backend projects them straight out of the characteristic function,
+    // never touching individual states; explicit backends enumerate the
+    // region sets (each distinct code once, in first-occurrence order,
+    // exactly what the old per-state cube list reduced to).
+    let regions = signal_region_sets(stg, sg, signal);
+    // Canonical (lexicographic) cube order: `set_codes` ordering is
+    // backend-specific and exact minimisation breaks cover-size ties by
+    // input order, so unsorted codes could synthesise different (equally
+    // minimal) equations per backend.
+    let mut on_codes = sg.set_codes(&regions.on_set(sg));
+    on_codes.sort_unstable();
+    let mut off_codes = sg.set_codes(&regions.off_set(sg));
+    off_codes.sort_unstable();
     // Detect contradictions: same code required both on and off.
-    let mut on_codes: std::collections::HashSet<Vec<bool>> = std::collections::HashSet::new();
-    let mut off_codes: std::collections::HashSet<Vec<bool>> = std::collections::HashSet::new();
-    for s in regions.on_states() {
-        let code = sg.code(s).to_vec();
-        on_codes.insert(code.clone());
-        on_cubes.push(Cube::from_minterm(&code));
-    }
-    for s in regions.off_states() {
-        let code = sg.code(s).to_vec();
-        off_codes.insert(code.clone());
-        off_cubes.push(Cube::from_minterm(&code));
-    }
-    if let Some(code) = on_codes.intersection(&off_codes).next() {
+    let off_lookup: std::collections::HashSet<&Vec<bool>> = off_codes.iter().collect();
+    if let Some(code) = on_codes.iter().find(|c| off_lookup.contains(c)) {
         return Err(SynthesisError::CscConflict {
             signal: stg.signal_name(signal).to_owned(),
             code: code.iter().map(|&b| if b { '1' } else { '0' }).collect(),
         });
     }
+    let on_cubes: Vec<Cube> = on_codes.iter().map(|c| Cube::from_minterm(c)).collect();
+    let off_cubes: Vec<Cube> = off_codes.iter().map(|c| Cube::from_minterm(c)).collect();
     let mut on = Cover::from_cubes(n, on_cubes);
     on.remove_contained();
     let mut off = Cover::from_cubes(n, off_cubes);

@@ -3,8 +3,73 @@
 //! *"Given a signal z, we can classify the states of the SG into four sets:
 //! positive and negative excitation regions (ER(z+) and ER(z−)) and
 //! positive and negative quiescent regions (QR(z+) and QR(z−))."*
+//!
+//! Two granularities are provided: [`signal_region_sets`] keeps the four
+//! regions as backend-owned [`StateSet`] handles (cube intersections on
+//! the resident-BDD backend — nothing is enumerated), and
+//! [`signal_regions`] materialises them into index lists for consumers
+//! that genuinely walk states.
 
-use stg::{SignalEdge, SignalId, StateSpace, Stg};
+use stg::{SignalEdge, SignalId, StateSet, StateSpace, Stg};
+
+/// The four-region classification of the state graph for one signal, as
+/// set handles owned by the queried state space.
+#[derive(Debug, Clone)]
+pub struct SignalRegionSets {
+    /// The signal.
+    pub signal: SignalId,
+    /// States where `z = 0` and `z+` is enabled (`0*`).
+    pub er_plus: StateSet,
+    /// States where `z = 1` and `z−` is enabled (`1*`).
+    pub er_minus: StateSet,
+    /// Stable-1 states.
+    pub qr_plus: StateSet,
+    /// Stable-0 states.
+    pub qr_minus: StateSet,
+}
+
+impl SignalRegionSets {
+    /// The on-set of the next-state function: `ER(z+) ∪ QR(z+)`.
+    #[must_use]
+    pub fn on_set<S: StateSpace + ?Sized>(&self, sg: &S) -> StateSet {
+        sg.set_union(&self.er_plus, &self.qr_plus)
+    }
+
+    /// The off-set of the next-state function: `ER(z−) ∪ QR(z−)`.
+    #[must_use]
+    pub fn off_set<S: StateSpace + ?Sized>(&self, sg: &S) -> StateSet {
+        sg.set_union(&self.er_minus, &self.qr_minus)
+    }
+}
+
+/// The four regions of `signal` as set handles: excitation regions are
+/// the signal's enabled-edge sets, quiescent regions the rest of each
+/// value class. On the resident-BDD backend these are four cube
+/// intersections over the characteristic function.
+#[must_use]
+pub fn signal_region_sets<S: StateSpace + ?Sized>(
+    stg: &Stg,
+    sg: &S,
+    signal: SignalId,
+) -> SignalRegionSets {
+    let er_plus_exc = sg.excitation_region(stg, signal, SignalEdge::Rise);
+    let er_minus_exc = sg.excitation_region(stg, signal, SignalEdge::Fall);
+    let on = sg.value_region(signal, true);
+    let off = sg.value_region(signal, false);
+    // A consistent space only excites z+ at value 0 (and z− at 1), but
+    // intersecting keeps the classification exact on any input.
+    let er_plus = sg.set_intersect(&er_plus_exc, &off);
+    let er_minus = sg.set_intersect(&er_minus_exc, &on);
+    let qr_plus = sg.set_minus(&on, &er_minus);
+    let qr_minus = sg.set_minus(&off, &er_plus);
+    SignalRegionSets {
+        signal,
+        er_plus,
+        er_minus,
+        qr_plus,
+        qr_minus,
+    }
+}
 
 /// The four-region classification of the state graph for one signal.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,13 +120,25 @@ impl SignalRegions {
     }
 }
 
-/// Computes the four regions of `signal` over the state graph.
+/// Computes the four regions of `signal` over the state graph, as
+/// materialised index lists (ascending).
 #[must_use]
 pub fn signal_regions<S: StateSpace + ?Sized>(
     stg: &Stg,
     sg: &S,
     signal: SignalId,
 ) -> SignalRegions {
+    if sg.set_level_native() {
+        let sets = signal_region_sets(stg, sg, signal);
+        return SignalRegions {
+            signal,
+            er_plus: sg.set_states(&sets.er_plus, usize::MAX),
+            er_minus: sg.set_states(&sets.er_minus, usize::MAX),
+            qr_plus: sg.set_states(&sets.qr_plus, usize::MAX),
+            qr_minus: sg.set_states(&sets.qr_minus, usize::MAX),
+        };
+    }
+    // Explicit backends: one classification pass.
     let mut r = SignalRegions {
         signal,
         er_plus: Vec::new(),

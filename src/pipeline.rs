@@ -884,6 +884,23 @@ fn synthesize_candidate(
         None => stg::properties::report_from_sg(&spec, &*space),
     };
 
+    // The non-complex architectures and the verification probe walk the
+    // per-state API (`ts()`/`code()`), which the resident-BDD backend
+    // only serves through its small-space materialised view — refuse
+    // with a clean error instead of letting the view's size assertion
+    // abort the process mid-flow.
+    let needs_per_state =
+        !matches!(options.architecture, Architecture::ComplexGate) || !options.skip_verification;
+    if needs_per_state && space.set_level_native() && space.num_states() > stg::MATERIALISE_LIMIT {
+        return Err(PipelineError::Synthesis(format!(
+            "state space has {} states — too large for the resident-BDD backend's \
+             per-state verification/architecture paths (limit {}); re-run with \
+             --no-verify under the complex-gate architecture, or an enumerating backend",
+            space.num_states(),
+            stg::MATERIALISE_LIMIT
+        )));
+    }
+
     // Next-state functions and equations (§3.2).
     let complex = synthesize_complex_gates(&spec, &*space)
         .map_err(|e| PipelineError::Synthesis(e.to_string()))?;
@@ -1188,7 +1205,10 @@ use crate::summary::SynthesisSummary;
 
 /// Schema tag folded into every cache key; bump whenever the meaning of
 /// a cached payload changes so stale entries can never be served.
-pub const CACHE_SCHEMA: &str = "asyncsynth-flow-v1";
+/// (v2: next-state derivation feeds the minimiser deduplicated,
+/// lexicographically sorted code cubes — cover-size ties can resolve
+/// differently than v1's first-occurrence order.)
+pub const CACHE_SCHEMA: &str = "asyncsynth-flow-v2";
 
 /// Which stage's artifact a cache key addresses. Each stage salts its
 /// key with exactly the options that influence its result, so e.g. a

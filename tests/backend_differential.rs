@@ -1,0 +1,446 @@
+//! The differential property-test harness: random safe STGs are run
+//! through all three state-space backends — explicit breadth-first
+//! ([`stg::StateGraph`]), decoding symbolic ([`stg::SymbolicStateSpace`])
+//! and resident-BDD ([`stg::SymbolicSetSpace`]) — and every observable
+//! artifact is required to agree: state counts, code sets, region
+//! partitions, USC/CSC verdicts and conflict-pair counts, persistency,
+//! deadlock-freedom, and the final next-state equations. Error paths are
+//! differential too: bound-exceeded, unsafe-net and inconsistency
+//! failures must produce the same `StgError` variants symbolically as
+//! explicitly.
+//!
+//! The case count honours `PROPTEST_CASES` (default 32 — the CI
+//! `backend-differential` job raises it); generation is deterministic
+//! per test, so failures reproduce without a persistence file.
+
+use proptest::prelude::*;
+use stg::{
+    Backend, SignalEdge, SignalKind, StateSpace, Stg, StgBuilder, StgError, SymbolicSetSpace,
+};
+
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+const BACKENDS: [Backend; 3] = [Backend::Explicit, Backend::Symbolic, Backend::SymbolicSet];
+
+// ---------------------------------------------------------------------
+// Spec generators
+// ---------------------------------------------------------------------
+
+/// A handshake chain: `k` signals closed into one consistent cycle
+/// (`tests/properties.rs`'s shape; roles vary input/output).
+fn handshake_chain(k: usize, roles: &[bool]) -> Stg {
+    let mut b = StgBuilder::new("chain");
+    let sigs: Vec<_> = (0..k)
+        .map(|i| {
+            let kind = if roles[i % roles.len()] {
+                SignalKind::Input
+            } else {
+                SignalKind::Output
+            };
+            b.add_signal(format!("s{i}"), kind)
+        })
+        .collect();
+    let rises: Vec<_> = sigs
+        .iter()
+        .map(|&s| b.add_edge(s, SignalEdge::Rise))
+        .collect();
+    let falls: Vec<_> = sigs
+        .iter()
+        .map(|&s| b.add_edge(s, SignalEdge::Fall))
+        .collect();
+    for i in 0..k - 1 {
+        b.connect(rises[i], rises[i + 1]);
+        b.connect(falls[i], falls[i + 1]);
+    }
+    b.connect(rises[k - 1], falls[0]);
+    let p = b.connect(falls[k - 1], rises[0]);
+    b.mark_place(p, 1);
+    b.build()
+}
+
+/// A free-choice dispatcher with `branches` alternative request/ack
+/// handshakes merging back into the choice place (the choice/merge shape
+/// of Fig. 5 / `petri::generators::choice_ring`, signal-labelled). Each
+/// branch's signals rise and fall exactly once per round, so the STG is
+/// consistent for any parameter choice.
+fn choice_merge(branches: usize, input_requests: bool) -> Stg {
+    let mut b = StgBuilder::new("choice-merge");
+    let choice = b.add_place("choice", 1);
+    let merge = b.add_place("merge", 0);
+    for i in 0..branches {
+        let req_kind = if input_requests {
+            SignalKind::Input
+        } else {
+            SignalKind::Output
+        };
+        let r = b.add_signal(format!("r{i}"), req_kind);
+        let a = b.add_signal(format!("a{i}"), SignalKind::Output);
+        let rp = b.add_edge(r, SignalEdge::Rise);
+        let ap = b.add_edge(a, SignalEdge::Rise);
+        let rm = b.add_edge(r, SignalEdge::Fall);
+        let am = b.add_edge(a, SignalEdge::Fall);
+        b.arc_pt(choice, rp);
+        b.connect(rp, ap);
+        b.connect(ap, rm);
+        b.connect(rm, am);
+        b.arc_tp(am, merge);
+    }
+    let reset = b.add_dummy("reset");
+    b.arc_pt(merge, reset);
+    b.arc_tp(reset, choice);
+    b.build()
+}
+
+/// The combinatorial scale family: the signal-labelled token ring
+/// (`C(2·half, k)` states on a linear net).
+fn token_ring(half: usize, k: usize) -> Stg {
+    stg::examples::token_ring(half, k)
+}
+
+/// One strategy drawing from all three families.
+fn any_spec() -> impl Strategy<Value = Stg> {
+    prop_oneof![
+        (2usize..6, proptest::collection::vec(any::<bool>(), 1..4)).prop_map(|(k, mut roles)| {
+            roles.push(false);
+            handshake_chain(k, &roles)
+        }),
+        (1usize..4, any::<bool>()).prop_map(|(b, inputs)| choice_merge(b, inputs)),
+        (2usize..5, 1usize..5).prop_map(|(half, k)| token_ring(half, k.min(2 * half))),
+    ]
+}
+
+fn build_all(spec: &Stg) -> Vec<Box<dyn StateSpace>> {
+    BACKENDS
+        .iter()
+        .map(|b| {
+            b.build(spec)
+                .unwrap_or_else(|e| panic!("{} build failed on {}: {e}", b, spec.name()))
+        })
+        .collect()
+}
+
+/// The sorted distinct code strings of a state set, via the set-level
+/// API (exercises `set_codes` on every backend).
+fn region_code_set(sg: &dyn StateSpace, set: &stg::StateSet) -> Vec<String> {
+    let mut codes: Vec<String> = sg
+        .set_codes(set)
+        .into_iter()
+        .map(|c| c.iter().map(|&x| if x { '1' } else { '0' }).collect())
+        .collect();
+    codes.sort();
+    codes
+}
+
+// ---------------------------------------------------------------------
+// Agreement properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// State counts, code multisets and the initial code agree.
+    #[test]
+    fn state_counts_and_codes_agree(spec in any_spec()) {
+        let spaces = build_all(&spec);
+        let reference = &spaces[0];
+        for s in &spaces[1..] {
+            prop_assert_eq!(s.num_states(), reference.num_states());
+            prop_assert_eq!(s.marking_count(), reference.marking_count());
+            prop_assert_eq!(s.initial_values(), reference.initial_values());
+            prop_assert_eq!(s.decode_code(0), reference.decode_code(0), "initial code");
+        }
+        let mut expected: Vec<Vec<bool>> = (0..reference.num_states())
+            .map(|i| reference.decode_code(i))
+            .collect();
+        expected.sort();
+        for s in &spaces[1..] {
+            let mut got: Vec<Vec<bool>> = (0..s.num_states()).map(|i| s.decode_code(i)).collect();
+            got.sort();
+            prop_assert_eq!(&got, &expected, "code multiset ({})", s.backend());
+        }
+    }
+
+    /// The four-region partition of every signal agrees: same sizes, same
+    /// code sets, and the regions partition the space.
+    #[test]
+    fn region_partitions_agree(spec in any_spec()) {
+        let spaces = build_all(&spec);
+        let reference = &spaces[0];
+        for signal in spec.signals() {
+            let r0 = synth::regions::signal_region_sets(&spec, &**reference, signal);
+            let parts0 = [&r0.er_plus, &r0.er_minus, &r0.qr_plus, &r0.qr_minus];
+            for s in &spaces[1..] {
+                let r = synth::regions::signal_region_sets(&spec, &**s, signal);
+                let parts = [&r.er_plus, &r.er_minus, &r.qr_plus, &r.qr_minus];
+                let mut total = 0u128;
+                for (p0, p) in parts0.iter().zip(&parts) {
+                    prop_assert_eq!(reference.set_count(p0), s.set_count(p));
+                    prop_assert_eq!(
+                        region_code_set(&**reference, p0),
+                        region_code_set(&**s, p)
+                    );
+                    total += s.set_count(p);
+                }
+                prop_assert_eq!(total, s.marking_count(), "regions partition the space");
+            }
+        }
+    }
+
+    /// The whole implementability report agrees: USC/CSC verdicts,
+    /// conflict-pair counts, persistency, deadlock-freedom.
+    #[test]
+    fn implementability_reports_agree(spec in any_spec()) {
+        let spaces = build_all(&spec);
+        let reference = stg::properties::report_from_sg(&spec, &*spaces[0]);
+        for s in &spaces[1..] {
+            let report = stg::properties::report_from_sg(&spec, &**s);
+            prop_assert_eq!(report.num_states, reference.num_states);
+            prop_assert_eq!(report.unique_state_coding, reference.unique_state_coding);
+            prop_assert_eq!(report.complete_state_coding, reference.complete_state_coding);
+            prop_assert_eq!(report.csc_conflict_pairs, reference.csc_conflict_pairs);
+            prop_assert_eq!(report.persistent, reference.persistent);
+            prop_assert_eq!(report.persistency_violations, reference.persistency_violations);
+            prop_assert_eq!(report.deadlock_free, reference.deadlock_free);
+        }
+    }
+
+    /// CSC conflict *witnesses* agree as code classes, and every
+    /// backend's `states_with_code` index returns consistent counts.
+    #[test]
+    fn conflict_witnesses_and_code_index_agree(spec in any_spec()) {
+        let spaces = build_all(&spec);
+        let reference = &spaces[0];
+        let mut ref_conflicts: Vec<String> = stg::encoding::csc_conflicts(&spec, &**reference)
+            .into_iter()
+            .map(|c| c.code.iter().map(|&x| if x { '1' } else { '0' }).collect())
+            .collect();
+        ref_conflicts.sort();
+        for s in &spaces[1..] {
+            let mut got: Vec<String> = stg::encoding::csc_conflicts(&spec, &**s)
+                .into_iter()
+                .map(|c| c.code.iter().map(|&x| if x { '1' } else { '0' }).collect())
+                .collect();
+            got.sort();
+            prop_assert_eq!(&got, &ref_conflicts, "conflict code classes ({})", s.backend());
+        }
+        for i in 0..reference.num_states() {
+            let code = reference.decode_code(i);
+            let expected = reference.states_with_code(&code).len();
+            for s in &spaces[1..] {
+                prop_assert_eq!(s.states_with_code(&code).len(), expected);
+                prop_assert_eq!(s.set_count(&s.states_with_code_set(&code)), expected as u128);
+            }
+        }
+    }
+
+    /// On CSC-clean specifications all backends synthesise byte-identical
+    /// next-state equations.
+    #[test]
+    fn equations_agree_on_csc_clean_specs(spec in any_spec()) {
+        let spaces = build_all(&spec);
+        prop_assume!(stg::encoding::has_csc(&spec, &*spaces[0]));
+        prop_assume!(!spec.non_input_signals().is_empty());
+        let render = |sg: &dyn StateSpace| -> Vec<String> {
+            synth::nextstate::all_equations(&spec, sg)
+                .expect("CSC-clean spec synthesises")
+                .iter()
+                .map(|e| e.display(&spec))
+                .collect()
+        };
+        let reference = render(&*spaces[0]);
+        for s in &spaces[1..] {
+            prop_assert_eq!(render(&**s), reference.clone(), "equations ({})", s.backend());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Error paths: same `StgError` variants on every backend
+// ---------------------------------------------------------------------
+
+fn build_errors(spec: &Stg, bound: usize) -> Vec<StgError> {
+    BACKENDS
+        .iter()
+        .map(|b| {
+            b.build_bounded(spec, bound)
+                .err()
+                .unwrap_or_else(|| panic!("{b} unexpectedly built {}", spec.name()))
+        })
+        .collect()
+}
+
+#[test]
+fn state_limit_errors_agree() {
+    // 70 states > 16: every backend must cut off mid-traversal.
+    let spec = token_ring(4, 4);
+    for e in build_errors(&spec, 16) {
+        assert!(
+            matches!(e, StgError::Reach(petri::reach::ReachError::StateLimit(16))),
+            "expected StateLimit(16), got {e:?}"
+        );
+    }
+}
+
+#[test]
+fn unsafe_net_errors_agree() {
+    // Firing x+ puts a second token on q: not safe.
+    let mut b = StgBuilder::new("unsafe");
+    let x = b.add_signal("x", SignalKind::Output);
+    let xp = b.add_edge(x, SignalEdge::Rise);
+    let xm = b.add_edge(x, SignalEdge::Fall);
+    let p = b.add_place("p", 1);
+    let q = b.add_place("q", 1);
+    b.arc_pt(p, xp);
+    b.arc_tp(xp, q);
+    b.arc_pt(q, xm);
+    b.arc_tp(xm, p);
+    let spec = b.build();
+    for e in build_errors(&spec, 1_000) {
+        assert!(
+            matches!(
+                e,
+                StgError::Reach(petri::reach::ReachError::BoundExceeded(_))
+            ),
+            "expected BoundExceeded, got {e:?}"
+        );
+    }
+}
+
+#[test]
+fn inconsistent_edge_errors_agree() {
+    // a+ → b+ → a+ cycle: the second a+ fires from value 1.
+    let mut b = StgBuilder::new("inconsistent-edge");
+    let a = b.add_signal("a", SignalKind::Output);
+    let x = b.add_signal("b", SignalKind::Output);
+    let a1 = b.add_edge(a, SignalEdge::Rise);
+    let b1 = b.add_edge(x, SignalEdge::Rise);
+    let a2 = b.add_edge(a, SignalEdge::Rise);
+    b.connect(a1, b1);
+    b.connect(b1, a2);
+    let p = b.connect(a2, a1);
+    b.mark_place(p, 1);
+    let spec = b.build();
+    for e in build_errors(&spec, 1_000) {
+        assert!(
+            matches!(e, StgError::InconsistentEdge { .. }),
+            "expected InconsistentEdge, got {e:?}"
+        );
+    }
+}
+
+#[test]
+fn inconsistent_code_errors_agree() {
+    // One-shot choice whose branches disagree on x at the merge place:
+    // the merge marking is reached with x = 1 and x = 0. No edge ever
+    // fires from a wrong value, so this must surface as the
+    // InconsistentCode variant on every backend.
+    let mut b = StgBuilder::new("inconsistent-code");
+    let x = b.add_signal("x", SignalKind::Output);
+    let xp = b.add_edge(x, SignalEdge::Rise);
+    let skip = b.add_dummy("skip");
+    let choice = b.add_place("choice", 1);
+    let merge = b.add_place("merge", 0);
+    b.arc_pt(choice, xp);
+    b.arc_pt(choice, skip);
+    b.arc_tp(xp, merge);
+    b.arc_tp(skip, merge);
+    let spec = b.build();
+    for e in build_errors(&spec, 1_000) {
+        assert!(
+            matches!(e, StgError::InconsistentCode { .. }),
+            "expected InconsistentCode, got {e:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// The scale probe: a ≥ 10⁶-state build that never materialises
+// ---------------------------------------------------------------------
+
+/// `Backend::SymbolicSet` builds a `C(24,12)` ≈ 2.7 M-state token ring
+/// and answers implementability queries while the observer counters
+/// prove that no state was ever decoded and no explicit view was
+/// materialised. (The explicit backend cannot even represent this space
+/// within the default bound.)
+#[test]
+fn million_state_build_stays_symbolic() {
+    let spec = token_ring(12, 12);
+    let space = SymbolicSetSpace::build_bounded(&spec, 5_000_000)
+        .expect("resident-BDD build of the 2.7M-state ring");
+    assert_eq!(
+        space.num_markings(),
+        2_704_156,
+        "C(24,12) reachable markings"
+    );
+    assert!(space.num_markings() >= 1_000_000);
+    assert_eq!(space.marking_count(), space.num_markings());
+    assert_eq!(
+        space.set_count(&space.all_states()),
+        space.num_markings(),
+        "set-level count of the full space"
+    );
+
+    // Set-level implementability queries at full scale.
+    assert!(
+        !stg::encoding::has_usc(&spec, &space),
+        "2^12 codes < 2.7M states"
+    );
+    assert!(!stg::encoding::has_csc(&spec, &space));
+    assert!(
+        stg::persistency::is_persistent(&spec, &space),
+        "marked-graph ring"
+    );
+    assert!(!space.has_deadlock());
+    for signal in spec.signals().take(3) {
+        let sets = synth::regions::signal_region_sets(&spec, &space, signal);
+        let total = space.set_count(&sets.er_plus)
+            + space.set_count(&sets.er_minus)
+            + space.set_count(&sets.qr_plus)
+            + space.set_count(&sets.qr_minus);
+        assert_eq!(total, space.num_markings(), "regions partition the space");
+    }
+
+    // The memory probe: everything above ran without decoding a single
+    // state or materialising the explicit view.
+    assert_eq!(space.decoded_states(), 0, "no per-state decode happened");
+    assert!(
+        !space.is_materialised(),
+        "no explicit view was materialised"
+    );
+
+    // Witness decode still works — and stays bounded: one block.
+    let code = space.decode_code(1_000_000);
+    assert_eq!(code.len(), spec.num_signals());
+    assert!(space.decoded_states() > 0);
+    assert!(
+        space.decoded_states() <= 512,
+        "one LRU block, not the space"
+    );
+    assert!(!space.is_materialised());
+}
+
+/// Cache keys shard per backend: a result computed by one engine is
+/// never served to another (their event logs and stats differ even when
+/// the circuit is byte-identical).
+#[test]
+fn cache_keys_shard_per_backend() {
+    let spec = stg::examples::vme_read();
+    let keys: Vec<String> = BACKENDS
+        .iter()
+        .map(|&backend| {
+            let options = asyncsynth::SynthesisOptions {
+                backend,
+                ..Default::default()
+            };
+            asyncsynth::cache_key(&spec, &options, asyncsynth::CacheStage::Full).to_hex()
+        })
+        .collect();
+    assert_ne!(keys[0], keys[1]);
+    assert_ne!(keys[1], keys[2]);
+    assert_ne!(keys[0], keys[2]);
+}
