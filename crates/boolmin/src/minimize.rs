@@ -1,56 +1,84 @@
 //! Two-level minimisation: exact (Quine–McCluskey + branch-and-bound
 //! covering) and heuristic (espresso-style expand/irredundant).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
 use crate::cover::Cover;
 use crate::cube::{Cube, Literal};
 use crate::function::IncompleteFunction;
 
-/// All prime implicants of `on ∪ dc`, by iterated consensus with absorption.
+/// All prime implicants of `on ∪ dc`, by recursive complete-sum
+/// computation (Shannon expansion on the most binate variable, unate
+/// covers terminate as their absorbed selves).
 ///
-/// A prime implicant is a maximal cube contained in on ∪ dc. The result is
-/// deterministic (sorted).
+/// A prime implicant is a maximal cube contained in on ∪ dc. The prime
+/// set of a function is canonical, so the result — deterministic,
+/// sorted — is identical to what the previous iterated-consensus
+/// closure produced; the recursion merely avoids that closure's
+/// quadratic passes over combinatorially many intermediate cubes, which
+/// made near-tautological upper bounds (the resubstitution don't-care
+/// sets over extended variable spaces) take minutes instead of
+/// milliseconds.
 #[must_use]
 pub fn primes_of(f: &IncompleteFunction) -> Vec<Cube> {
-    let upper = f.upper_bound();
-    let mut set: BTreeSet<Cube> = upper.cubes().iter().cloned().collect();
-    // Iterated consensus: add consensus terms until closure, keeping the
-    // set absorbed (no cube contained in another).
-    loop {
-        let current: Vec<Cube> = set.iter().cloned().collect();
-        let mut added = false;
-        for i in 0..current.len() {
-            for j in (i + 1)..current.len() {
-                if let Some(c) = current[i].consensus(&current[j]) {
-                    if !set.iter().any(|k| k.covers(&c)) {
-                        set.retain(|k| !c.covers(k));
-                        set.insert(c);
-                        added = true;
-                    }
-                }
-            }
-        }
-        if !added {
-            break;
-        }
-    }
-    // Keep only maximal cubes (absorption already ensures this, but the
-    // retain above can miss transitive cases added in the same pass).
-    let all: Vec<Cube> = set.into_iter().collect();
-    let mut primes = Vec::new();
-    for (i, c) in all.iter().enumerate() {
-        let strictly_covered = all
-            .iter()
-            .enumerate()
-            .any(|(j, k)| j != i && k.covers(c) && k != c);
-        if !strictly_covered {
-            primes.push(c.clone());
-        }
-    }
+    let mut primes = complete_sum(&f.upper_bound());
     primes.sort();
     primes.dedup();
     primes
+}
+
+/// The complete sum (set of all primes) of a cover, recursively.
+fn complete_sum(cover: &Cover) -> Vec<Cube> {
+    let n = cover.num_vars();
+    if cover.cubes().is_empty() {
+        return Vec::new();
+    }
+    let universe = Cube::universe(n);
+    if cover.cubes().contains(&universe) {
+        return vec![universe];
+    }
+    // A unate cover has no consensus terms, so by Quine's complete-sum
+    // theorem its absorbed cubes already are all its primes. (This also
+    // covers unate tautologies: a tautological unate cover must contain
+    // the universe cube, handled above.)
+    let Some(x) = cover.most_binate_var() else {
+        let mut c = cover.clone();
+        c.remove_contained();
+        return c.cubes().to_vec();
+    };
+    let p0 = complete_sum(&cover.cofactor_literal(x, false));
+    let p1 = complete_sum(&cover.cofactor_literal(x, true));
+    // Merge: x'·P0 ∪ x·P1 plus every consensus on x (the pairwise
+    // intersections), then absorb.
+    let mut out: Vec<Cube> = Vec::with_capacity(p0.len() + p1.len());
+    for p in &p0 {
+        for q in &p1 {
+            if let Some(c) = p.intersect(q) {
+                out.push(c);
+            }
+        }
+    }
+    for p in p0 {
+        out.push(p.with(x, Literal::Zero));
+    }
+    for p in p1 {
+        out.push(p.with(x, Literal::One));
+    }
+    absorb(out)
+}
+
+/// Removes duplicate and strictly contained cubes.
+fn absorb(mut cubes: Vec<Cube>) -> Vec<Cube> {
+    // Wider cubes (fewer literals) first: a cube can only be absorbed
+    // by one at least as wide, so one forward pass suffices.
+    cubes.sort_by_key(Cube::literal_count);
+    let mut kept: Vec<Cube> = Vec::with_capacity(cubes.len());
+    for c in cubes {
+        if !kept.iter().any(|k| k.covers(&c)) {
+            kept.push(c);
+        }
+    }
+    kept
 }
 
 /// Exact two-level minimisation of an incompletely specified function.

@@ -20,6 +20,9 @@
 //!   --assume "a<b"                          relative-timing assumption
 //!   --cache DIR                             content-addressed result cache
 //!   --no-verify                             skip exhaustive verification
+//!   --verify-bound N                        composed-state limit of the verifier
+//!   --verify-strategy explicit|composed     spec tracking (default: composed)
+//!   --verify-incremental                    memoising per-cone re-verification
 //!   --json                                  machine-readable output
 //! ```
 //!
@@ -180,6 +183,9 @@ fn synth(spec: &stg::Stg, opts: &[String]) -> Result<(), String> {
             "--assume",
             "--cache",
             "--no-verify",
+            "--verify-bound",
+            "--verify-strategy",
+            "--verify-incremental",
             "--json",
         ],
     )?;
@@ -398,6 +404,9 @@ fn submit(spec_text: &str, opts: &[String]) -> Result<(), String> {
             "--csc-no-prune",
             "--fanin",
             "--no-verify",
+            "--verify-bound",
+            "--verify-strategy",
+            "--verify-incremental",
             "--events",
             "--json",
         ],

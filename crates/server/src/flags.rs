@@ -7,7 +7,10 @@
 
 use std::path::PathBuf;
 
-use asyncsynth::{Architecture, Backend, CscStrategy, SweepOptions, SynthesisOptions};
+use asyncsynth::{
+    Architecture, Backend, CscStrategy, SweepOptions, SynthesisOptions, VerifyOptions,
+    VerifyStrategy,
+};
 
 /// Parsed common flags, with their defaults.
 #[derive(Debug, Clone)]
@@ -33,6 +36,15 @@ pub struct CliFlags {
     pub fanin: Option<usize>,
     /// `--no-verify`: skip the exhaustive verification stage.
     pub no_verify: bool,
+    /// `--verify-bound N`: composed-state limit of the verifier; a hit
+    /// is reported as a bounded (inconclusive) run, never silently.
+    pub verify_bound: Option<usize>,
+    /// `--verify-strategy explicit|composed`: spec-tracking strategy
+    /// (output-neutral; `composed` runs on any backend at any scale).
+    pub verify_strategy: Option<VerifyStrategy>,
+    /// `--verify-incremental`: route re-verification through the
+    /// memoising per-cone engine (the decomposed repair loop).
+    pub verify_incremental: bool,
     /// `--assume "a<b"` relative-timing assumptions (repeatable).
     pub assumptions: Vec<timing::TimingAssumption>,
     /// `--cache DIR`: content-addressed result cache directory.
@@ -61,6 +73,9 @@ impl Default for CliFlags {
             csc_no_prune: false,
             fanin: None,
             no_verify: false,
+            verify_bound: None,
+            verify_strategy: None,
+            verify_incremental: false,
             assumptions: Vec::new(),
             cache_dir: None,
             port: None,
@@ -89,6 +104,14 @@ impl CliFlags {
             },
             max_fanin: self.fanin,
             skip_verification: self.no_verify,
+            verify: {
+                let defaults = VerifyOptions::default();
+                VerifyOptions {
+                    bound: self.verify_bound.unwrap_or(defaults.bound),
+                    strategy: self.verify_strategy.unwrap_or(defaults.strategy),
+                    incremental: self.verify_incremental,
+                }
+            },
         }
     }
 }
@@ -145,6 +168,17 @@ pub fn parse_flags(args: &[String], allowed: &[&str]) -> Result<CliFlags, String
                 );
             }
             "--no-verify" => flags.no_verify = true,
+            "--verify-bound" => {
+                flags.verify_bound = Some(
+                    value(args, &mut i, flag)?
+                        .parse()
+                        .map_err(|_| "bad --verify-bound value")?,
+                );
+            }
+            "--verify-strategy" => {
+                flags.verify_strategy = Some(value(args, &mut i, flag)?.parse()?);
+            }
+            "--verify-incremental" => flags.verify_incremental = true,
             "--assume" => {
                 let v = value(args, &mut i, flag)?;
                 let (a, b) = v
@@ -224,6 +258,52 @@ mod tests {
         let defaults = parse_flags(&[], &[]).expect("parses").options();
         assert_eq!(defaults.sweep, asyncsynth::SweepOptions::default());
         assert!(defaults.sweep.prune);
+    }
+
+    #[test]
+    fn verify_flags_reach_the_options() {
+        let args: Vec<String> = [
+            "--verify-bound",
+            "25000",
+            "--verify-strategy",
+            "explicit",
+            "--verify-incremental",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let flags = parse_flags(
+            &args,
+            &[
+                "--verify-bound",
+                "--verify-strategy",
+                "--verify-incremental",
+            ],
+        )
+        .expect("parses");
+        let options = flags.options();
+        assert_eq!(options.verify.bound, 25_000);
+        assert_eq!(
+            options.verify.strategy,
+            asyncsynth::VerifyStrategy::ExplicitBfs
+        );
+        assert!(options.verify.incremental);
+
+        // Defaults: composed strategy, monolithic engine, 500k bound.
+        let defaults = parse_flags(&[], &[]).expect("parses").options();
+        assert_eq!(defaults.verify, asyncsynth::VerifyOptions::default());
+        assert_eq!(
+            defaults.verify.strategy,
+            asyncsynth::VerifyStrategy::Composed
+        );
+        assert!(
+            parse_flags(
+                &["--verify-strategy".into(), "magic".into()],
+                &["--verify-strategy"]
+            )
+            .is_err(),
+            "unknown strategy rejected"
+        );
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! ```json
 //! {"op":"synth","spec":"<.g text>","backend":"explicit","arch":"complex",
 //!  "csc":"auto","csc_threads":0,"csc_bound":200000,"csc_prune":true,
-//!  "fanin":2,"skip_verification":false,"events":true}
+//!  "fanin":2,"skip_verification":false,"verify_bound":500000,
+//!  "verify_strategy":"composed","verify_incremental":false,"events":true}
 //! {"op":"check","spec":"<.g text>","backend":"symbolic-set"}
 //! {"op":"status"}
 //! {"op":"cancel","job":3}
@@ -175,6 +176,17 @@ fn options_fields(v: &Json) -> Result<SynthesisOptions, String> {
     if let Some(skip) = v.get("skip_verification").and_then(Json::as_bool) {
         options.skip_verification = skip;
     }
+    if let Some(bound) = v.get("verify_bound") {
+        options.verify.bound = bound
+            .as_usize()
+            .ok_or("\"verify_bound\" must be a non-negative integer")?;
+    }
+    if let Some(strategy) = v.get("verify_strategy").and_then(Json::as_str) {
+        options.verify.strategy = strategy.parse()?;
+    }
+    if let Some(incremental) = v.get("verify_incremental").and_then(Json::as_bool) {
+        options.verify.incremental = incremental;
+    }
     Ok(options)
 }
 
@@ -185,7 +197,12 @@ fn option_pairs(options: &SynthesisOptions) -> Vec<(&'static str, Json)> {
         ("csc", Json::str(options.csc.name())),
         ("csc_threads", Json::num(options.sweep.threads)),
         ("csc_bound", Json::num(options.sweep.bound)),
+        ("verify_bound", Json::num(options.verify.bound)),
+        ("verify_strategy", Json::str(options.verify.strategy.name())),
     ];
+    if options.verify.incremental {
+        pairs.push(("verify_incremental", Json::Bool(true)));
+    }
     if !options.sweep.prune {
         pairs.push(("csc_prune", Json::Bool(false)));
     }
@@ -432,6 +449,11 @@ mod tests {
                         prune: false,
                         ..Default::default()
                     },
+                    verify: asyncsynth::VerifyOptions {
+                        bound: 25_000,
+                        strategy: asyncsynth::VerifyStrategy::ExplicitBfs,
+                        incremental: true,
+                    },
                     ..Default::default()
                 },
                 events: true,
@@ -467,6 +489,29 @@ mod tests {
             }
             other => panic!("wrong request {other:?}"),
         }
+    }
+
+    #[test]
+    fn verify_options_round_trip_on_the_wire() {
+        let line = "{\"op\":\"synth\",\"spec\":\"x\",\"verify_bound\":1234,\
+                    \"verify_strategy\":\"explicit\",\"verify_incremental\":true}";
+        let req = Request::parse_line(line).expect("parses");
+        match req {
+            Request::Synth { options, .. } => {
+                assert_eq!(options.verify.bound, 1234);
+                assert_eq!(
+                    options.verify.strategy,
+                    asyncsynth::VerifyStrategy::ExplicitBfs
+                );
+                assert!(options.verify.incremental);
+            }
+            other => panic!("wrong request {other:?}"),
+        }
+        assert!(
+            Request::parse_line("{\"op\":\"synth\",\"spec\":\"x\",\"verify_strategy\":\"magic\"}")
+                .is_err(),
+            "unknown strategy rejected"
+        );
     }
 
     #[test]

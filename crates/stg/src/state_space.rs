@@ -197,6 +197,15 @@ pub trait StateSpace: fmt::Debug + Send + Sync {
         self.marking(i).clone()
     }
 
+    /// The initial marking (state `0`'s marking). Unlike
+    /// [`StateSpace::marking`] this never requires materialised
+    /// per-state storage — the resident-BDD backend serves it from the
+    /// net, so the composed verification engine can anchor its
+    /// marking-tracked exploration on any backend at any scale.
+    fn initial_marking(&self) -> Marking {
+        self.marking(0).clone()
+    }
+
     /// States whose code equals `code`.
     fn states_with_code(&self, code: &[bool]) -> Vec<usize> {
         (0..self.num_states())

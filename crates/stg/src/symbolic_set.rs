@@ -780,6 +780,13 @@ impl StateSpace for SymbolicSetSpace {
         self.decode(i).0
     }
 
+    fn initial_marking(&self) -> Marking {
+        // Straight from the net — no view materialisation, no decode:
+        // this is what lets composed verification anchor on a resident
+        // space of any size.
+        self.net.initial_marking()
+    }
+
     fn successor(&self, state: usize, t: TransitionId) -> Option<usize> {
         let (marking, _) = self.decode(state);
         let next = self.net.fire(&marking, t)?;

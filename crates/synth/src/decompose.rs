@@ -272,17 +272,35 @@ pub fn resubstitute<S: stg::StateSpace + ?Sized>(
     let num_ext = num_signals + internal_nets.len();
 
     // Extended code per SG state: settle internal nets combinationally.
+    // Internal-net membership is a bitmask and the fixed point stops at
+    // the first unchanged sweep (the settled-internal computation is the
+    // inner loop of the whole repair path — it runs once per SG state).
+    let is_internal = {
+        let mut mask = vec![false; netlist.num_nets()];
+        for n in &internal_nets {
+            mask[n.index()] = true;
+        }
+        mask
+    };
     let extended_code = |state: usize| -> Vec<bool> {
         let mut values = vec![false; netlist.num_nets()];
         for s in stg.signals() {
             values[dec.signal_net(s).index()] = sg.value(state, s);
         }
         for _ in 0..netlist.num_gates() + 1 {
+            let mut changed = false;
             for g in 0..netlist.num_gates() {
                 let out = netlist.gates()[g].output;
-                if internal_nets.contains(&out) {
-                    values[out.index()] = netlist.next_value(&values, g);
+                if is_internal[out.index()] {
+                    let nv = netlist.next_value(&values, g);
+                    if values[out.index()] != nv {
+                        values[out.index()] = nv;
+                        changed = true;
+                    }
                 }
+            }
+            if !changed {
+                break;
             }
         }
         let mut code: Vec<bool> = stg

@@ -323,6 +323,10 @@ pub fn monotonic_violations<S: StateSpace + ?Sized>(
             (true, &c.set, &regions.er_plus),
             (false, &c.reset, &regions.er_minus),
         ] {
+            // Region membership as a set: the arc scan below tests every
+            // SG arc against it, so a linear `contains` per endpoint
+            // turns the check quadratic on big regions.
+            let er: std::collections::HashSet<usize> = er.iter().copied().collect();
             for (from, _t, to) in sg.ts().arcs() {
                 if er.contains(from) && er.contains(to) {
                     let vf = cover.covers_minterm(sg.code(*from));

@@ -1,33 +1,44 @@
-//! Muller-model composition of a netlist with its STG environment.
+//! Report types of the Muller-model composition checker, plus the
+//! classic `verify_circuit` entry points (thin wrappers over
+//! [`crate::engine`]).
 
-use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
-use petri::TransitionId;
-use stg::{SignalKind, StateSpace, Stg};
+use stg::{StateSpace, Stg};
 use synth::{NetId, Netlist};
 
-/// One composed state: specification state (index into the spec state
-/// graph) plus the boolean value of every net.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct CircuitState {
-    /// Index into the specification state graph.
-    pub spec_state: usize,
-    /// Net values, indexed by net id.
-    pub values: Vec<bool>,
-}
+use crate::engine::{verify_with, VerifyOptions};
 
-/// An event of the composed system, for witness reporting.
+/// A decoded composed state, attached to every hazard and conformance
+/// witness so reports are actionable straight from the CLI/JSON output
+/// (no opaque internal state indices to chase).
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Event {
-    /// The environment fired a specification input transition.
-    Input(TransitionId),
-    /// Gate `g` switched its output.
-    Gate(usize),
+pub struct WitnessState {
+    /// Every net's value at the offending composed state, in net-id
+    /// order (signals and decomposition internals alike).
+    pub nets: Vec<(String, bool)>,
+    /// The specification code at that state — the projection of the net
+    /// values onto the signal nets, as a `0`/`1` string in signal
+    /// order.
+    pub spec_code: String,
 }
 
-/// A semimodularity (hazard) witness: gate `gate` was excited, event
-/// `by` fired, and the gate lost its excitation without switching.
+impl fmt::Display for WitnessState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "code {} [", self.spec_code)?;
+        for (i, (name, value)) in self.nets.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{name}={}", u8::from(*value))?;
+        }
+        f.write_str("]")
+    }
+}
+
+/// A semimodularity (hazard) witness: gate `gate_output` was excited,
+/// the event in `caused_by` fired, and the gate lost its excitation
+/// without switching.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HazardWitness {
     /// Index of the composed state (exploration order).
@@ -36,6 +47,8 @@ pub struct HazardWitness {
     pub gate_output: String,
     /// Description of the event that caused the de-excitation.
     pub caused_by: String,
+    /// The decoded composed state the hazard was observed in.
+    pub witness: WitnessState,
 }
 
 /// A conformance violation.
@@ -48,6 +61,8 @@ pub enum Violation {
         signal: String,
         /// Composed state index.
         state: usize,
+        /// The decoded composed state.
+        witness: WitnessState,
     },
     /// A stable circuit state (no excited gate) while the specification
     /// still expects non-input activity.
@@ -56,26 +71,38 @@ pub enum Violation {
         state: usize,
         /// The expected-but-unproducible spec labels.
         expected: Vec<String>,
+        /// The decoded composed state.
+        witness: WitnessState,
     },
     /// Internal nets failed to settle from the initial signal values.
     UnsettledInitialState,
-    /// The exploration hit the state limit.
+    /// The exploration hit the composed-state limit
+    /// ([`crate::VerifyOptions::bound`]); the run is *bounded*, not
+    /// failed — the pipeline surfaces it as a distinct `FlowEvent`.
     StateLimit(usize),
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Violation::UnexpectedOutput { signal, state } => {
+            Violation::UnexpectedOutput {
+                signal,
+                state,
+                witness,
+            } => {
                 write!(
                     f,
-                    "unexpected output transition on {signal} in composed state {state}"
+                    "unexpected output transition on {signal} in composed state {state} ({witness})"
                 )
             }
-            Violation::OutputStuck { state, expected } => {
+            Violation::OutputStuck {
+                state,
+                expected,
+                witness,
+            } => {
                 write!(
                     f,
-                    "circuit stable in state {state} but spec expects {}",
+                    "circuit stable in state {state} ({witness}) but spec expects {}",
                     expected.join(", ")
                 )
             }
@@ -88,13 +115,14 @@ impl fmt::Display for Violation {
 }
 
 /// Outcome of the composed exploration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerificationReport {
     /// Hazards (semimodularity violations).
     pub hazards: Vec<HazardWitness>,
     /// Conformance violations.
     pub violations: Vec<Violation>,
-    /// Number of composed states explored.
+    /// Number of composed states explored (under the incremental
+    /// engine: summed over the explored cones).
     pub states_explored: usize,
 }
 
@@ -103,6 +131,15 @@ impl VerificationReport {
     #[must_use]
     pub fn is_speed_independent(&self) -> bool {
         self.hazards.is_empty() && self.violations.is_empty()
+    }
+
+    /// `true` when the exploration was cut by the state bound — the
+    /// verdict is then *inconclusive*, not a proven failure.
+    #[must_use]
+    pub fn hit_state_limit(&self) -> bool {
+        self.violations
+            .iter()
+            .any(|v| matches!(v, Violation::StateLimit(_)))
     }
 
     /// A one-line summary.
@@ -125,7 +162,8 @@ impl VerificationReport {
 }
 
 /// Verifies a netlist against its STG specification by exhaustive
-/// exploration of the composed state space.
+/// exploration of the composed state space, under the default
+/// [`VerifyOptions`] (composed spec tracking, 500 000-state bound).
 ///
 /// `signal_nets[i]` must be the net carrying signal `i` of the STG;
 /// non-input signals must be gate outputs, inputs must be primary inputs.
@@ -142,7 +180,7 @@ pub fn verify_circuit<S: StateSpace + ?Sized>(
     netlist: &Netlist,
     signal_nets: &[NetId],
 ) -> VerificationReport {
-    verify_circuit_bounded(stg, sg, netlist, signal_nets, 500_000)
+    verify_with(stg, sg, netlist, signal_nets, &VerifyOptions::default())
 }
 
 /// [`verify_circuit`] with an explicit composed-state limit.
@@ -158,230 +196,11 @@ pub fn verify_circuit_bounded<S: StateSpace + ?Sized>(
     signal_nets: &[NetId],
     max_states: usize,
 ) -> VerificationReport {
-    assert!(signal_nets.len() >= stg.num_signals());
-    let mut report = VerificationReport {
-        hazards: Vec::new(),
-        violations: Vec::new(),
-        states_explored: 0,
-    };
-    // Which net corresponds to which signal (reverse map), and which nets
-    // are spec-tracked non-inputs.
-    let mut net_signal: Vec<Option<stg::SignalId>> = vec![None; netlist.num_nets()];
-    for s in stg.signals() {
-        net_signal[signal_nets[s.index()].index()] = Some(s);
-    }
-
-    // Initial values: signals from the SG, internals settled.
-    let mut init = vec![false; netlist.num_nets()];
-    for s in stg.signals() {
-        init[signal_nets[s.index()].index()] = sg.value(0, s);
-    }
-    if !settle_internals(netlist, &net_signal, &mut init) {
-        report.violations.push(Violation::UnsettledInitialState);
-        return report;
-    }
-
-    let start = CircuitState {
-        spec_state: 0,
-        values: init,
-    };
-    let mut index: HashMap<CircuitState, usize> = HashMap::new();
-    index.insert(start.clone(), 0);
-    let mut states = vec![start];
-    let mut queue = VecDeque::new();
-    queue.push_back(0usize);
-
-    while let Some(si) = queue.pop_front() {
-        let state = states[si].clone();
-        let events = enabled_events(stg, sg, netlist, &net_signal, &state);
-        // Conformance: stability vs expected outputs.
-        let gate_events: Vec<&Event> = events
-            .iter()
-            .filter(|e| matches!(e, Event::Gate(_)))
-            .collect();
-        if gate_events.is_empty() {
-            let expected: Vec<String> = sg
-                .ts()
-                .enabled_labels(state.spec_state)
-                .into_iter()
-                .filter(|&t| {
-                    stg.label(t)
-                        .is_some_and(|l| stg.signal_kind(l.signal).is_non_input())
-                })
-                .map(|t| stg.label_string(t))
-                .collect();
-            if !expected.is_empty() {
-                report.violations.push(Violation::OutputStuck {
-                    state: si,
-                    expected,
-                });
-            }
-        }
-        // Fire each event; check conformance and semimodularity.
-        let excited_before = netlist.excited_gates(&state.values);
-        for event in &events {
-            let Some(next) = apply_event(stg, sg, netlist, &net_signal, &state, event) else {
-                // An excited spec-tracked gate with no matching spec arc.
-                if let Event::Gate(g) = event {
-                    let name = netlist.net_name(netlist.gates()[*g].output).to_owned();
-                    report.violations.push(Violation::UnexpectedOutput {
-                        signal: name,
-                        state: si,
-                    });
-                }
-                continue;
-            };
-            // Semimodularity: every gate excited before (other than the
-            // one that fired) must stay excited.
-            for &g in &excited_before {
-                if let Event::Gate(fg) = event {
-                    if *fg == g {
-                        continue;
-                    }
-                }
-                if !netlist.gate_excited(&next.values, g) {
-                    report.hazards.push(HazardWitness {
-                        state: si,
-                        gate_output: netlist.net_name(netlist.gates()[g].output).to_owned(),
-                        caused_by: describe_event(stg, netlist, event),
-                    });
-                }
-            }
-            // Enqueue.
-            if !index.contains_key(&next) {
-                if states.len() >= max_states {
-                    report.violations.push(Violation::StateLimit(max_states));
-                    report.states_explored = states.len();
-                    return report;
-                }
-                index.insert(next.clone(), states.len());
-                queue.push_back(states.len());
-                states.push(next);
-            }
-        }
-    }
-    report.states_explored = states.len();
-    // Deduplicate hazard witnesses by (gate, cause) to keep reports short.
-    report.hazards.sort_by(|a, b| {
-        (&a.gate_output, &a.caused_by, a.state).cmp(&(&b.gate_output, &b.caused_by, b.state))
-    });
-    report
-        .hazards
-        .dedup_by(|a, b| a.gate_output == b.gate_output && a.caused_by == b.caused_by);
-    report
-}
-
-/// Settles all internal (non-signal) nets; `false` if they oscillate.
-fn settle_internals(
-    netlist: &Netlist,
-    net_signal: &[Option<stg::SignalId>],
-    values: &mut [bool],
-) -> bool {
-    for _ in 0..=netlist.num_gates() {
-        let mut changed = false;
-        for g in 0..netlist.num_gates() {
-            let out = netlist.gates()[g].output;
-            if net_signal[out.index()].is_none() {
-                let nv = netlist.next_value(values, g);
-                if values[out.index()] != nv {
-                    values[out.index()] = nv;
-                    changed = true;
-                }
-            }
-        }
-        if !changed {
-            return true;
-        }
-    }
-    false
-}
-
-fn enabled_events<S: StateSpace + ?Sized>(
-    stg: &Stg,
-    sg: &S,
-    netlist: &Netlist,
-    _net_signal: &[Option<stg::SignalId>],
-    state: &CircuitState,
-) -> Vec<Event> {
-    let mut events = Vec::new();
-    // Environment: spec-enabled input transitions.
-    for t in sg.ts().enabled_labels(state.spec_state) {
-        if stg
-            .label(t)
-            .is_some_and(|l| stg.signal_kind(l.signal) == SignalKind::Input)
-        {
-            events.push(Event::Input(t));
-        }
-    }
-    // Circuit: excited gates.
-    for g in netlist.excited_gates(&state.values) {
-        events.push(Event::Gate(g));
-    }
-    events
-}
-
-/// Applies an event; `None` when a spec-tracked gate fires without a
-/// matching specification arc (conformance failure).
-fn apply_event<S: StateSpace + ?Sized>(
-    stg: &Stg,
-    sg: &S,
-    netlist: &Netlist,
-    net_signal: &[Option<stg::SignalId>],
-    state: &CircuitState,
-    event: &Event,
-) -> Option<CircuitState> {
-    match event {
-        Event::Input(t) => {
-            let next_spec = sg.successor(state.spec_state, *t).expect("enabled");
-            let label = stg.label(*t).expect("input transitions are labelled");
-            let mut values = state.values.clone();
-            // Find the input net of this signal.
-            let net = (0..values.len())
-                .find(|&i| net_signal[i] == Some(label.signal))
-                .expect("signal has a net");
-            values[net] = label.edge.value_after();
-            Some(CircuitState {
-                spec_state: next_spec,
-                values,
-            })
-        }
-        Event::Gate(g) => {
-            let out = netlist.gates()[*g].output;
-            let new_value = !state.values[out.index()];
-            let mut values = state.values.clone();
-            values[out.index()] = new_value;
-            match net_signal[out.index()] {
-                None => Some(CircuitState {
-                    spec_state: state.spec_state,
-                    values,
-                }),
-                Some(sig) => {
-                    // The spec must allow this edge here.
-                    let arc = sg
-                        .ts()
-                        .enabled_labels(state.spec_state)
-                        .into_iter()
-                        .find(|&t| {
-                            stg.label(t).is_some_and(|l| {
-                                l.signal == sig && l.edge.value_after() == new_value
-                            })
-                        })?;
-                    let next_spec = sg.successor(state.spec_state, arc).expect("enabled");
-                    Some(CircuitState {
-                        spec_state: next_spec,
-                        values,
-                    })
-                }
-            }
-        }
-    }
-}
-
-fn describe_event(stg: &Stg, netlist: &Netlist, event: &Event) -> String {
-    match event {
-        Event::Input(t) => format!("input {}", stg.label_string(*t)),
-        Event::Gate(g) => {
-            format!("gate {}", netlist.net_name(netlist.gates()[*g].output))
-        }
-    }
+    verify_with(
+        stg,
+        sg,
+        netlist,
+        signal_nets,
+        &VerifyOptions::default().with_bound(max_states),
+    )
 }

@@ -1,0 +1,663 @@
+//! The composed-space verification engine.
+//!
+//! One breadth-first core explores the Muller-model composition of a
+//! gate netlist with its STG environment over a *packed* state
+//! representation — bit-packed net values plus an interned spec-state
+//! id — and two interchangeable spec trackers decide how the
+//! specification side of each composed state is followed:
+//!
+//! * [`VerifyStrategy::ExplicitBfs`] — the seed behaviour: the spec is
+//!   tracked by its dense state-graph id through the per-state
+//!   [`StateSpace::ts`] transition structure. Requires a materialising
+//!   backend.
+//! * [`VerifyStrategy::Composed`] — the spec is tracked as a
+//!   `(marking, code)` pair: markings are interned on the fly and
+//!   successors come from replaying the Petri-net token game, so the
+//!   strategy runs against *any* backend — including resident
+//!   [`stg::SymbolicSetSpace`] spaces far above the materialise limit,
+//!   which only contribute their [`StateSpace::initial_marking`] and
+//!   [`StateSpace::initial_values`]. (The code half of the pair needs
+//!   no storage of its own: along every composed path the values of the
+//!   signal nets *are* the spec code, by the consistency invariant.)
+//!
+//! Both strategies enumerate events in transition-id order, so they
+//! explore the identical composed space in the identical order: reports
+//! and `states_explored` are byte-for-byte equal (asserted by
+//! `tests/verify_parity.rs`).
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::str::FromStr;
+
+use petri::{Marking, TransitionId};
+use stg::{SignalId, SignalKind, StateSpace, Stg};
+use synth::{NetId, Netlist};
+
+use crate::circuit::{HazardWitness, VerificationReport, Violation, WitnessState};
+
+/// One spec state's enabled `(transition, successor)` arcs, sorted by
+/// transition id.
+type SpecArcs = Box<[(TransitionId, u32)]>;
+
+/// The default composed-state limit of [`crate::verify_circuit`] (the
+/// seed's hard-coded `500_000`, now configurable per run through
+/// [`VerifyOptions::bound`] and salted into the flow's result-cache
+/// key).
+pub const DEFAULT_VERIFY_BOUND: usize = 500_000;
+
+/// How the specification side of the composed exploration is tracked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VerifyStrategy {
+    /// Track the spec by explicit state-graph ids over
+    /// [`StateSpace::ts`] (the seed behaviour; needs a materialising
+    /// backend).
+    ExplicitBfs,
+    /// Track the spec as interned `(marking, code)` pairs via the token
+    /// game — backend-agnostic, the default.
+    #[default]
+    Composed,
+}
+
+impl VerifyStrategy {
+    /// The strategy's canonical CLI/protocol name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            VerifyStrategy::ExplicitBfs => "explicit",
+            VerifyStrategy::Composed => "composed",
+        }
+    }
+}
+
+impl fmt::Display for VerifyStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for VerifyStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "explicit" | "explicit-bfs" => Ok(VerifyStrategy::ExplicitBfs),
+            "composed" => Ok(VerifyStrategy::Composed),
+            other => Err(format!(
+                "unknown verify strategy {other:?} (expected \"explicit\" or \"composed\")"
+            )),
+        }
+    }
+}
+
+/// Configuration of one verification run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyOptions {
+    /// Composed-state limit; hitting it reports
+    /// [`Violation::StateLimit`] (and the pipeline additionally emits a
+    /// bounded-verification `FlowEvent`, so an inconclusive bounded run
+    /// is never conflated with a real failure).
+    pub bound: usize,
+    /// Spec-tracking strategy. Output-neutral (parity-tested), so it
+    /// stays out of result-cache keys, like the CSC sweep's thread
+    /// count.
+    pub strategy: VerifyStrategy,
+    /// Route the flow's verification through the memoising
+    /// [`crate::IncrementalVerifier`]: identical circuits are served
+    /// from a digest-keyed report cache, and the spec tracker plus the
+    /// settled-internal initial fixed point are reused across circuit
+    /// variants. Reports are byte-identical to the monolithic engine's
+    /// (parity-tested), so this flag — like the strategy — stays out of
+    /// result-cache keys.
+    pub incremental: bool,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            bound: DEFAULT_VERIFY_BOUND,
+            strategy: VerifyStrategy::default(),
+            incremental: false,
+        }
+    }
+}
+
+impl VerifyOptions {
+    /// This configuration with a different bound.
+    #[must_use]
+    pub fn with_bound(mut self, bound: usize) -> Self {
+        self.bound = bound;
+        self
+    }
+
+    /// This configuration with a different strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: VerifyStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// This configuration with the incremental engine toggled.
+    #[must_use]
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
+    }
+}
+
+/// Verifies `netlist` against `stg` under explicit options. The
+/// engine-level entry point behind [`crate::verify_circuit`]; see that
+/// function for the contract on `signal_nets`.
+///
+/// This always runs one full exploration — the memoising incremental
+/// layer needs state across calls and lives in
+/// [`crate::IncrementalVerifier`].
+///
+/// # Panics
+///
+/// Panics if `signal_nets` is shorter than the STG's signal count, and
+/// — for [`VerifyStrategy::ExplicitBfs`] only — when the backend cannot
+/// serve the per-state `ts()` view (resident spaces above the
+/// materialise limit).
+#[must_use]
+pub fn verify_with<S: StateSpace + ?Sized>(
+    stg: &Stg,
+    sg: &S,
+    netlist: &Netlist,
+    signal_nets: &[NetId],
+    options: &VerifyOptions,
+) -> VerificationReport {
+    let Some(init) = settle_initial(stg, sg, netlist, signal_nets) else {
+        return unsettled_report();
+    };
+    let mut tracker = SpecTracker::new(options.strategy, sg);
+    explore(stg, sg, netlist, signal_nets, options, &mut tracker, init)
+}
+
+/// The report of a circuit whose internal nets oscillate before any
+/// input arrives.
+pub(crate) fn unsettled_report() -> VerificationReport {
+    VerificationReport {
+        hazards: Vec::new(),
+        violations: vec![Violation::UnsettledInitialState],
+        states_explored: 0,
+    }
+}
+
+/// The initial composed net values: signal nets from the space's
+/// initial code, internal nets settled to their combinational fixed
+/// point. `None` when the internals oscillate. This fixed point depends
+/// only on the specification's initial values and the internal gates —
+/// not on the output gates — which is exactly what lets
+/// [`crate::IncrementalVerifier`] reuse it across circuit variants that
+/// only rewired their outputs.
+pub(crate) fn settle_initial<S: StateSpace + ?Sized>(
+    stg: &Stg,
+    sg: &S,
+    netlist: &Netlist,
+    signal_nets: &[NetId],
+) -> Option<Vec<bool>> {
+    let mut net_signal: Vec<Option<SignalId>> = vec![None; netlist.num_nets()];
+    for s in stg.signals() {
+        net_signal[signal_nets[s.index()].index()] = Some(s);
+    }
+    let mut init = vec![false; netlist.num_nets()];
+    let initial_values = sg.initial_values();
+    for s in stg.signals() {
+        init[signal_nets[s.index()].index()] = initial_values[s.index()];
+    }
+    settle_internals(netlist, &net_signal, &mut init).then_some(init)
+}
+
+/// A hazard recorded during exploration, before dedup and witness
+/// decoding.
+struct RawHazard {
+    state: u32,
+    gate: usize,
+    caused_by: String,
+}
+
+/// A violation recorded during exploration, before witness decoding.
+enum RawViolation {
+    UnexpectedOutput { signal: String, state: u32 },
+    OutputStuck { state: u32, expected: Vec<String> },
+    StateLimit(usize),
+}
+
+/// One composed exploration from a pre-settled initial state, over a
+/// (possibly reused) spec tracker. Spec-driven (environment) events are
+/// the input-signal transitions; every other signal must be driven by a
+/// gate of `netlist`.
+pub(crate) fn explore<S: StateSpace + ?Sized>(
+    stg: &Stg,
+    sg: &S,
+    netlist: &Netlist,
+    signal_nets: &[NetId],
+    options: &VerifyOptions,
+    tracker: &mut SpecTracker,
+    init: Vec<bool>,
+) -> VerificationReport {
+    assert!(signal_nets.len() >= stg.num_signals());
+    let mut hazards: Vec<RawHazard> = Vec::new();
+    let mut violations: Vec<RawViolation> = Vec::new();
+    // Reverse map: which net carries which signal.
+    let mut net_signal: Vec<Option<SignalId>> = vec![None; netlist.num_nets()];
+    for s in stg.signals() {
+        net_signal[signal_nets[s.index()].index()] = Some(s);
+    }
+    let env: Vec<bool> = stg
+        .signals()
+        .map(|s| stg.signal_kind(s) == SignalKind::Input)
+        .collect();
+
+    let mut arena = StateArena::new(netlist.num_nets());
+    let start = arena.intern(tracker.initial(), &init);
+    debug_assert_eq!(start, 0);
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    queue.push_back(0);
+
+    'bfs: while let Some(si) = queue.pop_front() {
+        let (spec, values) = arena.unpack(si);
+        let arcs = tracker.arcs(stg, sg, spec);
+        let excited = netlist.excited_gates(&values);
+
+        // Conformance: stability vs expected (gate-tracked) activity.
+        if excited.is_empty() {
+            let expected: Vec<String> = arcs
+                .iter()
+                .filter_map(|&(t, _)| {
+                    stg.label(t)
+                        .filter(|l| !env[l.signal.index()])
+                        .map(|_| stg.label_string(t))
+                })
+                .collect();
+            if !expected.is_empty() {
+                violations.push(RawViolation::OutputStuck {
+                    state: si,
+                    expected,
+                });
+            }
+        }
+
+        // Semimodularity for one applied event: every gate excited
+        // before it (other than the one that fired) must stay excited.
+        let check_hazards = |hazards: &mut Vec<RawHazard>,
+                             fired: Option<usize>,
+                             next: &[bool],
+                             cause: &dyn Fn() -> String| {
+            for &g in &excited {
+                if Some(g) == fired {
+                    continue;
+                }
+                if !netlist.gate_excited(next, g) {
+                    hazards.push(RawHazard {
+                        state: si,
+                        gate: g,
+                        caused_by: cause(),
+                    });
+                }
+            }
+        };
+
+        // Environment events first, then gates — both in id order, so
+        // the two strategies discover states identically.
+        for &(t, succ) in arcs {
+            let Some(label) = stg.label(t) else { continue };
+            if !env[label.signal.index()] {
+                continue;
+            }
+            let mut next = values.clone();
+            next[signal_nets[label.signal.index()].index()] = label.edge.value_after();
+            check_hazards(&mut hazards, None, &next, &|| {
+                format!("input {}", stg.label_string(t))
+            });
+            if !enqueue(
+                &mut arena,
+                &mut queue,
+                &mut violations,
+                succ,
+                &next,
+                options.bound,
+            ) {
+                break 'bfs;
+            }
+        }
+        for &g in &excited {
+            let out = netlist.gates()[g].output;
+            let new_value = !values[out.index()];
+            let mut next = values.clone();
+            next[out.index()] = new_value;
+            let next_spec = match net_signal[out.index()] {
+                None => spec,
+                Some(sig) => {
+                    // The spec must allow this edge here (first matching
+                    // transition in id order — both trackers agree).
+                    let arc = arcs.iter().find(|&&(t, _)| {
+                        stg.label(t)
+                            .is_some_and(|l| l.signal == sig && l.edge.value_after() == new_value)
+                    });
+                    match arc {
+                        Some(&(_, succ)) => succ,
+                        None => {
+                            violations.push(RawViolation::UnexpectedOutput {
+                                signal: netlist.net_name(out).to_owned(),
+                                state: si,
+                            });
+                            continue;
+                        }
+                    }
+                }
+            };
+            check_hazards(&mut hazards, Some(g), &next, &|| {
+                format!("gate {}", netlist.net_name(out))
+            });
+            if !enqueue(
+                &mut arena,
+                &mut queue,
+                &mut violations,
+                next_spec,
+                &next,
+                options.bound,
+            ) {
+                break 'bfs;
+            }
+        }
+    }
+
+    // Deduplicate hazards by (gate, cause) — the first (lowest-state)
+    // witness of each class survives — then decode witnesses once per
+    // surviving entry.
+    hazards.sort_by(|a, b| {
+        let an = netlist.net_name(netlist.gates()[a.gate].output);
+        let bn = netlist.net_name(netlist.gates()[b.gate].output);
+        (an, &a.caused_by, a.state).cmp(&(bn, &b.caused_by, b.state))
+    });
+    hazards.dedup_by(|a, b| a.gate == b.gate && a.caused_by == b.caused_by);
+    let witness = |state: u32| arena.witness(stg, netlist, signal_nets, state);
+    VerificationReport {
+        hazards: hazards
+            .into_iter()
+            .map(|h| HazardWitness {
+                state: h.state as usize,
+                gate_output: netlist.net_name(netlist.gates()[h.gate].output).to_owned(),
+                caused_by: h.caused_by,
+                witness: witness(h.state),
+            })
+            .collect(),
+        violations: violations
+            .into_iter()
+            .map(|v| match v {
+                RawViolation::UnexpectedOutput { signal, state } => Violation::UnexpectedOutput {
+                    signal,
+                    state: state as usize,
+                    witness: witness(state),
+                },
+                RawViolation::OutputStuck { state, expected } => Violation::OutputStuck {
+                    state: state as usize,
+                    expected,
+                    witness: witness(state),
+                },
+                RawViolation::StateLimit(n) => Violation::StateLimit(n),
+            })
+            .collect(),
+        states_explored: arena.len(),
+    }
+}
+
+/// Interns and enqueues a successor; `false` when the bound was hit
+/// (the caller stops exploring and reports what it has).
+fn enqueue(
+    arena: &mut StateArena,
+    queue: &mut VecDeque<u32>,
+    violations: &mut Vec<RawViolation>,
+    spec: u32,
+    values: &[bool],
+    bound: usize,
+) -> bool {
+    match arena.intern_bounded(spec, values, bound) {
+        Ok(Some(idx)) => {
+            queue.push_back(idx);
+            true
+        }
+        Ok(None) => true,
+        Err(()) => {
+            violations.push(RawViolation::StateLimit(bound));
+            false
+        }
+    }
+}
+
+/// Settles all internal (non-signal) nets; `false` if they oscillate.
+pub(crate) fn settle_internals(
+    netlist: &Netlist,
+    net_signal: &[Option<SignalId>],
+    values: &mut [bool],
+) -> bool {
+    for _ in 0..=netlist.num_gates() {
+        let mut changed = false;
+        for g in 0..netlist.num_gates() {
+            let out = netlist.gates()[g].output;
+            if net_signal[out.index()].is_none() {
+                let nv = netlist.next_value(values, g);
+                if values[out.index()] != nv {
+                    values[out.index()] = nv;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// Packed composed-state arena
+// ---------------------------------------------------------------------
+
+/// Interned composed states: each state is one boxed `[u64]` of
+/// `1 + ⌈nets/64⌉` words — the spec-state id followed by the bit-packed
+/// net values. No per-state `Vec<bool>` survives the exploration.
+struct StateArena {
+    num_nets: usize,
+    words: usize,
+    index: HashMap<Box<[u64]>, u32>,
+    states: Vec<Box<[u64]>>,
+}
+
+impl StateArena {
+    fn new(num_nets: usize) -> Self {
+        StateArena {
+            num_nets,
+            words: num_nets.div_ceil(64),
+            index: HashMap::new(),
+            states: Vec::new(),
+        }
+    }
+
+    fn key(&self, spec: u32, values: &[bool]) -> Box<[u64]> {
+        let mut key = vec![0u64; 1 + self.words];
+        key[0] = u64::from(spec);
+        for (i, &v) in values.iter().enumerate() {
+            if v {
+                key[1 + i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        key.into_boxed_slice()
+    }
+
+    /// Interns the (always fresh) start state.
+    fn intern(&mut self, spec: u32, values: &[bool]) -> u32 {
+        self.intern_bounded(spec, values, usize::MAX)
+            .expect("no bound")
+            .expect("start state is fresh")
+    }
+
+    /// Interns a state unless it is already known, building (and
+    /// hashing) the packed key exactly once: `Ok(Some(idx))` for a new
+    /// state, `Ok(None)` for a known one, `Err(())` when interning
+    /// would exceed `bound`.
+    fn intern_bounded(
+        &mut self,
+        spec: u32,
+        values: &[bool],
+        bound: usize,
+    ) -> Result<Option<u32>, ()> {
+        let key = self.key(spec, values);
+        if self.index.contains_key(&key) {
+            return Ok(None);
+        }
+        if self.states.len() >= bound {
+            return Err(());
+        }
+        let idx = u32::try_from(self.states.len()).expect("composed space fits u32");
+        self.index.insert(key.clone(), idx);
+        self.states.push(key);
+        Ok(Some(idx))
+    }
+
+    fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The spec id and unpacked net values of state `i`.
+    fn unpack(&self, i: u32) -> (u32, Vec<bool>) {
+        let key = &self.states[i as usize];
+        let spec = u32::try_from(key[0]).expect("spec id fits u32");
+        let mut values = Vec::with_capacity(self.num_nets);
+        for n in 0..self.num_nets {
+            values.push(key[1 + n / 64] >> (n % 64) & 1 == 1);
+        }
+        (spec, values)
+    }
+
+    /// Decodes state `i` into a reportable witness: every net's value
+    /// plus the spec-signal code (the projection of the net values onto
+    /// the signal nets — identical to the spec code by the consistency
+    /// invariant, so no backend decode is needed).
+    fn witness(&self, stg: &Stg, netlist: &Netlist, signal_nets: &[NetId], i: u32) -> WitnessState {
+        let (_, values) = self.unpack(i);
+        let nets = (0..netlist.num_nets())
+            .map(|n| (netlist.net_name(NetId::from_index(n)).to_owned(), values[n]))
+            .collect();
+        let spec_code = stg
+            .signals()
+            .map(|s| {
+                if values[signal_nets[s.index()].index()] {
+                    '1'
+                } else {
+                    '0'
+                }
+            })
+            .collect();
+        WitnessState { nets, spec_code }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spec trackers
+// ---------------------------------------------------------------------
+
+/// The specification side of the composed exploration: dense spec-state
+/// ids plus, per id, the enabled `(transition, successor)` arcs sorted
+/// by transition id.
+#[derive(Debug)]
+pub(crate) enum SpecTracker {
+    /// Ids are the materialised backend's own state indices; arcs come
+    /// from its `ts()` view.
+    Explicit { arcs: HashMap<u32, SpecArcs> },
+    /// Ids intern reachable markings in discovery order; arcs come from
+    /// replaying the token game, lazily, one spec state at a time.
+    Marking {
+        index: HashMap<Marking, u32>,
+        markings: Vec<Marking>,
+        arcs: Vec<Option<SpecArcs>>,
+    },
+}
+
+impl SpecTracker {
+    /// A fresh tracker for one strategy over one space. Trackers are
+    /// circuit-independent — [`crate::IncrementalVerifier`] keeps one
+    /// per specification and reuses it across every circuit variant it
+    /// verifies, so the spec side of the composition is derived once.
+    pub(crate) fn new<S: StateSpace + ?Sized>(strategy: VerifyStrategy, sg: &S) -> Self {
+        match strategy {
+            VerifyStrategy::ExplicitBfs => SpecTracker::explicit(),
+            VerifyStrategy::Composed => SpecTracker::marking(sg.initial_marking()),
+        }
+    }
+
+    fn explicit() -> Self {
+        SpecTracker::Explicit {
+            arcs: HashMap::new(),
+        }
+    }
+
+    fn marking(initial: Marking) -> Self {
+        let mut index = HashMap::new();
+        index.insert(initial.clone(), 0);
+        SpecTracker::Marking {
+            index,
+            markings: vec![initial],
+            arcs: vec![None],
+        }
+    }
+
+    fn initial(&mut self) -> u32 {
+        0
+    }
+
+    /// The enabled arcs of spec state `s`, sorted by transition id
+    /// (computed once per spec state, then served from the cache).
+    fn arcs<S: StateSpace + ?Sized>(
+        &mut self,
+        stg: &Stg,
+        sg: &S,
+        s: u32,
+    ) -> &[(TransitionId, u32)] {
+        match self {
+            SpecTracker::Explicit { arcs } => arcs.entry(s).or_insert_with(|| {
+                let mut out: Vec<(TransitionId, u32)> = sg
+                    .ts()
+                    .successors(s as usize)
+                    .map(|(&t, to)| (t, u32::try_from(to).expect("spec state fits u32")))
+                    .collect();
+                out.sort_by_key(|&(t, _)| t);
+                out.dedup_by_key(|&mut (t, _)| t);
+                out.into_boxed_slice()
+            }),
+            SpecTracker::Marking {
+                index,
+                markings,
+                arcs,
+            } => {
+                if arcs[s as usize].is_none() {
+                    let net = stg.net();
+                    let marking = markings[s as usize].clone();
+                    let mut out = Vec::new();
+                    for t in net.transitions() {
+                        // The canonical firing rule — the same token game
+                        // every other consumer replays.
+                        let Some(next) = net.fire(&marking, t) else {
+                            continue;
+                        };
+                        let succ = match index.get(&next) {
+                            Some(&id) => id,
+                            None => {
+                                let id =
+                                    u32::try_from(markings.len()).expect("spec state fits u32");
+                                index.insert(next.clone(), id);
+                                markings.push(next);
+                                arcs.push(None);
+                                id
+                            }
+                        };
+                        out.push((t, succ));
+                    }
+                    arcs[s as usize] = Some(out.into_boxed_slice());
+                }
+                arcs[s as usize].as_ref().expect("just filled")
+            }
+        }
+    }
+}

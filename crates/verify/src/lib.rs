@@ -4,7 +4,7 @@
 //!
 //! The core is the Muller-model composition of a gate [`synth::Netlist`]
 //! with its STG environment: the joint state space of (specification
-//! marking, net values) is explored exhaustively, checking
+//! state, net values) is explored exhaustively, checking
 //!
 //! * **semimodularity** — an excited gate must never be de-excited by
 //!   another event firing first (this is exactly the absence of hazards
@@ -17,10 +17,25 @@
 //! Together these make the circuit *speed-independent* with respect to its
 //! environment. The Fig. 9 experiment (accepting decomposition (a),
 //! rejecting (b)) runs on this checker.
+//!
+//! The checker is an [`engine`] over packed composed states with two
+//! spec-tracking strategies ([`VerifyStrategy`]): the explicit
+//! state-graph walk of the seed, and a backend-agnostic `(marking,
+//! code)` composition that runs against resident symbolic state spaces
+//! far above the materialise limit. [`IncrementalVerifier`] adds the
+//! memoising per-cone mode the decomposed repair loop re-verifies
+//! through.
 
 mod circuit;
+mod engine;
+mod incremental;
 
-pub use circuit::{verify_circuit, CircuitState, HazardWitness, VerificationReport, Violation};
+pub use circuit::{
+    verify_circuit, verify_circuit_bounded, HazardWitness, VerificationReport, Violation,
+    WitnessState,
+};
+pub use engine::{verify_with, VerifyOptions, VerifyStrategy, DEFAULT_VERIFY_BOUND};
+pub use incremental::{IncrementalStats, IncrementalVerifier};
 
 #[cfg(test)]
 mod tests;

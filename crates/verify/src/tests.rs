@@ -143,3 +143,190 @@ fn correct_toggle_accepted() {
     let report = verify_circuit(&stg, &sg, circuit.netlist(), &nets);
     assert!(report.is_speed_independent(), "{}", report.summary());
 }
+
+// ---------------------------------------------------------------------
+// Engine strategies and the incremental per-cone verifier
+// ---------------------------------------------------------------------
+
+use crate::{verify_with, IncrementalVerifier, VerifyOptions, VerifyStrategy};
+
+fn both_strategies(
+    stg: &stg::Stg,
+    netlist: &Netlist,
+    nets: &[NetId],
+) -> (crate::VerificationReport, crate::VerificationReport) {
+    let sg = StateGraph::build(stg).unwrap();
+    let explicit = verify_with(
+        stg,
+        &sg,
+        netlist,
+        nets,
+        &VerifyOptions::default().with_strategy(VerifyStrategy::ExplicitBfs),
+    );
+    let composed = verify_with(
+        stg,
+        &sg,
+        netlist,
+        nets,
+        &VerifyOptions::default().with_strategy(VerifyStrategy::Composed),
+    );
+    (explicit, composed)
+}
+
+#[test]
+fn strategies_explore_identically_on_passing_and_failing_circuits() {
+    // Passing: the complex-gate VME circuit. Failing: its naive
+    // decomposition (Fig. 9b). Reports — hazards, violations, decoded
+    // witnesses, states_explored — must be byte-for-byte equal.
+    let stg = vme_read_csc();
+    let sg = StateGraph::build(&stg).unwrap();
+    let circuit = synthesize_complex_gates(&stg, &sg).unwrap();
+    let nets = signal_nets_of(&stg, |s| circuit.signal_net(s), &circuit);
+    let (explicit, composed) = both_strategies(&stg, circuit.netlist(), &nets);
+    assert!(explicit.is_speed_independent());
+    assert_eq!(explicit, composed, "passing circuit");
+
+    let dec = decompose(&stg, &circuit, 2);
+    let dnets = signal_nets_of(&stg, |s| dec.signal_net(s), &dec);
+    let (explicit, composed) = both_strategies(&stg, dec.netlist(), &dnets);
+    assert!(!explicit.is_speed_independent());
+    assert_eq!(explicit, composed, "failing circuit");
+}
+
+#[test]
+fn bound_hit_is_reported_identically_by_both_strategies() {
+    let stg = vme_read_csc();
+    let sg = StateGraph::build(&stg).unwrap();
+    let circuit = synthesize_complex_gates(&stg, &sg).unwrap();
+    let nets = signal_nets_of(&stg, |s| circuit.signal_net(s), &circuit);
+    for strategy in [VerifyStrategy::ExplicitBfs, VerifyStrategy::Composed] {
+        let report = verify_with(
+            &stg,
+            &sg,
+            circuit.netlist(),
+            &nets,
+            &VerifyOptions::default()
+                .with_bound(5)
+                .with_strategy(strategy),
+        );
+        assert!(report.hit_state_limit(), "{strategy}: bound must be hit");
+        assert_eq!(report.states_explored, 5, "{strategy}");
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, crate::Violation::StateLimit(5))),
+            "{strategy}"
+        );
+    }
+}
+
+#[test]
+fn witnesses_decode_the_offending_state() {
+    // The inverter-for-buffer circuit produces x+ when the spec does
+    // not allow it; the violation must carry the decoded composed state
+    // instead of an opaque index.
+    let stg = toggle();
+    let sg = StateGraph::build(&stg).unwrap();
+    let mut n = Netlist::new();
+    let a = n.add_input("a");
+    let not = Expr::not(Expr::Var(0));
+    let x = n.add_gate("x", GateKind::Complex(not), vec![a]);
+    let report = verify_circuit(&stg, &sg, &n, &[a, x]);
+    let witness = report
+        .violations
+        .iter()
+        .find_map(|v| match v {
+            crate::Violation::UnexpectedOutput { witness, .. } => Some(witness),
+            _ => None,
+        })
+        .expect("unexpected-output violation");
+    assert_eq!(witness.nets.len(), 2, "one entry per net");
+    assert_eq!(witness.nets[0].0, "a");
+    assert_eq!(witness.nets[1].0, "x");
+    assert_eq!(witness.spec_code.len(), stg.num_signals());
+    // Display is self-contained (code + net values).
+    let text = report.violations[0].to_string();
+    assert!(text.contains("code"), "{text}");
+    assert!(text.contains("a="), "{text}");
+}
+
+#[test]
+fn incremental_is_byte_identical_to_monolithic() {
+    // Fig. 9a (resubstituted, hazard-free) and Fig. 9b (naive,
+    // hazardous) through the memoising verifier: reports equal the
+    // monolithic engine's exactly, and repeats are pure cache hits.
+    let stg = vme_read_csc();
+    let sg = StateGraph::build(&stg).unwrap();
+    let circuit = synthesize_complex_gates(&stg, &sg).unwrap();
+    let dec = decompose(&stg, &circuit, 2);
+    let dnets = signal_nets_of(&stg, |s| dec.signal_net(s), &dec);
+    let resub = resubstitute(&stg, &sg, &dec);
+    let rnets = signal_nets_of(&stg, |s| resub.signal_net(s), &resub);
+
+    let options = VerifyOptions::default().with_incremental(true);
+    let mut verifier = IncrementalVerifier::new();
+    let naive_inc = verifier.verify(&stg, &sg, dec.netlist(), &dnets, &options);
+    let naive_mono = verify_with(&stg, &sg, dec.netlist(), &dnets, &VerifyOptions::default());
+    assert_eq!(naive_inc, naive_mono, "9b byte-identical");
+    assert!(!naive_inc.is_speed_independent());
+
+    let resub_inc = verifier.verify(&stg, &sg, resub.netlist(), &rnets, &options);
+    let resub_mono = verify_with(
+        &stg,
+        &sg,
+        resub.netlist(),
+        &rnets,
+        &VerifyOptions::default(),
+    );
+    assert_eq!(resub_inc, resub_mono, "9a byte-identical");
+    assert!(resub_inc.is_speed_independent(), "{}", resub_inc.summary());
+
+    // Re-verifying the identical circuit (the pipeline's final probe
+    // of an already-probed variant) is a pure cache hit.
+    let before = verifier.stats();
+    let again = verifier.verify(&stg, &sg, resub.netlist(), &rnets, &options);
+    assert_eq!(again, resub_inc);
+    let after = verifier.stats();
+    assert_eq!(
+        after.full_hits,
+        before.full_hits + 1,
+        "probe re-verify is a full hit"
+    );
+    assert_eq!(after.full_misses, before.full_misses, "nothing re-explored");
+}
+
+#[test]
+fn incremental_reuses_spec_side_and_settles_across_variants() {
+    // The naive decomposition and its resubstituted repair share the
+    // specification and the internal (mapN) gates: the second verify
+    // must reuse the memoised spec tracker and the settled-internal
+    // fixed point even though the output gates changed.
+    let stg = vme_read_csc();
+    let sg = StateGraph::build(&stg).unwrap();
+    let circuit = synthesize_complex_gates(&stg, &sg).unwrap();
+    let dec = decompose(&stg, &circuit, 2);
+    let dnets = signal_nets_of(&stg, |s| dec.signal_net(s), &dec);
+    let resub = resubstitute(&stg, &sg, &dec);
+    let rnets = signal_nets_of(&stg, |s| resub.signal_net(s), &resub);
+
+    let options = VerifyOptions::default().with_incremental(true);
+    let mut verifier = IncrementalVerifier::new();
+    let _ = verifier.verify(&stg, &sg, dec.netlist(), &dnets, &options);
+    let cold = verifier.stats();
+    assert_eq!(cold.settle_misses, 1);
+    assert_eq!(cold.tracker_reuses, 0);
+
+    let repaired = verifier.verify(&stg, &sg, resub.netlist(), &rnets, &options);
+    assert!(repaired.is_speed_independent());
+    let warm = verifier.stats();
+    assert_eq!(warm.full_misses, 2, "different circuit: report not shared");
+    assert_eq!(
+        warm.settle_hits, 1,
+        "unchanged internals: settled fixed point reused ({warm:?})"
+    );
+    assert_eq!(
+        warm.tracker_reuses, 1,
+        "same spec: token game derived once ({warm:?})"
+    );
+}

@@ -82,6 +82,7 @@ pub fn run_flow(spec: &Stg, options: &FlowOptions) -> Result<FlowResult, FlowErr
             sweep: Default::default(),
             max_fanin: options.max_fanin,
             skip_verification: options.skip_verification,
+            verify: Default::default(),
         },
     )
     .run()?;

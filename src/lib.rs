@@ -84,6 +84,7 @@ pub use pipeline::{
     cache_key, run_batch, run_cached, run_cached_with, Architecture, Backend, CacheOutcome,
     CacheStage, CachedRun, Checked, Circuit, CscCandidate, CscKind, CscResolved, CscStrategy,
     CscTransformation, FlowEvent, FlowObserver, NullObserver, PipelineError, SweepOptions,
-    SweepStats, Synthesis, SynthesisOptions, Synthesized, Verification, Verified,
+    SweepStats, Synthesis, SynthesisOptions, Synthesized, Verification, Verified, VerifyOptions,
+    VerifyStrategy,
 };
 pub use summary::SynthesisSummary;

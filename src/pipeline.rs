@@ -39,7 +39,8 @@ use synth::decompose::{decompose, resubstitute, DecomposedCircuit};
 use synth::latch_arch::{synthesize_latch_circuit, LatchCircuit, LatchStyle};
 use synth::library::{map_to_library, Library, Mapping};
 use synth::NetId;
-use verify::{verify_circuit, VerificationReport};
+use verify::{IncrementalVerifier, VerificationReport};
+pub use verify::{VerifyOptions, VerifyStrategy};
 
 pub use stg::Backend;
 
@@ -162,6 +163,13 @@ pub struct SynthesisOptions {
     pub max_fanin: Option<usize>,
     /// Skip the final speed-independence verification (it is exhaustive).
     pub skip_verification: bool,
+    /// Verification engine configuration (composed-state bound,
+    /// spec-tracking strategy, memoising incremental mode). The
+    /// strategy and the incremental flag never change the flow's output
+    /// (`tests/verify_parity.rs` asserts byte-identical flows) and stay
+    /// out of cache keys; the bound (a limit hit changes results)
+    /// participates.
+    pub verify: VerifyOptions,
 }
 
 /// Errors the pipeline can report.
@@ -236,7 +244,21 @@ impl fmt::Display for PipelineError {
                 write!(
                     f,
                     "all {rejected} CSC candidate(s) failed; last error: {last}"
-                )
+                )?;
+                // A bounded verification is inconclusive, not a proven
+                // failure — say so instead of letting the two blur.
+                let bounded = events.iter().find_map(|e| match e {
+                    FlowEvent::VerificationBounded { bound, .. } => Some(*bound),
+                    _ => None,
+                });
+                if let Some(bound) = bounded {
+                    write!(
+                        f,
+                        " (verification hit the state bound {bound} — inconclusive; \
+                         raise --verify-bound)"
+                    )?;
+                }
+                Ok(())
             }
             PipelineError::Cancelled => write!(f, "cancelled"),
         }
@@ -402,6 +424,17 @@ pub enum FlowEvent {
     },
     /// Verification was skipped on request.
     VerificationSkipped,
+    /// A verification run hit its composed-state bound
+    /// ([`VerifyOptions::bound`]): the run is *bounded* — inconclusive
+    /// within the budget — which this event keeps distinguishable from
+    /// a genuine hazard/conformance failure (the report still carries
+    /// `Violation::StateLimit`).
+    VerificationBounded {
+        /// The bound that was hit.
+        bound: usize,
+        /// Composed states explored before stopping.
+        states_explored: usize,
+    },
     /// The whole run was served from the result cache.
     CacheHit {
         /// The content-addressed cache key (hex).
@@ -457,6 +490,13 @@ impl fmt::Display for FlowEvent {
                 write!(f, "verification passed ({states_explored} composed states)")
             }
             FlowEvent::VerificationSkipped => write!(f, "verification skipped"),
+            FlowEvent::VerificationBounded {
+                bound,
+                states_explored,
+            } => write!(
+                f,
+                "verification bounded: state limit {bound} hit after {states_explored} composed states (inconclusive, not a failure — raise --verify-bound)"
+            ),
             FlowEvent::CacheHit { key } => write!(f, "cache hit: {key}"),
             FlowEvent::CscStageResumed { key } => {
                 write!(f, "csc checkpoint resumed: {key}")
@@ -553,6 +593,14 @@ impl Synthesis {
     #[must_use]
     pub fn skip_verification(mut self, skip: bool) -> Self {
         self.options.skip_verification = skip;
+        self
+    }
+
+    /// Configures the verification engine (bound, strategy,
+    /// incremental mode).
+    #[must_use]
+    pub fn verify_options(mut self, verify: VerifyOptions) -> Self {
+        self.options.verify = verify;
         self
     }
 
@@ -820,9 +868,18 @@ impl CscResolved {
     pub fn synthesize(mut self) -> Result<Synthesized, PipelineError> {
         let mut last_error = PipelineError::CscUnresolved { events: Vec::new() };
         let candidates = std::mem::take(&mut self.candidates);
-        let tried = candidates.len();
+        // One memoising verifier across the whole candidate loop: under
+        // `VerifyOptions::incremental`, re-verifying a circuit variant
+        // re-explores only the cones of the gates that changed, and the
+        // final probe of an already-verified variant is a pure cache
+        // hit.
+        let mut verifier = if self.options.verify.incremental {
+            Some(IncrementalVerifier::new())
+        } else {
+            None
+        };
         for (index, candidate) in candidates.into_iter().enumerate() {
-            match synthesize_candidate(candidate, &self.options) {
+            match synthesize_candidate(candidate, &self.options, verifier.as_mut()) {
                 Ok((mut synthesized, mut events)) => {
                     if let Some(t) = &synthesized.transformation {
                         self.events.push(FlowEvent::CscApplied(t.clone()));
@@ -831,7 +888,10 @@ impl CscResolved {
                     synthesized.events = self.events;
                     return Ok(synthesized);
                 }
-                Err(e) => {
+                Err((e, mut events)) => {
+                    // Keep the rejected candidate's diagnostics (notably
+                    // bounded-verification events) in the log.
+                    self.events.append(&mut events);
                     self.events.push(FlowEvent::CandidateRejected {
                         index,
                         reason: e.to_string(),
@@ -840,24 +900,54 @@ impl CscResolved {
                 }
             }
         }
-        if tried > 1 {
-            // Backtracking exhausted several candidates: surface the whole
-            // rejection log, not just the last error.
-            Err(PipelineError::CandidatesExhausted {
-                last: Box::new(last_error),
-                events: self.events,
-            })
-        } else {
-            Err(last_error)
-        }
+        // Surface the whole rejection log with the failure — even for a
+        // single candidate it carries the per-candidate diagnostics
+        // (notably bounded-verification events, which must never be
+        // conflated with a real failure).
+        Err(PipelineError::CandidatesExhausted {
+            last: Box::new(last_error),
+            events: self.events,
+        })
     }
 }
 
+/// Runs one verification through the configured engine: the shared
+/// memoising [`IncrementalVerifier`] when the flow enables incremental
+/// mode, the monolithic engine otherwise. A bound hit is surfaced as
+/// [`FlowEvent::VerificationBounded`] so it is never conflated with a
+/// real failure.
+fn run_verify(
+    spec: &Stg,
+    space: &dyn StateSpace,
+    netlist: &synth::Netlist,
+    nets: &[NetId],
+    options: &SynthesisOptions,
+    verifier: Option<&mut IncrementalVerifier>,
+    events: &mut Vec<FlowEvent>,
+) -> VerificationReport {
+    let report = match verifier {
+        Some(v) if options.verify.incremental => {
+            v.verify(spec, space, netlist, nets, &options.verify)
+        }
+        _ => verify::verify_with(spec, space, netlist, nets, &options.verify),
+    };
+    if report.hit_state_limit() {
+        events.push(FlowEvent::VerificationBounded {
+            bound: options.verify.bound,
+            states_explored: report.states_explored,
+        });
+    }
+    report
+}
+
 /// Synthesises and (unless skipped) verification-probes one candidate.
+/// Errors carry the events accumulated up to the failure, so rejected
+/// candidates keep their diagnostics in the flow log.
 fn synthesize_candidate(
     candidate: CscCandidate,
     options: &SynthesisOptions,
-) -> Result<(Synthesized, Vec<FlowEvent>), PipelineError> {
+    mut verifier: Option<&mut IncrementalVerifier>,
+) -> Result<(Synthesized, Vec<FlowEvent>), (PipelineError, Vec<FlowEvent>)> {
     let mut events = Vec::new();
     let CscCandidate {
         spec,
@@ -865,45 +955,52 @@ fn synthesize_candidate(
         space,
         report,
     } = candidate;
+    let fail = |e: PipelineError, events: Vec<FlowEvent>| Err((e, events));
     let space: Box<dyn StateSpace> = match space {
         Some(space) => space,
-        None => {
-            let space = options
-                .backend
-                .build(&spec)
-                .map_err(|e| PipelineError::Synthesis(e.to_string()))?;
-            events.push(FlowEvent::StateSpaceBuilt {
-                backend: options.backend,
-                num_states: space.num_states(),
-            });
-            space
-        }
+        None => match options.backend.build(&spec) {
+            Ok(space) => {
+                events.push(FlowEvent::StateSpaceBuilt {
+                    backend: options.backend,
+                    num_states: space.num_states(),
+                });
+                space
+            }
+            Err(e) => return fail(PipelineError::Synthesis(e.to_string()), events),
+        },
     };
     let report = match report {
         Some(report) => report,
         None => stg::properties::report_from_sg(&spec, &*space),
     };
 
-    // The non-complex architectures and the verification probe walk the
-    // per-state API (`ts()`/`code()`), which the resident-BDD backend
-    // only serves through its small-space materialised view — refuse
-    // with a clean error instead of letting the view's size assertion
-    // abort the process mid-flow.
-    let needs_per_state =
-        !matches!(options.architecture, Architecture::ComplexGate) || !options.skip_verification;
+    // The non-complex architectures walk the per-state API
+    // (`ts()`/`code()`), which the resident-BDD backend only serves
+    // through its small-space materialised view — refuse with a clean
+    // error instead of letting the view's size assertion abort the
+    // process mid-flow. Verification itself no longer needs the view:
+    // the composed strategy runs set-level against any backend (only
+    // the legacy explicit-BFS strategy still walks `ts()`).
+    let needs_per_state = !matches!(options.architecture, Architecture::ComplexGate)
+        || (!options.skip_verification && options.verify.strategy == VerifyStrategy::ExplicitBfs);
     if needs_per_state && space.set_level_native() && space.num_states() > stg::MATERIALISE_LIMIT {
-        return Err(PipelineError::Synthesis(format!(
-            "state space has {} states — too large for the resident-BDD backend's \
-             per-state verification/architecture paths (limit {}); re-run with \
-             --no-verify under the complex-gate architecture, or an enumerating backend",
-            space.num_states(),
-            stg::MATERIALISE_LIMIT
-        )));
+        return fail(
+            PipelineError::Synthesis(format!(
+                "state space has {} states — too large for the resident-BDD backend's \
+                 per-state architecture paths (limit {}); re-run under the complex-gate \
+                 architecture with the composed verify strategy, or an enumerating backend",
+                space.num_states(),
+                stg::MATERIALISE_LIMIT
+            )),
+            events,
+        );
     }
 
     // Next-state functions and equations (§3.2).
-    let complex = synthesize_complex_gates(&spec, &*space)
-        .map_err(|e| PipelineError::Synthesis(e.to_string()))?;
+    let complex = match synthesize_complex_gates(&spec, &*space) {
+        Ok(c) => c,
+        Err(e) => return fail(PipelineError::Synthesis(e.to_string()), events),
+    };
     let equations_text = complex.display_equations(&spec);
     events.push(FlowEvent::EquationsDerived {
         count: complex.equations().len(),
@@ -913,20 +1010,34 @@ fn synthesize_candidate(
     let max_fanin = options.max_fanin.unwrap_or(2);
     let circuit = match options.architecture {
         Architecture::ComplexGate => Circuit::Complex(complex.clone()),
-        Architecture::CElement => Circuit::Latch(
-            synthesize_latch_circuit(&spec, &*space, LatchStyle::CElement)
-                .map_err(|e| PipelineError::Synthesis(e.to_string()))?,
-        ),
-        Architecture::RsLatch => Circuit::Latch(
-            synthesize_latch_circuit(&spec, &*space, LatchStyle::RsLatch)
-                .map_err(|e| PipelineError::Synthesis(e.to_string()))?,
-        ),
+        Architecture::CElement => {
+            match synthesize_latch_circuit(&spec, &*space, LatchStyle::CElement) {
+                Ok(c) => Circuit::Latch(c),
+                Err(e) => return fail(PipelineError::Synthesis(e.to_string()), events),
+            }
+        }
+        Architecture::RsLatch => {
+            match synthesize_latch_circuit(&spec, &*space, LatchStyle::RsLatch) {
+                Ok(c) => Circuit::Latch(c),
+                Err(e) => return fail(PipelineError::Synthesis(e.to_string()), events),
+            }
+        }
         Architecture::Decomposed => {
             // Fig. 9: try the naive decomposition; if it is hazardous,
-            // repair by resubstitution (multiple acknowledgment).
+            // repair by resubstitution (multiple acknowledgment). Under
+            // incremental verification the repair's re-verification
+            // reuses every cone the resubstitution left unchanged.
             let naive = decompose(&spec, &complex, max_fanin);
             let nets: Vec<NetId> = spec.signals().map(|s| naive.signal_net(s)).collect();
-            let naive_report = verify_circuit(&spec, &*space, naive.netlist(), &nets);
+            let naive_report = run_verify(
+                &spec,
+                &*space,
+                naive.netlist(),
+                &nets,
+                options,
+                verifier.as_deref_mut(),
+                &mut events,
+            );
             if naive_report.is_speed_independent() {
                 Circuit::Decomposed(naive)
             } else {
@@ -964,21 +1075,40 @@ fn synthesize_candidate(
                 let violations =
                     synth::latch_arch::monotonic_violations(&spec, &*space, &latch.covers);
                 if !violations.is_empty() {
-                    return Err(PipelineError::Synthesis(format!(
-                        "{} monotonous-cover violation(s) in the latch networks",
-                        violations.len()
-                    )));
+                    return fail(
+                        PipelineError::Synthesis(format!(
+                            "{} monotonous-cover violation(s) in the latch networks",
+                            violations.len()
+                        )),
+                        events,
+                    );
                 }
                 let (atomic, nets) = latch.atomic_netlist(&spec);
-                verify_circuit(&spec, &*space, &atomic, &nets)
+                run_verify(
+                    &spec,
+                    &*space,
+                    &atomic,
+                    &nets,
+                    options,
+                    verifier,
+                    &mut events,
+                )
             }
             _ => {
                 let nets = circuit.signal_nets(&spec);
-                verify_circuit(&spec, &*space, circuit.netlist(), &nets)
+                run_verify(
+                    &spec,
+                    &*space,
+                    circuit.netlist(),
+                    &nets,
+                    options,
+                    verifier,
+                    &mut events,
+                )
             }
         };
         if !v.is_speed_independent() {
-            return Err(PipelineError::VerificationFailed(Box::new(v)));
+            return fail(PipelineError::VerificationFailed(Box::new(v)), events);
         }
         Some(v)
     };
@@ -1205,10 +1335,13 @@ use crate::summary::SynthesisSummary;
 
 /// Schema tag folded into every cache key; bump whenever the meaning of
 /// a cached payload changes so stale entries can never be served.
-/// (v2: next-state derivation feeds the minimiser deduplicated,
-/// lexicographically sorted code cubes — cover-size ties can resolve
-/// differently than v1's first-occurrence order.)
-pub const CACHE_SCHEMA: &str = "asyncsynth-flow-v2";
+/// (v3: verification runs through the composed engine — summaries carry
+/// its event log, rejected candidates keep their events, and the verify
+/// bound/incremental options joined the key. v2: next-state derivation
+/// feeds the minimiser deduplicated, lexicographically sorted code
+/// cubes — cover-size ties can resolve differently than v1's
+/// first-occurrence order.)
+pub const CACHE_SCHEMA: &str = "asyncsynth-flow-v3";
 
 /// Which stage's artifact a cache key addresses. Each stage salts its
 /// key with exactly the options that influence its result, so e.g. a
@@ -1260,6 +1393,13 @@ pub fn cache_key(spec: &Stg, options: &SynthesisOptions, stage: CacheStage) -> D
             "noprune"
         });
     }
+    // The verify bound salts the Full key: a bounded run can fail where
+    // a bigger budget would pass. The spec-tracking strategy and the
+    // incremental flag are output-neutral — `verify_parity.rs` asserts
+    // byte-identical flows across both — so, like the sweep's thread
+    // count, they stay out and a cache warmed under one configuration
+    // serves the others.
+    let verify_bound = options.verify.bound.to_string();
     if matches!(stage, CacheStage::Full) {
         extras.push(options.architecture.name());
         extras.push(&fanin);
@@ -1268,6 +1408,11 @@ pub fn cache_key(spec: &Stg, options: &SynthesisOptions, stage: CacheStage) -> D
         } else {
             "verify"
         });
+        // The bound only matters when verification actually runs — a
+        // no-verify cache entry serves every bound.
+        if !options.skip_verification {
+            extras.push(&verify_bound);
+        }
     }
     stg::canon::keyed_digest(spec, &extras)
 }

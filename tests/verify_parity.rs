@@ -1,0 +1,272 @@
+//! Verification-engine parity: the explicit-BFS and composed
+//! spec-tracking strategies — and the memoising incremental layer —
+//! must be observationally identical on every backend, and the
+//! composed strategy must run set-level on resident symbolic spaces
+//! above the materialise limit, where the pipeline previously refused
+//! per-state verification outright.
+
+use asyncsynth::{Backend, Synthesis, SynthesisOptions, SynthesisSummary};
+use stg::examples::{micropipeline, vme_read, vme_read_csc, vme_read_write};
+use stg::{SignalEdge, SignalKind, StateSpace, Stg, StgBuilder};
+use synth::complex_gate::synthesize_complex_gates;
+use synth::{GateKind, NetId, Netlist};
+use verify::{verify_with, IncrementalVerifier, VerifyOptions, VerifyStrategy};
+
+const BACKENDS: [Backend; 3] = [Backend::Explicit, Backend::Symbolic, Backend::SymbolicSet];
+const STRATEGIES: [VerifyStrategy; 2] = [VerifyStrategy::ExplicitBfs, VerifyStrategy::Composed];
+
+fn specs() -> Vec<(&'static str, Stg)> {
+    vec![
+        ("vme_read", vme_read()),
+        ("vme_read_csc", vme_read_csc()),
+        ("vme_read_write", vme_read_write()),
+        ("micropipeline2", micropipeline(2)),
+    ]
+}
+
+/// Direct engine parity: identical reports — hazards, violations,
+/// decoded witnesses and `states_explored` — across both strategies,
+/// all three backends, and the incremental layer.
+#[test]
+fn reports_identical_across_strategies_and_backends() {
+    for (name, spec) in specs() {
+        // Synthesise once on the explicit backend; CSC-clean specs only
+        // (the others go through the flow-level test below).
+        let space = Backend::Explicit.build(&spec).unwrap();
+        let Ok(circuit) = synthesize_complex_gates(&spec, &*space) else {
+            continue;
+        };
+        let nets: Vec<NetId> = spec.signals().map(|s| circuit.signal_net(s)).collect();
+        let reference = verify_with(
+            &spec,
+            &*space,
+            circuit.netlist(),
+            &nets,
+            &VerifyOptions::default().with_strategy(VerifyStrategy::ExplicitBfs),
+        );
+        for backend in BACKENDS {
+            let space = backend.build(&spec).unwrap();
+            for strategy in STRATEGIES {
+                let report = verify_with(
+                    &spec,
+                    &*space,
+                    circuit.netlist(),
+                    &nets,
+                    &VerifyOptions::default().with_strategy(strategy),
+                );
+                assert_eq!(
+                    report, reference,
+                    "{name}: {backend}/{strategy} diverges from the reference"
+                );
+            }
+            let mut verifier = IncrementalVerifier::new();
+            for _ in 0..2 {
+                // Cold, then a pure cache hit: both byte-identical.
+                let report = verifier.verify(
+                    &spec,
+                    &*space,
+                    circuit.netlist(),
+                    &nets,
+                    &VerifyOptions::default().with_incremental(true),
+                );
+                assert_eq!(report, reference, "{name}: incremental on {backend}");
+            }
+            assert_eq!(verifier.stats().full_hits, 1, "{name}: repeat is a hit");
+        }
+    }
+}
+
+/// The backends the flow-level byte-parity matrix covers. Debug builds
+/// stick to the explicit backend — the symbolic backends' CSC sweeps
+/// take minutes unoptimised, and the `verify-differential` CI job runs
+/// the full three-backend matrix in release — while the cheap
+/// *verify-report* parity above covers all three backends in every
+/// profile.
+fn flow_backends() -> &'static [Backend] {
+    if cfg!(debug_assertions) {
+        &[Backend::Explicit]
+    } else {
+        &BACKENDS
+    }
+}
+
+/// Flow-level byte parity: the rendered `SynthesisSummary` JSON —
+/// equations, netlist, verification, the whole event log — is identical
+/// whatever the backend, the spec-tracking strategy, or the incremental
+/// flag (which is why strategy and incremental stay out of cache keys).
+#[test]
+fn pipeline_output_byte_identical_across_strategies_and_backends() {
+    for (name, spec) in specs() {
+        let run = |backend: Backend, strategy: VerifyStrategy, incremental: bool| -> String {
+            let options = SynthesisOptions {
+                backend,
+                verify: VerifyOptions::default()
+                    .with_strategy(strategy)
+                    .with_incremental(incremental),
+                ..Default::default()
+            };
+            let verified = Synthesis::with_options(spec.clone(), options.clone())
+                .run()
+                .unwrap_or_else(|e| panic!("{name} ({backend}/{strategy}): {e}"));
+            SynthesisSummary::from_verified(&verified, &options)
+                .to_json()
+                .render()
+        };
+        // The summary names its backend, so cross-backend comparison
+        // normalises that one field; everything else — equations,
+        // netlist, verification, the whole event log — must be
+        // byte-equal.
+        let neutral = |text: &str, backend: Backend| {
+            text.replace(
+                &format!("\"backend\":\"{}\"", backend.name()),
+                "\"backend\":\"*\"",
+            )
+            .replace(&format!("({})", backend.name()), "(*)")
+        };
+        let reference = neutral(
+            &run(Backend::Explicit, VerifyStrategy::ExplicitBfs, false),
+            Backend::Explicit,
+        );
+        for &backend in flow_backends() {
+            for strategy in STRATEGIES {
+                assert_eq!(
+                    neutral(&run(backend, strategy, false), backend),
+                    reference,
+                    "{name}: {backend}/{strategy} flow bytes"
+                );
+            }
+            assert_eq!(
+                neutral(&run(backend, VerifyStrategy::Composed, true), backend),
+                reference,
+                "{name}: {backend}/incremental flow bytes"
+            );
+        }
+    }
+}
+
+/// A wide, CSC-clean controller whose state count is combinatorial:
+/// `pairs` independent `x_i+ → y_i+ → x_i- → y_i-` handshakes (4 states
+/// each, all codes distinct) plus one free-running output toggle `w`,
+/// for `2 · 4^pairs` states.
+fn wide_handshakes(pairs: usize) -> Stg {
+    let mut b = StgBuilder::new(format!("wide-{pairs}"));
+    let sigs: Vec<_> = (0..pairs)
+        .map(|i| {
+            (
+                b.add_signal(format!("x{i}"), SignalKind::Input),
+                b.add_signal(format!("y{i}"), SignalKind::Output),
+            )
+        })
+        .collect();
+    for (x, y) in sigs {
+        let xp = b.add_edge(x, SignalEdge::Rise);
+        let yp = b.add_edge(y, SignalEdge::Rise);
+        let xm = b.add_edge(x, SignalEdge::Fall);
+        let ym = b.add_edge(y, SignalEdge::Fall);
+        b.connect(xp, yp);
+        b.connect(yp, xm);
+        b.connect(xm, ym);
+        let p = b.connect(ym, xp);
+        b.mark_place(p, 1);
+    }
+    let w = b.add_signal("w", SignalKind::Output);
+    let wp = b.add_edge(w, SignalEdge::Rise);
+    let wm = b.add_edge(w, SignalEdge::Fall);
+    b.connect(wp, wm);
+    let p = b.connect(wm, wp);
+    b.mark_place(p, 1);
+    b.build()
+}
+
+/// The circuit the wide controller implements: `y_i = buffer(x_i)`,
+/// `w = ¬w`.
+fn wide_circuit(spec: &Stg) -> (Netlist, Vec<NetId>) {
+    use boolmin::Expr;
+    let mut n = Netlist::new();
+    let mut nets: Vec<NetId> = vec![NetId::from_index(0); spec.num_signals()];
+    for s in spec.signals() {
+        if spec.signal_kind(s) == SignalKind::Input {
+            nets[s.index()] = n.add_input(spec.signal_name(s));
+        }
+    }
+    for s in spec.signals() {
+        if spec.signal_kind(s) == SignalKind::Input {
+            continue;
+        }
+        let name = spec.signal_name(s).to_owned();
+        nets[s.index()] = if name == "w" {
+            let own = NetId::from_index(n.num_nets());
+            n.add_gate("w", GateKind::Complex(Expr::not(Expr::Var(0))), vec![own])
+        } else {
+            let x = n.net_by_name(&name.replace('y', "x")).expect("input net");
+            n.add_gate(&name, GateKind::Complex(Expr::Var(0)), vec![x])
+        };
+    }
+    (n, nets)
+}
+
+/// The probe the tentpole is named for: a resident `SymbolicSet` space
+/// with 131 072 states — double the 2^16 materialise limit — verifies
+/// set-level through the composed strategy, decoding *zero* states and
+/// never materialising a per-state view. Before this engine the
+/// pipeline refused any per-state verification on such spaces.
+#[test]
+fn verification_runs_on_resident_space_above_materialise_limit() {
+    let spec = wide_handshakes(8);
+    let space = stg::SymbolicSetSpace::build(&spec).expect("resident build");
+    assert!(
+        StateSpace::num_states(&space) > stg::MATERIALISE_LIMIT,
+        "probe space must exceed the materialise limit"
+    );
+    let (netlist, nets) = wide_circuit(&spec);
+    let report = verify_with(
+        &spec,
+        &space,
+        &netlist,
+        &nets,
+        &VerifyOptions::default(), // composed strategy is the default
+    );
+    assert!(report.is_speed_independent(), "{}", report.summary());
+    assert_eq!(report.states_explored, 2 * 4usize.pow(8));
+    assert_eq!(
+        space.decoded_states(),
+        0,
+        "verification must not decode a single state"
+    );
+    assert!(
+        !space.is_materialised(),
+        "verification must not materialise the per-state view"
+    );
+}
+
+/// A flow-level bound hit is reported as a *bounded* run: the failure
+/// carries `Violation::StateLimit` and the event log gains the
+/// distinguishing `VerificationBounded` entry.
+#[test]
+fn bounded_verification_is_surfaced_as_an_event() {
+    let options = SynthesisOptions {
+        verify: VerifyOptions::default().with_bound(10),
+        ..Default::default()
+    };
+    let err = Synthesis::with_options(vme_read_csc(), options)
+        .run()
+        .expect_err("a 10-state bound cannot cover the composed space");
+    match err {
+        asyncsynth::PipelineError::CandidatesExhausted { last, events } => {
+            match *last {
+                asyncsynth::PipelineError::VerificationFailed(report) => {
+                    assert!(report.hit_state_limit(), "{}", report.summary());
+                }
+                other => panic!("unexpected inner error: {other}"),
+            }
+            assert!(
+                events.iter().any(|e| matches!(
+                    e,
+                    asyncsynth::FlowEvent::VerificationBounded { bound: 10, .. }
+                )),
+                "bounded event missing from {events:?}"
+            );
+        }
+        other => panic!("unexpected error: {other}"),
+    }
+}
