@@ -1,0 +1,19 @@
+# Four-phase buffer stage, started mid-cycle: the marking sits after
+# ro+ has fired, so ri and ro are initially high — pinned by the
+# .initial directive (and cross-checked against the marking by the
+# state-graph builder).
+.model buf4
+.inputs ri ao
+.outputs ro ai
+.initial ri=1 ao=0 ro=1 ai=0
+.graph
+ri+ ro+
+ro+ ao+
+ao+ ai+
+ai+ ri-
+ri- ro-
+ro- ao-
+ao- ai-
+ai- ri+
+.marking { <ro+,ao+> }
+.end

@@ -1,0 +1,22 @@
+# Classic call element: two clients share one server handshake s; the
+# environment picks the caller (input choice on the free place). The s
+# transitions carry explicit /1 and /2 instance suffixes.
+.model call
+.inputs r1 r2
+.outputs a1 a2 s
+.graph
+free r1+ r2+
+r1+ s+/1
+s+/1 s-/1
+s-/1 a1+
+a1+ r1-
+r1- a1-
+a1- free
+r2+ s+/2
+s+/2 s-/2
+s-/2 a2+
+a2+ r2-
+r2- a2-
+a2- free
+.marking { free }
+.end

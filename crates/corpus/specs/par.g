@@ -1,0 +1,19 @@
+# Classic parallel (fork/join) handshake component: on request r the
+# controller runs the x and y handshakes concurrently, then acknowledges.
+.model par
+.inputs r
+.outputs a x y
+.dummy fork join
+.graph
+r+ fork
+fork x+ y+
+x+ x-
+y+ y-
+x- join
+y- join
+join a+
+a+ r-
+r- a-
+a- r+
+.marking { <a-,r+> }
+.end

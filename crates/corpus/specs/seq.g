@@ -1,0 +1,16 @@
+# Classic sequencer handshake component: on request r the controller
+# pulses x then y in order, then acknowledges.
+.model seq
+.inputs r
+.outputs a x y
+.graph
+r+ x+
+x+ x-
+x- y+
+y+ y-
+y- a+
+a+ r-
+r- a-
+a- r+
+.marking { <a-,r+> }
+.end

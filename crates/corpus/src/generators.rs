@@ -1,0 +1,267 @@
+//! Parameterised, signal-labelled STG generators beyond the
+//! `stg::examples` zoo: arbiters, selector trees, modulo counters,
+//! choice/merge dispatchers and fork/join parallelisers.
+//!
+//! Every generator is deterministic in its parameters and names its
+//! model after them, so the same call always yields the same canonical
+//! digest — the property the validation ledger keys on. Families that
+//! are *deliberately* outside the implementable class (the N-way
+//! arbiter's output choice, the resource-shared paralleliser) are kept:
+//! their pinned ledger records document the `persistent: false` verdict
+//! the §2.1 check must keep producing.
+
+use stg::{SignalEdge, SignalKind, Stg, StgBuilder};
+
+/// A handshake chain: `k` signals closed into one consistent cycle;
+/// `roles[i % roles.len()]` selects input (`true`) or output (`false`)
+/// for signal `i`. The shape of `tests/properties.rs`, promoted here so
+/// the differential harness and the corpus draw from one source.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `roles` is empty.
+#[must_use]
+pub fn handshake_chain(k: usize, roles: &[bool]) -> Stg {
+    assert!(k >= 2 && !roles.is_empty());
+    let tag: String = (0..k)
+        .map(|i| if roles[i % roles.len()] { 'i' } else { 'o' })
+        .collect();
+    let mut b = StgBuilder::new(format!("chain-{k}-{tag}"));
+    let sigs: Vec<_> = (0..k)
+        .map(|i| {
+            let kind = if roles[i % roles.len()] {
+                SignalKind::Input
+            } else {
+                SignalKind::Output
+            };
+            b.add_signal(format!("s{i}"), kind)
+        })
+        .collect();
+    let rises: Vec<_> = sigs
+        .iter()
+        .map(|&s| b.add_edge(s, SignalEdge::Rise))
+        .collect();
+    let falls: Vec<_> = sigs
+        .iter()
+        .map(|&s| b.add_edge(s, SignalEdge::Fall))
+        .collect();
+    for i in 0..k - 1 {
+        b.connect(rises[i], rises[i + 1]);
+        b.connect(falls[i], falls[i + 1]);
+    }
+    b.connect(rises[k - 1], falls[0]);
+    let p = b.connect(falls[k - 1], rises[0]);
+    b.mark_place(p, 1);
+    b.build()
+}
+
+/// A free-choice dispatcher: `branches` alternative request/ack
+/// handshakes around one choice place, merging back through a dummy
+/// reset (the Fig. 5 choice/merge shape, scaled). With
+/// `input_requests`, the environment picks the branch — an input
+/// choice, which is implementable; without, the choice sits on output
+/// transitions and the §2.1 persistency check must reject it.
+///
+/// # Panics
+///
+/// Panics if `branches == 0`.
+#[must_use]
+pub fn dispatcher(branches: usize, input_requests: bool) -> Stg {
+    assert!(branches > 0);
+    let tag = if input_requests { "in" } else { "out" };
+    let mut b = StgBuilder::new(format!("dispatch-{branches}-{tag}"));
+    let choice = b.add_place("choice", 1);
+    let merge = b.add_place("merge", 0);
+    for i in 0..branches {
+        let req_kind = if input_requests {
+            SignalKind::Input
+        } else {
+            SignalKind::Output
+        };
+        let r = b.add_signal(format!("r{i}"), req_kind);
+        let a = b.add_signal(format!("a{i}"), SignalKind::Output);
+        let rp = b.add_edge(r, SignalEdge::Rise);
+        let ap = b.add_edge(a, SignalEdge::Rise);
+        let rm = b.add_edge(r, SignalEdge::Fall);
+        let am = b.add_edge(a, SignalEdge::Fall);
+        b.arc_pt(choice, rp);
+        b.connect(rp, ap);
+        b.connect(ap, rm);
+        b.connect(rm, am);
+        b.arc_tp(am, merge);
+    }
+    let reset = b.add_dummy("reset");
+    b.arc_pt(merge, reset);
+    b.arc_tp(reset, choice);
+    b.build()
+}
+
+/// An `n`-way arbiter: input requests `r0..`, output grants `g0..`, one
+/// mutex place. Grants compete for the mutex token, so two pending
+/// requests enable two output transitions in structural conflict — the
+/// classic non-persistent specification that needs a mutex element
+/// rather than speed-independent logic. Its ledger record pins exactly
+/// that verdict.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn arbiter(n: usize) -> Stg {
+    assert!(n >= 2);
+    let mut b = StgBuilder::new(format!("arbiter-{n}"));
+    let mutex = b.add_place("mutex", 1);
+    for i in 0..n {
+        let r = b.add_signal(format!("r{i}"), SignalKind::Input);
+        let g = b.add_signal(format!("g{i}"), SignalKind::Output);
+        let rp = b.add_edge(r, SignalEdge::Rise);
+        let gp = b.add_edge(g, SignalEdge::Rise);
+        let rm = b.add_edge(r, SignalEdge::Fall);
+        let gm = b.add_edge(g, SignalEdge::Fall);
+        let idle = b.add_place(format!("idle{i}"), 1);
+        b.arc_pt(idle, rp);
+        b.connect(rp, gp);
+        b.arc_pt(mutex, gp);
+        b.connect(gp, rm);
+        b.connect(rm, gm);
+        b.arc_tp(gm, idle);
+        b.arc_tp(gm, mutex);
+    }
+    b.build()
+}
+
+/// A binary selector tree of `depth` levels: at each internal node the
+/// environment raises one of two select inputs to descend; the reached
+/// leaf performs an output-ack handshake; the selects fall back in
+/// reverse order on the way up. Exactly the signals along the chosen
+/// root-to-leaf path cycle per round, so the STG is consistent for any
+/// depth, and every choice is an input choice.
+///
+/// # Panics
+///
+/// Panics if `depth == 0` or `depth > 4`.
+#[must_use]
+pub fn selector_tree(depth: usize) -> Stg {
+    assert!((1..=4).contains(&depth));
+    let mut b = StgBuilder::new(format!("selector-{depth}"));
+    let root = b.add_place("root", 1);
+    // Recursive descent, iteratively: each frame is (place to choose
+    // from, place to return to, node path label).
+    let mut stack = vec![(root, root, String::from("n"))];
+    while let Some((enter, back, path)) = stack.pop() {
+        if path.len() - 1 == depth {
+            // Leaf: output-ack handshake, then return.
+            let a = b.add_signal(format!("a{}", &path[1..]), SignalKind::Output);
+            let ap = b.add_edge(a, SignalEdge::Rise);
+            let am = b.add_edge(a, SignalEdge::Fall);
+            b.arc_pt(enter, ap);
+            b.connect(ap, am);
+            b.arc_tp(am, back);
+            continue;
+        }
+        for side in 0..2 {
+            let s = b.add_signal(format!("s{}{side}", &path[1..]), SignalKind::Input);
+            let sp = b.add_edge(s, SignalEdge::Rise);
+            let sm = b.add_edge(s, SignalEdge::Fall);
+            let down = b.add_place(format!("d{}{side}", &path[1..]), 0);
+            let up = b.add_place(format!("u{}{side}", &path[1..]), 0);
+            b.arc_pt(enter, sp);
+            b.arc_tp(sp, down);
+            b.arc_pt(up, sm);
+            b.arc_tp(sm, back);
+            stack.push((down, up, format!("{path}{side}")));
+        }
+    }
+    b.build()
+}
+
+/// A modulo-`2^bits` ripple counter as one long marked-graph cycle: an
+/// input clock `c` pulses `2^bits` times per period; after each rising
+/// edge the output bits that a binary up-counter would toggle do so, in
+/// ripple order (bit 0 first). Every signal alternates rise/fall by
+/// construction, the net is a single cycle (persistent,
+/// deadlock-free), and the state count equals the cycle length.
+///
+/// # Panics
+///
+/// Panics if `bits == 0` or `bits > 5`.
+#[must_use]
+pub fn ripple_counter(bits: usize) -> Stg {
+    assert!((1..=5).contains(&bits));
+    let mut b = StgBuilder::new(format!("counter-{bits}"));
+    let c = b.add_signal("c", SignalKind::Input);
+    let outs: Vec<_> = (0..bits)
+        .map(|i| b.add_signal(format!("b{i}"), SignalKind::Output))
+        .collect();
+    let mut value = vec![false; bits];
+    let mut sequence = Vec::new();
+    for _ in 0..1usize << bits {
+        sequence.push(b.add_edge(c, SignalEdge::Rise));
+        // Binary increment: flip bit 0; a 1→0 flip carries into the
+        // next bit.
+        for i in 0..bits {
+            let edge = if value[i] {
+                SignalEdge::Fall
+            } else {
+                SignalEdge::Rise
+            };
+            sequence.push(b.add_edge(outs[i], edge));
+            value[i] = !value[i];
+            if value[i] {
+                break;
+            }
+        }
+        sequence.push(b.add_edge(c, SignalEdge::Fall));
+    }
+    for w in sequence.windows(2) {
+        b.connect(w[0], w[1]);
+    }
+    let p = b.connect(sequence[sequence.len() - 1], sequence[0]);
+    b.mark_place(p, 1);
+    b.build()
+}
+
+/// A fork/join paralleliser: an input request forks `n` concurrent
+/// worker handshakes (`2^n` interleavings) which join into an output
+/// done pulse. With `shared`, every worker additionally needs a single
+/// resource token for its critical section — an output choice on the
+/// resource place, making the specification non-persistent (pinned as
+/// such in the ledger).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn paralleliser(n: usize, shared: bool) -> Stg {
+    assert!(n >= 2);
+    let tag = if shared { "shared" } else { "free" };
+    let mut b = StgBuilder::new(format!("par-{n}-{tag}"));
+    let r = b.add_signal("r", SignalKind::Input);
+    let d = b.add_signal("d", SignalKind::Output);
+    let rp = b.add_edge(r, SignalEdge::Rise);
+    let rm = b.add_edge(r, SignalEdge::Fall);
+    let dp = b.add_edge(d, SignalEdge::Rise);
+    let dm = b.add_edge(d, SignalEdge::Fall);
+    let fork = b.add_dummy("fork");
+    let join = b.add_dummy("join");
+    b.connect(rp, fork);
+    b.connect(join, dp);
+    b.connect(dp, rm);
+    b.connect(rm, dm);
+    let idle = b.connect(dm, rp);
+    b.mark_place(idle, 1);
+    let resource = shared.then(|| b.add_place("res", 1));
+    for i in 0..n {
+        let w = b.add_signal(format!("w{i}"), SignalKind::Output);
+        let wp = b.add_edge(w, SignalEdge::Rise);
+        let wm = b.add_edge(w, SignalEdge::Fall);
+        b.connect(fork, wp);
+        b.connect(wp, wm);
+        b.connect(wm, join);
+        if let Some(res) = resource {
+            b.arc_pt(res, wp);
+            b.arc_tp(wm, res);
+        }
+    }
+    b.build()
+}

@@ -1,0 +1,51 @@
+//! Classic async-benchmark specifications imported from `.g` text, so
+//! external specs join the corpus through exactly the reader every
+//! user-supplied file goes through (`stg::parse::parse_g`).
+//!
+//! The texts live under `crates/corpus/specs/` and are embedded at
+//! compile time; [`classics`] parses them on every call, which keeps
+//! the parser itself inside the corpus test surface.
+
+use stg::parse::parse_g;
+use stg::Stg;
+
+/// The embedded `.g` sources, in ledger order.
+pub const SOURCES: [(&str, &str); 4] = [
+    ("seq", include_str!("../specs/seq.g")),
+    ("par", include_str!("../specs/par.g")),
+    ("call", include_str!("../specs/call.g")),
+    ("buf4", include_str!("../specs/buf4.g")),
+];
+
+/// Parses every embedded classic.
+///
+/// # Panics
+///
+/// Panics if an embedded file fails to parse — a compile-time artifact
+/// being malformed is a bug, not an input error.
+#[must_use]
+pub fn classics() -> Vec<Stg> {
+    SOURCES
+        .iter()
+        .map(|(name, text)| {
+            parse_g(text).unwrap_or_else(|e| panic!("embedded spec {name}.g is malformed: {e}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::classics;
+
+    #[test]
+    fn classics_parse_and_carry_their_names() {
+        let specs = classics();
+        let names: Vec<&str> = specs.iter().map(stg::Stg::name).collect();
+        assert_eq!(names, ["seq", "par", "call", "buf4"]);
+        // buf4 exercises the .initial directive end to end.
+        let buf4 = &specs[3];
+        let values = buf4.initial_values().expect("buf4 pins initial values");
+        let ri = buf4.signal_by_name("ri").expect("ri exists");
+        assert!(values[ri.index()], "ri starts high");
+    }
+}

@@ -8,6 +8,7 @@
 //! asyncsynth reduce <file.g> [--backend B] [--json]     # structural reductions + invariants
 //! asyncsynth serve  [--port N | --stdio] [--workers N] [--cache DIR]
 //! asyncsynth submit <file.g> [--host H] [--port N] [options] [--events]
+//! asyncsynth submit <dir>    [--host H] [--port N] [options]   # batch every .g in dir
 //!
 //! synth options:
 //!   --arch complex|celement|rs|decomposed   (default: complex)
@@ -60,6 +61,9 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         return serve(&args[1..]);
     }
     let path = args.get(1).ok_or(usage)?;
+    if cmd == "submit" && std::fs::metadata(path).is_ok_and(|m| m.is_dir()) {
+        return submit_dir(path, &args[2..]);
+    }
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     if cmd == "submit" {
         return submit(&text, &args[2..]);
@@ -452,6 +456,92 @@ fn submit(spec_text: &str, opts: &[String]) -> Result<(), String> {
                     _ => CacheOutcome::Disabled,
                 };
                 print_summary(&decoded, outcome);
+            }
+            Ok(())
+        }
+        other => Err(format!("unexpected final response: {other:?}")),
+    }
+}
+
+/// `submit <dir>`: every `.g` file of the directory (sorted by name) as
+/// one batch job. Per-spec pipeline failures are reported entry by
+/// entry and do not fail the command — a corpus directory legitimately
+/// contains non-implementable specifications.
+fn submit_dir(dir: &str, opts: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        opts,
+        &[
+            "--host",
+            "--port",
+            "--arch",
+            "--backend",
+            "--csc",
+            "--csc-threads",
+            "--csc-bound",
+            "--csc-no-prune",
+            "--fanin",
+            "--no-verify",
+            "--verify-bound",
+            "--verify-strategy",
+            "--verify-incremental",
+            "--json",
+        ],
+    )?;
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{dir}: {e}"))?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "g"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("{dir}: no .g files"));
+    }
+    let texts: Vec<String> = paths
+        .iter()
+        .map(|p| std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display())))
+        .collect::<Result<_, _>>()?;
+    let addr = format!("{}:{}", flags.host, flags.port.unwrap_or(DEFAULT_PORT));
+    let json = flags.json;
+    let final_response =
+        server::client::submit_batch(&addr, &texts, &flags.options(), |response| {
+            if let Response::Accepted { job, .. } = response {
+                if json {
+                    println!("{}", response.to_json().render());
+                } else {
+                    println!("batch job {job} accepted ({} specs)", texts.len());
+                }
+            }
+        })?;
+    match &final_response {
+        Response::BatchResult { results, .. } => {
+            if json {
+                println!("{}", final_response.to_json().render());
+            } else {
+                let mut synthesized = 0usize;
+                for entry in results {
+                    let model = entry.get("model").and_then(Json::as_str).unwrap_or("?");
+                    let cache = entry.get("cache").and_then(Json::as_str).unwrap_or("?");
+                    match entry.get("error").and_then(Json::as_str) {
+                        Some(error) => println!("  {model}: error: {error}"),
+                        None => {
+                            synthesized += 1;
+                            let verification = entry
+                                .get("summary")
+                                .and_then(|s| s.get("verification"))
+                                .and_then(Json::as_str)
+                                .unwrap_or("?");
+                            println!(
+                                "  {model}: synthesized ({cache}, verification {verification})"
+                            );
+                        }
+                    }
+                }
+                println!(
+                    "batch: {synthesized}/{} synthesized, {} failed",
+                    results.len(),
+                    results.len() - synthesized
+                );
             }
             Ok(())
         }

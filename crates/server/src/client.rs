@@ -46,7 +46,9 @@ pub fn request(
                 on_response(&response);
             }
             Response::Event { .. } => on_response(&response),
-            Response::Result { job: id, .. } | Response::CheckResult { job: id, .. }
+            Response::Result { job: id, .. }
+            | Response::CheckResult { job: id, .. }
+            | Response::BatchResult { job: id, .. }
                 if job == Some(*id) =>
             {
                 return Ok(response);
@@ -87,6 +89,29 @@ pub fn submit_synth(
             spec_text: spec_text.to_owned(),
             options: options.clone(),
             events,
+        },
+        on_response,
+    )
+}
+
+/// Submits many `.g` specifications as one batch job and returns the
+/// final `batch_result` response (per-spec failures ride inside it; the
+/// call only errors when the batch as a whole is rejected).
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn submit_batch(
+    addr: &str,
+    spec_texts: &[String],
+    options: &SynthesisOptions,
+    on_response: impl FnMut(&Response),
+) -> Result<Response, String> {
+    request(
+        addr,
+        &Request::Batch {
+            spec_texts: spec_texts.to_vec(),
+            options: options.clone(),
         },
         on_response,
     )

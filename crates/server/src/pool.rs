@@ -12,7 +12,11 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use asyncsynth::{cache_key, run_cached_with, CacheStage, FlowEvent, FlowObserver, ResultCache};
+use asyncsynth::{
+    cache_key, run_cached_with, CacheStage, FlowEvent, FlowObserver, Json, ResultCache,
+    SynthesisSummary,
+};
+use stg::Stg;
 
 use crate::protocol::Response;
 use crate::queue::{Job, JobKind, JobQueue, Reply};
@@ -135,8 +139,9 @@ fn worker_loop(queue: &JobQueue, cache: Option<&ResultCache>, auto_sweep_threads
 }
 
 fn run_job(job: &Job, cache: Option<&ResultCache>, auto_sweep_threads: usize) -> Response {
-    match job.kind {
+    match &job.kind {
         JobKind::Synth { stream_events } => {
+            let stream_events = *stream_events;
             let mut observer = JobObserver {
                 job_id: job.id,
                 stream: stream_events,
@@ -188,7 +193,57 @@ fn run_job(job: &Job, cache: Option<&ResultCache>, auto_sweep_threads: usize) ->
                 report: payload,
             }
         }
+        JobKind::Batch { rest } => run_batch_job(job, rest, cache),
     }
+}
+
+/// One batch job: per-spec probe of the result cache, then one
+/// [`asyncsynth::run_batch`] call over the misses (scoped work-stealing
+/// across every core), storing each fresh result back so later `synth`
+/// submissions of the same specs hit. Per-spec failures become `error`
+/// entries; the batch itself always yields a `batch_result`.
+fn run_batch_job(job: &Job, rest: &[Stg], cache: Option<&ResultCache>) -> Response {
+    let specs: Vec<&Stg> = std::iter::once(&job.spec).chain(rest.iter()).collect();
+    let options = &job.options;
+    let mut entries: Vec<Option<Json>> = vec![None; specs.len()];
+    let mut misses: Vec<usize> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let cached = cache.and_then(|c| c.load(&cache_key(spec, options, CacheStage::Full)));
+        match cached {
+            Some(summary) => entries[i] = Some(batch_entry(spec.name(), "hit", Ok(summary))),
+            None => misses.push(i),
+        }
+    }
+    let miss_specs: Vec<Stg> = misses.iter().map(|&i| specs[i].clone()).collect();
+    // `run_batch` pins each member's CSC sweep to one thread itself, so
+    // the auto sweep-thread split does not apply here.
+    let outcomes = asyncsynth::run_batch(&miss_specs, options);
+    let miss_label = if cache.is_some() { "miss" } else { "disabled" };
+    for (&i, outcome) in misses.iter().zip(outcomes) {
+        entries[i] = Some(match outcome {
+            Ok(verified) => {
+                let summary = SynthesisSummary::from_verified(&verified, options).to_json();
+                if let Some(cache) = cache {
+                    let _ = cache.store(&cache_key(specs[i], options, CacheStage::Full), &summary);
+                }
+                batch_entry(specs[i].name(), miss_label, Ok(summary))
+            }
+            Err(e) => batch_entry(specs[i].name(), miss_label, Err(e.to_string())),
+        });
+    }
+    Response::BatchResult {
+        job: job.id,
+        results: entries.into_iter().flatten().collect(),
+    }
+}
+
+fn batch_entry(model: &str, cache: &str, outcome: Result<Json, String>) -> Json {
+    let mut pairs = vec![("model", Json::str(model)), ("cache", Json::str(cache))];
+    match outcome {
+        Ok(summary) => pairs.push(("summary", summary)),
+        Err(message) => pairs.push(("error", Json::str(&message))),
+    }
+    Json::obj(pairs)
 }
 
 fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {

@@ -9,6 +9,7 @@
 //!  "fanin":2,"skip_verification":false,"verify_bound":500000,
 //!  "verify_strategy":"composed","verify_incremental":false,"events":true}
 //! {"op":"check","spec":"<.g text>","backend":"symbolic-set"}
+//! {"op":"batch","specs":["<.g text>","<.g text>"],"backend":"explicit"}
 //! {"op":"status"}
 //! {"op":"cancel","job":3}
 //! {"op":"shutdown"}
@@ -16,7 +17,11 @@
 //!
 //! Every option of `synth` except `spec` is optional and defaults to the
 //! pipeline's defaults. `events:true` streams per-stage [`FlowEvent`]
-//! diagnostics while the job runs.
+//! diagnostics while the job runs. `batch` submits many specifications
+//! as one job (the CLI's corpus-directory form of `submit`): each spec
+//! is first probed against the result cache, the misses run through
+//! `asyncsynth::run_batch`, and per-spec failures do not fail the
+//! batch.
 //!
 //! # Responses
 //!
@@ -25,6 +30,9 @@
 //! {"type":"event","job":1,"stage":"check","message":"state space built (explicit): 20 states"}
 //! {"type":"result","job":1,"cache":"miss","summary":{...}}
 //! {"type":"check_result","job":2,"cache":"hit","report":{...}}
+//! {"type":"batch_result","job":4,"total":3,"synthesized":2,"failed":1,
+//!  "cache_hits":0,"results":[{"model":"...","cache":"miss","summary":{...}},
+//!                            {"model":"...","cache":"miss","error":"..."}]}
 //! {"type":"error","job":1,"message":"..."}        // job omitted for protocol errors
 //! {"type":"status","queued":0,"running":1,"completed":9,"workers":4,
 //!  "cache":{"hits":5,"misses":4,"stores":4,"corrupt":0}}
@@ -33,7 +41,8 @@
 //! ```
 //!
 //! Responses for a given job always end with exactly one `result`,
-//! `check_result` or `error` message carrying that job id.
+//! `check_result`, `batch_result` or `error` message carrying that job
+//! id.
 //!
 //! [`FlowEvent`]: asyncsynth::FlowEvent
 
@@ -57,6 +66,13 @@ pub enum Request {
         /// The specification, in `.g` text form.
         spec_text: String,
         /// Flow options (only the backend matters for `check`).
+        options: SynthesisOptions,
+    },
+    /// Run the full flow on many specifications as one job.
+    Batch {
+        /// The specifications, each in `.g` text form.
+        spec_texts: Vec<String>,
+        /// Flow options, shared by every member of the batch.
         options: SynthesisOptions,
     },
     /// Report queue/worker/cache counters.
@@ -93,6 +109,10 @@ impl Request {
                 spec_text: spec_field(&v)?,
                 options: options_fields(&v)?,
             }),
+            "batch" => Ok(Request::Batch {
+                spec_texts: specs_field(&v)?,
+                options: options_fields(&v)?,
+            }),
             "status" => Ok(Request::Status),
             "cancel" => Ok(Request::Cancel {
                 job: v
@@ -124,6 +144,15 @@ impl Request {
                 pairs.extend(option_pairs(options));
                 Json::obj(pairs).render()
             }
+            Request::Batch {
+                spec_texts,
+                options,
+            } => {
+                let specs = Json::Arr(spec_texts.iter().map(Json::str).collect());
+                let mut pairs = vec![("op", Json::str("batch")), ("specs", specs)];
+                pairs.extend(option_pairs(options));
+                Json::obj(pairs).render()
+            }
             Request::Status => Json::obj(vec![("op", Json::str("status"))]).render(),
             Request::Cancel { job } => Json::obj(vec![
                 ("op", Json::str("cancel")),
@@ -140,6 +169,23 @@ fn spec_field(v: &Json) -> Result<String, String> {
         .and_then(Json::as_str)
         .map(ToOwned::to_owned)
         .ok_or_else(|| "missing \"spec\" field (.g text)".to_owned())
+}
+
+fn specs_field(v: &Json) -> Result<Vec<String>, String> {
+    let Some(Json::Arr(items)) = v.get("specs") else {
+        return Err("missing \"specs\" field (array of .g texts)".to_owned());
+    };
+    let texts: Vec<String> = items
+        .iter()
+        .filter_map(|s| s.as_str().map(ToOwned::to_owned))
+        .collect();
+    if texts.len() != items.len() {
+        return Err("\"specs\" must contain only strings".to_owned());
+    }
+    if texts.is_empty() {
+        return Err("\"specs\" must not be empty".to_owned());
+    }
+    Ok(texts)
 }
 
 fn options_fields(v: &Json) -> Result<SynthesisOptions, String> {
@@ -252,6 +298,15 @@ pub enum Response {
         /// The implementability report JSON.
         report: Json,
     },
+    /// A batch job finished (per-spec failures included, in order).
+    BatchResult {
+        /// The job id.
+        job: u64,
+        /// One entry per submitted spec, in submission order: `model`
+        /// and `cache` always, plus either `summary` (success) or
+        /// `error` (that spec's pipeline failure).
+        results: Vec<Json>,
+    },
     /// A job failed, or (with `job: None`) a request was malformed.
     Error {
         /// The job id, when the error belongs to an accepted job.
@@ -321,6 +376,25 @@ impl Response {
                 ("cache", Json::str(cache)),
                 ("report", report.clone()),
             ]),
+            Response::BatchResult { job, results } => {
+                let synthesized = results
+                    .iter()
+                    .filter(|r| r.get("summary").is_some())
+                    .count();
+                let cache_hits = results
+                    .iter()
+                    .filter(|r| r.get("cache").and_then(Json::as_str) == Some("hit"))
+                    .count();
+                Json::obj(vec![
+                    ("type", Json::str("batch_result")),
+                    ("job", num64(*job)),
+                    ("total", Json::num(results.len())),
+                    ("synthesized", Json::num(synthesized)),
+                    ("failed", Json::num(results.len() - synthesized)),
+                    ("cache_hits", Json::num(cache_hits)),
+                    ("results", Json::Arr(results.clone())),
+                ])
+            }
             Response::Error { job, message } => Json::obj(vec![
                 ("type", Json::str("error")),
                 ("job", job.map_or(Json::Null, num64)),
@@ -401,6 +475,13 @@ impl Response {
                 cache: text(&v, "cache")?,
                 report: v.get("report").cloned().ok_or("missing report")?,
             }),
+            "batch_result" => Ok(Response::BatchResult {
+                job: job(&v)?,
+                results: match v.get("results") {
+                    Some(Json::Arr(items)) => items.clone(),
+                    _ => return Err("missing \"results\" array".to_owned()),
+                },
+            }),
             "error" => Ok(Response::Error {
                 job: v.get("job").and_then(Json::as_u64),
                 message: text(&v, "message")?,
@@ -465,6 +546,10 @@ mod tests {
                     ..Default::default()
                 },
             },
+            Request::Batch {
+                spec_texts: vec![".model a\n.end\n".to_owned(), ".model b\n.end\n".to_owned()],
+                options: asyncsynth::SynthesisOptions::default(),
+            },
             Request::Status,
             Request::Cancel { job: 7 },
             Request::Shutdown,
@@ -523,6 +608,9 @@ mod tests {
             "{\"op\":\"warp\"}",
             "{\"op\":\"cancel\"}",
             "{\"op\":\"synth\",\"spec\":\"x\",\"backend\":\"quantum\"}",
+            "{\"op\":\"batch\"}",
+            "{\"op\":\"batch\",\"specs\":[]}",
+            "{\"op\":\"batch\",\"specs\":[\"x\",7]}",
         ] {
             assert!(
                 Request::parse_line(bad).is_err(),
@@ -547,6 +635,21 @@ mod tests {
                 job: 1,
                 cache: "hit".to_owned(),
                 summary: Json::obj(vec![("model", Json::str("m"))]),
+            },
+            Response::BatchResult {
+                job: 4,
+                results: vec![
+                    Json::obj(vec![
+                        ("model", Json::str("a")),
+                        ("cache", Json::str("miss")),
+                        ("summary", Json::obj(vec![("model", Json::str("a"))])),
+                    ]),
+                    Json::obj(vec![
+                        ("model", Json::str("b")),
+                        ("cache", Json::str("miss")),
+                        ("error", Json::str("state graph is not consistent")),
+                    ]),
+                ],
             },
             Response::Error {
                 job: None,

@@ -42,7 +42,7 @@ impl Reply {
 }
 
 /// What a job computes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub enum JobKind {
     /// The full flow; optionally streaming per-stage events.
     Synth {
@@ -51,6 +51,15 @@ pub enum JobKind {
     },
     /// Only the §2.1 implementability check.
     Check,
+    /// A whole corpus of specifications in one job, run through
+    /// [`asyncsynth::run_batch`] after a per-spec cache probe. The
+    /// first specification rides in [`Job::spec`]; the remainder here.
+    /// Cancellation is coarse: honoured before the batch starts, not
+    /// between its members.
+    Batch {
+        /// The second and subsequent specifications of the batch.
+        rest: Vec<Stg>,
+    },
 }
 
 /// One unit of work: a parsed specification plus options, the owning

@@ -236,6 +236,10 @@ fn handle_connection(
                 options,
                 JobKind::Check,
             ),
+            Ok(Request::Batch {
+                spec_texts,
+                options,
+            }) => submit_batch(context, &reply, &mut my_jobs, &spec_texts, options),
             Ok(Request::Status) => {
                 reply.send(Response::Status {
                     queued: context.queue.queued(),
@@ -298,7 +302,7 @@ fn submit_job(
     };
     let id = context.queue.next_job_id();
     let stage = match kind {
-        JobKind::Synth { .. } => CacheStage::Full,
+        JobKind::Synth { .. } | JobKind::Batch { .. } => CacheStage::Full,
         JobKind::Check => CacheStage::Check,
     };
     let key = context
@@ -306,6 +310,64 @@ fn submit_job(
         .as_ref()
         .map(|_| cache_key(&spec, &options, stage).to_hex());
     reply.send(Response::Accepted { job: id, key });
+    enqueue(context, reply, my_jobs, id, spec, options, kind);
+}
+
+/// Parses every member of a batch request and enqueues the whole batch
+/// as one job (the `accepted` acknowledgement carries no cache key —
+/// each member has its own). A single malformed member rejects the
+/// batch before anything is queued.
+fn submit_batch(
+    context: &ServerContext,
+    reply: &Reply,
+    my_jobs: &mut Vec<u64>,
+    spec_texts: &[String],
+    options: asyncsynth::SynthesisOptions,
+) {
+    let mut specs = Vec::with_capacity(spec_texts.len());
+    for (i, text) in spec_texts.iter().enumerate() {
+        match parse_g(text) {
+            Ok(spec) => specs.push(spec),
+            Err(e) => {
+                reply.send(Response::Error {
+                    job: None,
+                    message: format!("bad specification #{i}: {e}"),
+                });
+                return;
+            }
+        }
+    }
+    let Some((first, rest)) = specs.split_first() else {
+        reply.send(Response::Error {
+            job: None,
+            message: "empty batch".to_owned(),
+        });
+        return;
+    };
+    let id = context.queue.next_job_id();
+    reply.send(Response::Accepted { job: id, key: None });
+    enqueue(
+        context,
+        reply,
+        my_jobs,
+        id,
+        first.clone(),
+        options,
+        JobKind::Batch {
+            rest: rest.to_vec(),
+        },
+    );
+}
+
+fn enqueue(
+    context: &ServerContext,
+    reply: &Reply,
+    my_jobs: &mut Vec<u64>,
+    id: u64,
+    spec: stg::Stg,
+    options: asyncsynth::SynthesisOptions,
+    kind: JobKind,
+) {
     let job = Job {
         id,
         spec,

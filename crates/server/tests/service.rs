@@ -237,6 +237,90 @@ fn malformed_requests_and_bad_specs_are_rejected_without_killing_the_server() {
 }
 
 #[test]
+fn corpus_batch_submission_warms_the_cache_and_reports_per_spec_failures() {
+    let server = boot("batch", 2);
+    // A miniature corpus directory: two synthesisable controllers plus
+    // an arbiter, whose output choice is non-persistent by design — its
+    // entry must fail without failing the batch.
+    let texts: Vec<String> = vec![
+        spec_text(stg::examples::vme_read),
+        spec_text(stg::examples::toggle),
+        stg::parse::write_g(&corpus::generators::arbiter(2)),
+    ];
+
+    let cold = client::submit_batch(&server.addr, &texts, &SynthesisOptions::default(), |_| {})
+        .expect("cold batch succeeds");
+    let Response::BatchResult { results, .. } = &cold else {
+        panic!("expected batch_result, got {cold:?}");
+    };
+    assert_eq!(results.len(), 3, "one entry per submitted spec, in order");
+    for (entry, expected_model) in results.iter().zip(["vme-read", "toggle", "arbiter-2"]) {
+        assert_eq!(
+            entry.get("model").and_then(Json::as_str),
+            Some(expected_model)
+        );
+        assert_eq!(
+            entry.get("cache").and_then(Json::as_str),
+            Some("miss"),
+            "cold batch misses: {entry}"
+        );
+    }
+    assert_eq!(
+        results[0]
+            .get("summary")
+            .and_then(|s| s.get("verification"))
+            .and_then(Json::as_str),
+        Some("passed")
+    );
+    assert!(results[1].get("summary").is_some());
+    let arbiter_error = results[2]
+        .get("error")
+        .and_then(Json::as_str)
+        .expect("arbiter entry carries its pipeline error");
+    assert!(
+        arbiter_error.contains("implementab"),
+        "the arbiter fails the §2.1 check: {arbiter_error}"
+    );
+
+    // The batch warmed the shared result cache: a plain synth submission
+    // of a batch member is a byte-identical hit…
+    let single = client::submit_synth(
+        &server.addr,
+        &texts[0],
+        &SynthesisOptions::default(),
+        false,
+        |_| {},
+    )
+    .expect("single submission succeeds");
+    let Response::Result { cache, summary, .. } = &single else {
+        panic!("expected result, got {single:?}");
+    };
+    assert_eq!(cache, "hit", "batch-stored entries serve synth jobs");
+    assert_eq!(
+        summary.render(),
+        results[0].get("summary").expect("stored summary").render()
+    );
+
+    // …and a repeated batch serves its successes from the cache while
+    // re-running (and re-failing) the arbiter.
+    let warm = client::submit_batch(&server.addr, &texts, &SynthesisOptions::default(), |_| {})
+        .expect("warm batch succeeds");
+    let Response::BatchResult { results: warm, .. } = &warm else {
+        panic!("expected batch_result");
+    };
+    assert_eq!(warm[0].get("cache").and_then(Json::as_str), Some("hit"));
+    assert_eq!(warm[1].get("cache").and_then(Json::as_str), Some("hit"));
+    assert_eq!(warm[2].get("cache").and_then(Json::as_str), Some("miss"));
+    assert_eq!(
+        warm[0].get("summary").expect("summary").render(),
+        results[0].get("summary").expect("summary").render(),
+        "warm hits are byte-identical to the cold run"
+    );
+
+    server.shutdown();
+}
+
+#[test]
 fn cancel_of_unknown_job_reports_not_found() {
     let server = boot("cancel", 1);
     let response = client::request(&server.addr, &Request::Cancel { job: 9999 }, |_| {})

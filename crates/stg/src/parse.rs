@@ -3,9 +3,15 @@
 //! (§7 mentions `petrify`; its input format is reproduced here).
 //!
 //! Supported sections: `.model`, `.inputs`, `.outputs`, `.internal`,
-//! `.dummy`, `.graph`, `.marking`, `.end`; transition tokens `sig+`,
-//! `sig-`, `sig+/2`; explicit places (any other token on the left of a
-//! `.graph` line); markings `{ p1 <a+,b-> }`.
+//! `.dummy`, `.initial`, `.graph`, `.marking`, `.end`; transition tokens
+//! `sig+`, `sig-`, `sig+/2`; explicit places (any other token on the left
+//! of a `.graph` line); markings `{ p1 <a+,b-> }`.
+//!
+//! `.initial sig=1 sig=0 ...` pins explicit initial signal values (the
+//! builder's `set_initial_values`); signals not listed default to `0`.
+//! The writer emits the directive only when the STG carries explicit
+//! values, so specs without them round-trip to byte-identical canonical
+//! text.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -76,6 +82,7 @@ pub fn parse_g(text: &str) -> Result<Stg, ParseGError> {
     // graph section so forward references work.
     let mut graph_lines: Vec<(usize, Vec<String>)> = Vec::new();
     let mut marking_tokens: Vec<(usize, String)> = Vec::new();
+    let mut initial_tokens: Vec<(usize, String)> = Vec::new();
     let mut in_graph = false;
     let mut saw_graph = false;
 
@@ -102,6 +109,10 @@ pub fn parse_g(text: &str) -> Result<Stg, ParseGError> {
         } else if let Some(rest) = line.strip_prefix(".dummy") {
             for tok in rest.split_whitespace() {
                 dummies.push(tok.to_owned());
+            }
+        } else if let Some(rest) = line.strip_prefix(".initial") {
+            for tok in rest.split_whitespace() {
+                initial_tokens.push((lineno, tok.to_owned()));
             }
         } else if line.starts_with(".graph") {
             in_graph = true;
@@ -146,6 +157,34 @@ pub fn parse_g(text: &str) -> Result<Stg, ParseGError> {
         }
         let id = b.add_signal(n.clone(), *kind);
         signal_ids.insert(n.clone(), id);
+    }
+
+    // Explicit initial values (`.initial sig=0 sig=1 ...`). Unlisted
+    // signals default to 0, matching the writer which always lists all.
+    if !initial_tokens.is_empty() {
+        let mut values = vec![false; declared.len()];
+        for (lineno, tok) in &initial_tokens {
+            let Some((sig, val)) = tok.split_once('=') else {
+                return Err(err(*lineno, format!("malformed initial value {tok:?}")));
+            };
+            let Some(&id) = signal_ids.get(sig) else {
+                return Err(err(
+                    *lineno,
+                    format!("undeclared signal in .initial {tok:?}"),
+                ));
+            };
+            values[id.index()] = match val {
+                "0" => false,
+                "1" => true,
+                _ => {
+                    return Err(err(
+                        *lineno,
+                        format!("initial value {tok:?} must be 0 or 1"),
+                    ))
+                }
+            };
+        }
+        b.set_initial_values(values);
     }
 
     // First pass: create transitions (and remember explicit places).
@@ -246,7 +285,8 @@ pub fn parse_g(text: &str) -> Result<Stg, ParseGError> {
 }
 
 /// Serialises an STG to `.g` text; `parse_g(&write_g(&stg))` reproduces an
-/// equivalent STG (same signals, transitions, arcs, marking).
+/// equivalent STG (same signals, transitions, arcs, marking, explicit
+/// initial values — hence an identical canonical digest).
 #[must_use]
 pub fn write_g(stg: &Stg) -> String {
     use std::fmt::Write as _;
@@ -265,6 +305,13 @@ pub fn write_g(stg: &Stg) -> String {
         if !names.is_empty() {
             let _ = writeln!(out, "{directive} {}", names.join(" "));
         }
+    }
+    if let Some(values) = stg.initial_values() {
+        let rendered: Vec<String> = stg
+            .signals()
+            .map(|s| format!("{}={}", stg.signal_name(s), u8::from(values[s.index()])))
+            .collect();
+        let _ = writeln!(out, ".initial {}", rendered.join(" "));
     }
     let dummies: Vec<String> = stg
         .net()
@@ -328,6 +375,8 @@ pub fn write_g(stg: &Stg) -> String {
             }
         }
     }
+    // Sorted for a stable rendering regardless of place creation order.
+    marks.sort_unstable();
     let _ = writeln!(out, ".marking {{ {} }}", marks.join(" "));
     let _ = writeln!(out, ".end");
     out

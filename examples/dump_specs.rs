@@ -1,34 +1,45 @@
-//! Dumps the paper's example controllers in `.g` format.
+//! Dumps corpus specifications in `.g` format.
 //!
 //! ```text
-//! cargo run --example dump_specs               # list available models
-//! cargo run --example dump_specs vme_read      # one model to stdout
+//! cargo run --example dump_specs                  # list the corpus (family model)
+//! cargo run --example dump_specs vme-read         # one model to stdout
+//! cargo run --example dump_specs -- --all         # export the corpus to examples/specs/
+//! cargo run --example dump_specs -- --all DIR     # export to DIR instead
 //! ```
 //!
-//! The committed files under `examples/specs/` are produced by this
-//! example; regenerate them after changing `stg::examples`.
+//! The committed files under `examples/specs/` are produced by the
+//! `--all` mode; regenerate them after changing `stg::examples`,
+//! `corpus::generators` or the family grids.
 
-type Model = (&'static str, fn() -> stg::Stg);
+use std::path::PathBuf;
 
 fn main() {
-    let models: &[Model] = &[
-        ("vme_read", stg::examples::vme_read),
-        ("vme_read_csc", stg::examples::vme_read_csc),
-        ("vme_read_write", stg::examples::vme_read_write),
-        ("toggle", stg::examples::toggle),
-    ];
-    let arg = std::env::args().nth(1);
-    match arg.as_deref() {
-        Some(name) => match models.iter().find(|(n, _)| *n == name) {
-            Some((_, build)) => print!("{}", stg::parse::write_g(&build())),
+    let specs = corpus::all_specs();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--all") => {
+            let dir = args.get(1).map_or_else(
+                || PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/specs"),
+                PathBuf::from,
+            );
+            std::fs::create_dir_all(&dir).expect("create output directory");
+            for (_, spec) in &specs {
+                let path = dir.join(format!("{}.g", spec.name()));
+                std::fs::write(&path, stg::parse::write_g(spec))
+                    .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            }
+            println!("wrote {} specs to {}", specs.len(), dir.display());
+        }
+        Some(name) => match specs.iter().find(|(_, s)| s.name() == name) {
+            Some((_, spec)) => print!("{}", stg::parse::write_g(spec)),
             None => {
-                eprintln!("unknown model {name:?}");
+                eprintln!("unknown model {name:?}; run without arguments to list the corpus");
                 std::process::exit(1);
             }
         },
         None => {
-            for (name, _) in models {
-                println!("{name}");
+            for (family, spec) in &specs {
+                println!("{family} {}", spec.name());
             }
         }
     }

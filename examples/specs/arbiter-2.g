@@ -1,0 +1,17 @@
+.model arbiter-2
+.inputs r0 r1
+.outputs g0 g1
+.graph
+r0+ g0+
+g0+ r0-
+r0- g0-
+g0- idle0 mutex
+r1+ g1+
+g1+ r1-
+r1- g1-
+g1- idle1 mutex
+mutex g0+ g1+
+idle0 r0+
+idle1 r1+
+.marking { idle0 idle1 mutex }
+.end

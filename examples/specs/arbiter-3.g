@@ -1,0 +1,22 @@
+.model arbiter-3
+.inputs r0 r1 r2
+.outputs g0 g1 g2
+.graph
+r0+ g0+
+g0+ r0-
+r0- g0-
+g0- idle0 mutex
+r1+ g1+
+g1+ r1-
+r1- g1-
+g1- idle1 mutex
+r2+ g2+
+g2+ r2-
+r2- g2-
+g2- idle2 mutex
+mutex g0+ g1+ g2+
+idle0 r0+
+idle1 r1+
+idle2 r2+
+.marking { idle0 idle1 idle2 mutex }
+.end

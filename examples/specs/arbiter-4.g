@@ -1,0 +1,27 @@
+.model arbiter-4
+.inputs r0 r1 r2 r3
+.outputs g0 g1 g2 g3
+.graph
+r0+ g0+
+g0+ r0-
+r0- g0-
+g0- idle0 mutex
+r1+ g1+
+g1+ r1-
+r1- g1-
+g1- idle1 mutex
+r2+ g2+
+g2+ r2-
+r2- g2-
+g2- idle2 mutex
+r3+ g3+
+g3+ r3-
+r3- g3-
+g3- idle3 mutex
+mutex g0+ g1+ g2+ g3+
+idle0 r0+
+idle1 r1+
+idle2 r2+
+idle3 r3+
+.marking { idle0 idle1 idle2 idle3 mutex }
+.end

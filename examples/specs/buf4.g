@@ -1,0 +1,15 @@
+.model buf4
+.inputs ri ao
+.outputs ro ai
+.initial ri=1 ao=0 ro=1 ai=0
+.graph
+ri+ ro+
+ro+ ao+
+ao+ ai+
+ai+ ri-
+ri- ro-
+ro- ao-
+ao- ai-
+ai- ri+
+.marking { <ro+,ao+> }
+.end

@@ -1,0 +1,19 @@
+.model call
+.inputs r1 r2
+.outputs a1 a2 s
+.graph
+r1+ s+
+r2+ s+/2
+s+ s-
+s- a1+
+a1+ r1-
+r1- a1-
+a1- free
+s+/2 s-/2
+s-/2 a2+
+a2+ r2-
+r2- a2-
+a2- free
+free r1+ r2+
+.marking { free }
+.end

@@ -1,0 +1,10 @@
+.model chain-2-io
+.inputs s0
+.outputs s1
+.graph
+s0+ s1+
+s1+ s0-
+s0- s1-
+s1- s0+
+.marking { <s1-,s0+> }
+.end

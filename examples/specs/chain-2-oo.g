@@ -1,0 +1,9 @@
+.model chain-2-oo
+.outputs s0 s1
+.graph
+s0+ s1+
+s1+ s0-
+s0- s1-
+s1- s0+
+.marking { <s1-,s0+> }
+.end

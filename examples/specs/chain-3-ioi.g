@@ -1,0 +1,12 @@
+.model chain-3-ioi
+.inputs s0 s2
+.outputs s1
+.graph
+s0+ s1+
+s1+ s2+
+s2+ s0-
+s0- s1-
+s1- s2-
+s2- s0+
+.marking { <s2-,s0+> }
+.end

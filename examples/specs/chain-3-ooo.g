@@ -1,0 +1,11 @@
+.model chain-3-ooo
+.outputs s0 s1 s2
+.graph
+s0+ s1+
+s1+ s2+
+s2+ s0-
+s0- s1-
+s1- s2-
+s2- s0+
+.marking { <s2-,s0+> }
+.end

@@ -1,0 +1,14 @@
+.model chain-4-ioio
+.inputs s0 s2
+.outputs s1 s3
+.graph
+s0+ s1+
+s1+ s2+
+s2+ s3+
+s3+ s0-
+s0- s1-
+s1- s2-
+s2- s3-
+s3- s0+
+.marking { <s3-,s0+> }
+.end

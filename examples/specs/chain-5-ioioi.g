@@ -1,0 +1,16 @@
+.model chain-5-ioioi
+.inputs s0 s2 s4
+.outputs s1 s3
+.graph
+s0+ s1+
+s1+ s2+
+s2+ s3+
+s3+ s4+
+s4+ s0-
+s0- s1-
+s1- s2-
+s2- s3-
+s3- s4-
+s4- s0+
+.marking { <s4-,s0+> }
+.end

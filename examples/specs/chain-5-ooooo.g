@@ -1,0 +1,15 @@
+.model chain-5-ooooo
+.outputs s0 s1 s2 s3 s4
+.graph
+s0+ s1+
+s1+ s2+
+s2+ s3+
+s3+ s4+
+s4+ s0-
+s0- s1-
+s1- s2-
+s2- s3-
+s3- s4-
+s4- s0+
+.marking { <s4-,s0+> }
+.end

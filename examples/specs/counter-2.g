@@ -1,0 +1,20 @@
+.model counter-2
+.inputs c
+.outputs b0 b1
+.graph
+c+ b0+
+b0+ c-
+c- c+/2
+c+/2 b0-
+b0- b1+
+b1+ c-/2
+c-/2 c+/3
+c+/3 b0+/2
+b0+/2 c-/3
+c-/3 c+/4
+c+/4 b0-/2
+b0-/2 b1-
+b1- c-/4
+c-/4 c+
+.marking { <c-/4,c+> }
+.end

@@ -1,0 +1,36 @@
+.model counter-3
+.inputs c
+.outputs b0 b1 b2
+.graph
+c+ b0+
+b0+ c-
+c- c+/2
+c+/2 b0-
+b0- b1+
+b1+ c-/2
+c-/2 c+/3
+c+/3 b0+/2
+b0+/2 c-/3
+c-/3 c+/4
+c+/4 b0-/2
+b0-/2 b1-
+b1- b2+
+b2+ c-/4
+c-/4 c+/5
+c+/5 b0+/3
+b0+/3 c-/5
+c-/5 c+/6
+c+/6 b0-/3
+b0-/3 b1+/2
+b1+/2 c-/6
+c-/6 c+/7
+c+/7 b0+/4
+b0+/4 c-/7
+c-/7 c+/8
+c+/8 b0-/4
+b0-/4 b1-/2
+b1-/2 b2-
+b2- c-/8
+c-/8 c+
+.marking { <c-/8,c+> }
+.end

@@ -1,0 +1,14 @@
+.model dispatch-1-in
+.inputs r0
+.outputs a0
+.dummy reset
+.graph
+r0+ a0+
+a0+ r0-
+r0- a0-
+a0- merge
+reset choice
+choice r0+
+merge reset
+.marking { choice }
+.end

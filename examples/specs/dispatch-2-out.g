@@ -1,0 +1,17 @@
+.model dispatch-2-out
+.outputs r0 a0 r1 a1
+.dummy reset
+.graph
+r0+ a0+
+a0+ r0-
+r0- a0-
+a0- merge
+r1+ a1+
+a1+ r1-
+r1- a1-
+a1- merge
+reset choice
+choice r0+ r1+
+merge reset
+.marking { choice }
+.end

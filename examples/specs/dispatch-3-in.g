@@ -1,0 +1,22 @@
+.model dispatch-3-in
+.inputs r0 r1 r2
+.outputs a0 a1 a2
+.dummy reset
+.graph
+r0+ a0+
+a0+ r0-
+r0- a0-
+a0- merge
+r1+ a1+
+a1+ r1-
+r1- a1-
+a1- merge
+r2+ a2+
+a2+ r2-
+r2- a2-
+a2- merge
+reset choice
+choice r0+ r1+ r2+
+merge reset
+.marking { choice }
+.end

@@ -1,0 +1,26 @@
+.model dispatch-4-in
+.inputs r0 r1 r2 r3
+.outputs a0 a1 a2 a3
+.dummy reset
+.graph
+r0+ a0+
+a0+ r0-
+r0- a0-
+a0- merge
+r1+ a1+
+a1+ r1-
+r1- a1-
+a1- merge
+r2+ a2+
+a2+ r2-
+r2- a2-
+a2- merge
+r3+ a3+
+a3+ r3-
+r3- a3-
+a3- merge
+reset choice
+choice r0+ r1+ r2+ r3+
+merge reset
+.marking { choice }
+.end

@@ -1,0 +1,22 @@
+.model micropipeline-3
+.inputs r0
+.outputs a0 r1 a1 r2 a2 r3 a3
+.graph
+r0+ a0+
+r0- a0-
+a0+ r0- r1+
+a0- r0+
+r1+ a1+
+r1- a1-
+a1+ r1- r2+
+a1- a0+ r1+
+r2+ a2+
+r2- a2-
+a2+ r2- r3+
+a2- a1+ r2+
+r3+ a3+
+r3- a3-
+a3+ r3-
+a3- a2+ r3+
+.marking { <a0-,r0+> <a1-,a0+> <a1-,r1+> <a2-,a1+> <a2-,r2+> <a3-,a2+> <a3-,r3+> }
+.end

@@ -1,0 +1,17 @@
+.model par-2-free
+.inputs r
+.outputs d w0 w1
+.dummy fork join
+.graph
+r+ fork
+r- d-
+d+ r-
+d- r+
+fork w0+ w1+
+join d+
+w0+ w0-
+w0- join
+w1+ w1-
+w1- join
+.marking { <d-,r+> }
+.end

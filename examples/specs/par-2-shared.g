@@ -1,0 +1,18 @@
+.model par-2-shared
+.inputs r
+.outputs d w0 w1
+.dummy fork join
+.graph
+r+ fork
+r- d-
+d+ r-
+d- r+
+fork w0+ w1+
+join d+
+w0+ w0-
+w0- join res
+w1+ w1-
+w1- join res
+res w0+ w1+
+.marking { <d-,r+> res }
+.end

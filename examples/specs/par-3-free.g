@@ -1,0 +1,19 @@
+.model par-3-free
+.inputs r
+.outputs d w0 w1 w2
+.dummy fork join
+.graph
+r+ fork
+r- d-
+d+ r-
+d- r+
+fork w0+ w1+ w2+
+join d+
+w0+ w0-
+w0- join
+w1+ w1-
+w1- join
+w2+ w2-
+w2- join
+.marking { <d-,r+> }
+.end

@@ -1,0 +1,20 @@
+.model par-3-shared
+.inputs r
+.outputs d w0 w1 w2
+.dummy fork join
+.graph
+r+ fork
+r- d-
+d+ r-
+d- r+
+fork w0+ w1+ w2+
+join d+
+w0+ w0-
+w0- join res
+w1+ w1-
+w1- join res
+w2+ w2-
+w2- join res
+res w0+ w1+ w2+
+.marking { <d-,r+> res }
+.end

@@ -1,0 +1,21 @@
+.model par-4-free
+.inputs r
+.outputs d w0 w1 w2 w3
+.dummy fork join
+.graph
+r+ fork
+r- d-
+d+ r-
+d- r+
+fork w0+ w1+ w2+ w3+
+join d+
+w0+ w0-
+w0- join
+w1+ w1-
+w1- join
+w2+ w2-
+w2- join
+w3+ w3-
+w3- join
+.marking { <d-,r+> }
+.end

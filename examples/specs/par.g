@@ -1,0 +1,17 @@
+.model par
+.inputs r
+.outputs a x y
+.dummy fork join
+.graph
+r+ fork
+fork x+ y+
+x+ x-
+y+ y-
+x- join
+y- join
+join a+
+a+ r-
+r- a-
+a- r+
+.marking { <a-,r+> }
+.end

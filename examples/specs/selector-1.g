@@ -1,0 +1,19 @@
+.model selector-1
+.inputs s0 s1
+.outputs a1 a0
+.graph
+s0+ d0
+s0- root
+s1+ d1
+s1- root
+a1+ a1-
+a1- u1
+a0+ a0-
+a0- u0
+root s0+ s1+
+d0 a0+
+u0 s0-
+d1 a1+
+u1 s1-
+.marking { root }
+.end

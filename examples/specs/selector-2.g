@@ -1,0 +1,39 @@
+.model selector-2
+.inputs s0 s1 s10 s11 s00 s01
+.outputs a11 a10 a01 a00
+.graph
+s0+ d0
+s0- root
+s1+ d1
+s1- root
+s10+ d10
+s10- u1
+s11+ d11
+s11- u1
+a11+ a11-
+a11- u11
+a10+ a10-
+a10- u10
+s00+ d00
+s00- u0
+s01+ d01
+s01- u0
+a01+ a01-
+a01- u01
+a00+ a00-
+a00- u00
+root s0+ s1+
+d0 s00+ s01+
+u0 s0-
+d1 s10+ s11+
+u1 s1-
+d10 a10+
+u10 s10-
+d11 a11+
+u11 s11-
+d00 a00+
+u00 s00-
+d01 a01+
+u01 s01-
+.marking { root }
+.end

@@ -1,0 +1,14 @@
+.model seq
+.inputs r
+.outputs a x y
+.graph
+r+ x+
+x+ x-
+x- y+
+y+ y-
+y- a+
+a+ r-
+r- a-
+a- r+
+.marking { <a-,r+> }
+.end

@@ -1,0 +1,10 @@
+.model toggle
+.inputs a
+.outputs x
+.graph
+a+ x+
+x+ a-
+a- x-
+x- a+
+.marking { <x-,a+> }
+.end

@@ -1,0 +1,18 @@
+.model token-ring-2-1
+.outputs s0 s1
+.initial s0=1 s1=0
+.graph
+s0+ f0 e3
+s0- e0 f1
+s1+ e1 f2
+s1- e2 f3
+f0 s0-
+e0 s0+
+f1 s1+
+e1 s0-
+f2 s1-
+e2 s1+
+f3 s0+
+e3 s1-
+.marking { e1 e2 e3 f0 }
+.end

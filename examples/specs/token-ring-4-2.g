@@ -1,0 +1,30 @@
+.model token-ring-4-2
+.outputs s0 s1 s2 s3
+.initial s0=1 s1=0 s2=0 s3=0
+.graph
+s0+ f0 e7
+s0- e0 f1
+s1+ e1 f2
+s1- e2 f3
+s2+ e3 f4
+s2- e4 f5
+s3+ e5 f6
+s3- e6 f7
+f0 s0-
+e0 s0+
+f1 s1+
+e1 s0-
+f2 s1-
+e2 s1+
+f3 s2+
+e3 s1-
+f4 s2-
+e4 s2+
+f5 s3+
+e5 s2-
+f6 s3-
+e6 s3+
+f7 s0+
+e7 s3-
+.marking { e2 e3 e4 e5 e6 e7 f0 f1 }
+.end

@@ -18,6 +18,8 @@ use stg::{
     Backend, SignalEdge, SignalKind, StateSpace, Stg, StgBuilder, StgError, SymbolicSetSpace,
 };
 
+use corpus::generators;
+
 fn cases() -> u32 {
     std::env::var("PROPTEST_CASES")
         .ok()
@@ -28,73 +30,9 @@ fn cases() -> u32 {
 const BACKENDS: [Backend; 3] = [Backend::Explicit, Backend::Symbolic, Backend::SymbolicSet];
 
 // ---------------------------------------------------------------------
-// Spec generators
+// Spec generators — the corpus families (`crates/corpus`), which
+// superseded this file's original three hand-rolled builders
 // ---------------------------------------------------------------------
-
-/// A handshake chain: `k` signals closed into one consistent cycle
-/// (`tests/properties.rs`'s shape; roles vary input/output).
-fn handshake_chain(k: usize, roles: &[bool]) -> Stg {
-    let mut b = StgBuilder::new("chain");
-    let sigs: Vec<_> = (0..k)
-        .map(|i| {
-            let kind = if roles[i % roles.len()] {
-                SignalKind::Input
-            } else {
-                SignalKind::Output
-            };
-            b.add_signal(format!("s{i}"), kind)
-        })
-        .collect();
-    let rises: Vec<_> = sigs
-        .iter()
-        .map(|&s| b.add_edge(s, SignalEdge::Rise))
-        .collect();
-    let falls: Vec<_> = sigs
-        .iter()
-        .map(|&s| b.add_edge(s, SignalEdge::Fall))
-        .collect();
-    for i in 0..k - 1 {
-        b.connect(rises[i], rises[i + 1]);
-        b.connect(falls[i], falls[i + 1]);
-    }
-    b.connect(rises[k - 1], falls[0]);
-    let p = b.connect(falls[k - 1], rises[0]);
-    b.mark_place(p, 1);
-    b.build()
-}
-
-/// A free-choice dispatcher with `branches` alternative request/ack
-/// handshakes merging back into the choice place (the choice/merge shape
-/// of Fig. 5 / `petri::generators::choice_ring`, signal-labelled). Each
-/// branch's signals rise and fall exactly once per round, so the STG is
-/// consistent for any parameter choice.
-fn choice_merge(branches: usize, input_requests: bool) -> Stg {
-    let mut b = StgBuilder::new("choice-merge");
-    let choice = b.add_place("choice", 1);
-    let merge = b.add_place("merge", 0);
-    for i in 0..branches {
-        let req_kind = if input_requests {
-            SignalKind::Input
-        } else {
-            SignalKind::Output
-        };
-        let r = b.add_signal(format!("r{i}"), req_kind);
-        let a = b.add_signal(format!("a{i}"), SignalKind::Output);
-        let rp = b.add_edge(r, SignalEdge::Rise);
-        let ap = b.add_edge(a, SignalEdge::Rise);
-        let rm = b.add_edge(r, SignalEdge::Fall);
-        let am = b.add_edge(a, SignalEdge::Fall);
-        b.arc_pt(choice, rp);
-        b.connect(rp, ap);
-        b.connect(ap, rm);
-        b.connect(rm, am);
-        b.arc_tp(am, merge);
-    }
-    let reset = b.add_dummy("reset");
-    b.arc_pt(merge, reset);
-    b.arc_tp(reset, choice);
-    b.build()
-}
 
 /// The combinatorial scale family: the signal-labelled token ring
 /// (`C(2·half, k)` states on a linear net).
@@ -102,15 +40,25 @@ fn token_ring(half: usize, k: usize) -> Stg {
     stg::examples::token_ring(half, k)
 }
 
-/// One strategy drawing from all three families.
+/// One strategy drawing from the corpus: parameterised generator
+/// families (chains, dispatchers, rings, arbiters, selector trees,
+/// counters, parallelisers) plus the fixed corpus specs by index — so
+/// every family the ledger pins is also cross-checked across backends.
 fn any_spec() -> impl Strategy<Value = Stg> {
+    let fixed = corpus::all_specs();
+    let fixed_len = fixed.len();
     prop_oneof![
         (2usize..6, proptest::collection::vec(any::<bool>(), 1..4)).prop_map(|(k, mut roles)| {
             roles.push(false);
-            handshake_chain(k, &roles)
+            generators::handshake_chain(k, &roles)
         }),
-        (1usize..4, any::<bool>()).prop_map(|(b, inputs)| choice_merge(b, inputs)),
+        (1usize..4, any::<bool>()).prop_map(|(b, inputs)| generators::dispatcher(b, inputs)),
         (2usize..5, 1usize..5).prop_map(|(half, k)| token_ring(half, k.min(2 * half))),
+        (2usize..5).prop_map(generators::arbiter),
+        (1usize..4).prop_map(generators::selector_tree),
+        (1usize..5).prop_map(generators::ripple_counter),
+        (2usize..5, any::<bool>()).prop_map(|(n, shared)| generators::paralleliser(n, shared)),
+        (0..fixed_len).prop_map(move |i| fixed[i].1.clone()),
     ]
 }
 
