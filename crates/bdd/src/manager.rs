@@ -71,6 +71,22 @@ pub(crate) const TERMINAL_VAR: VarId = u32::MAX;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct IteKey(pub Bdd, pub Bdd, pub Bdd);
 
+/// Allocation statistics for one [`Manager`], see [`Manager::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ManagerStats {
+    /// Nodes currently allocated (including the two terminals).
+    pub nodes: usize,
+    /// Peak node count over the manager's lifetime. Managers never
+    /// garbage-collect, so this currently equals `nodes`.
+    pub peak_nodes: usize,
+    /// Highest variable id ever used, plus one.
+    pub num_vars: u32,
+    /// Entries in the ITE memo cache.
+    pub ite_cache_entries: usize,
+    /// Entries in the quantification memo cache.
+    pub quant_cache_entries: usize,
+}
+
 /// A BDD manager: owns nodes, guarantees canonicity, implements all
 /// operations.
 ///
@@ -151,6 +167,21 @@ impl Manager {
     #[must_use]
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// A snapshot of the manager's allocation state. Nodes are never
+    /// garbage collected, so `peak_nodes == nodes` today; the field
+    /// exists so callers pinning memory baselines keep working if
+    /// reclamation ever lands.
+    #[must_use]
+    pub fn stats(&self) -> ManagerStats {
+        ManagerStats {
+            nodes: self.nodes.len(),
+            peak_nodes: self.nodes.len(),
+            num_vars: self.num_vars,
+            ite_cache_entries: self.ite_cache.len(),
+            quant_cache_entries: self.quant_cache.len(),
+        }
     }
 
     /// Highest variable id ever used, plus one.

@@ -20,6 +20,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use asyncsynth::summary::counters_to_json;
+use asyncsynth::telemetry::Counters;
 use asyncsynth::{Json, ResultCache, SynthesisOptions};
 use corpus::ledger::{self, LedgerRecord};
 
@@ -35,11 +37,15 @@ fn repo_root() -> PathBuf {
 struct FamilyStats {
     specs: usize,
     synthesized: usize,
-    states: usize,
-    states_explored: usize,
+    states: u64,
+    states_explored: u64,
     cold_ms: u128,
     warm_ms: u128,
     warm_hits: usize,
+    /// Sum of every spec's deterministic flow counters — failed flows
+    /// included, so families that end `not_implementable` or
+    /// `csc_unresolved` still report the exploration they did.
+    counters: Counters,
 }
 
 fn main() -> ExitCode {
@@ -62,12 +68,12 @@ fn main() -> ExitCode {
         let entry = stats.entry(family.to_owned()).or_default();
         entry.specs += 1;
         entry.cold_ms += start.elapsed().as_millis();
-        entry.states += record
-            .check
-            .get("states")
-            .and_then(Json::as_usize)
-            .unwrap_or(0);
-        entry.states_explored += record.states_explored.unwrap_or(0);
+        // Aggregate from the record's deterministic metrics, which are
+        // captured for every outcome — a family whose specs all fail
+        // CSC still reports its states and sweep work instead of zeros.
+        entry.states += record.metrics.get("states").unwrap_or(0);
+        entry.states_explored += record.metrics.get("states_explored").unwrap_or(0);
+        entry.counters.merge(&record.metrics);
         if record.outcome == "synthesized" {
             entry.synthesized += 1;
             specs_by_family
@@ -195,6 +201,7 @@ fn main() -> ExitCode {
 
 fn render_bench(stats: &BTreeMap<String, FamilyStats>, live: &[LedgerRecord]) -> Json {
     let num128 = |n: u128| Json::num(usize::try_from(n).unwrap_or(usize::MAX));
+    let num64 = |n: u64| Json::num(usize::try_from(n).unwrap_or(usize::MAX));
     let families: Vec<Json> = stats
         .iter()
         .map(|(name, s)| {
@@ -202,19 +209,36 @@ fn render_bench(stats: &BTreeMap<String, FamilyStats>, live: &[LedgerRecord]) ->
                 ("family", Json::str(name)),
                 ("specs", Json::num(s.specs)),
                 ("synthesized", Json::num(s.synthesized)),
-                ("states", Json::num(s.states)),
-                ("states_explored", Json::num(s.states_explored)),
+                ("states", num64(s.states)),
+                ("states_explored", num64(s.states_explored)),
                 ("cold_ms", num128(s.cold_ms)),
                 ("warm_ms", num128(s.warm_ms)),
                 ("warm_hits", Json::num(s.warm_hits)),
+                ("counters", counters_to_json(&s.counters)),
+            ])
+        })
+        .collect();
+    // Per-spec deterministic counters, so counter trends are traceable
+    // to individual specs across archived artifacts (`*_ms` fields are
+    // informational; drift gating happens against the pinned ledger).
+    let records: Vec<Json> = live
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("family", Json::str(&r.family)),
+                ("model", Json::str(&r.model)),
+                ("outcome", Json::str(&r.outcome)),
+                ("metrics", counters_to_json(&r.metrics)),
+                ("wall_ms", num64(r.wall_ms)),
             ])
         })
         .collect();
     let outcome_count = |outcome: &str| live.iter().filter(|r| r.outcome == outcome).count();
     Json::obj(vec![
-        ("schema", Json::str("corpus-bench-v1")),
+        ("schema", Json::str("corpus-bench-v2")),
         ("specs", Json::num(live.len())),
         ("families", Json::Arr(families)),
+        ("records", Json::Arr(records)),
         (
             "outcomes",
             Json::obj(vec![

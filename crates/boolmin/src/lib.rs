@@ -41,7 +41,7 @@ pub use cover::Cover;
 pub use cube::{Cube, Literal};
 pub use expr::Expr;
 pub use function::IncompleteFunction;
-pub use minimize::{minimize_exact, minimize_heuristic, primes_of};
+pub use minimize::{minimize_exact, minimize_heuristic, primes_generated, primes_of};
 
 #[cfg(test)]
 mod tests;

@@ -1,11 +1,29 @@
 //! Two-level minimisation: exact (Quine–McCluskey + branch-and-bound
 //! covering) and heuristic (espresso-style expand/irredundant).
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 use crate::cover::Cover;
 use crate::cube::{Cube, Literal};
 use crate::function::IncompleteFunction;
+
+thread_local! {
+    /// Primes generated on this thread since start (or last snapshot
+    /// delta). Thread-local so concurrent flows (one flow per thread)
+    /// never observe each other's work; the synthesis stage of a single
+    /// flow always runs on one thread, so deltas taken around it are
+    /// exact and thread-count-invariant.
+    static PRIMES_GENERATED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total prime implicants generated on the current thread. Callers take
+/// a delta around a unit of work: the difference is a deterministic
+/// operation counter for that work.
+#[must_use]
+pub fn primes_generated() -> u64 {
+    PRIMES_GENERATED.with(Cell::get)
+}
 
 /// All prime implicants of `on ∪ dc`, by recursive complete-sum
 /// computation (Shannon expansion on the most binate variable, unate
@@ -24,6 +42,7 @@ pub fn primes_of(f: &IncompleteFunction) -> Vec<Cube> {
     let mut primes = complete_sum(&f.upper_bound());
     primes.sort();
     primes.dedup();
+    PRIMES_GENERATED.with(|c| c.set(c.get() + primes.len() as u64));
     primes
 }
 

@@ -3,8 +3,10 @@
 //!
 //! A record captures everything the flow's determinism guarantees —
 //! canonical-STG digest, implementability verdicts, the CSC
-//! transformation, equation/netlist digests, the verification verdict
-//! and composed-state count — plus an *informational* wall time that is
+//! transformation, equation/netlist digests, the verification verdict,
+//! composed-state count and the deterministic operation counters of
+//! [`asyncsynth::flow_metrics`] (captured for failed flows too, from
+//! the error's event log) — plus an *informational* wall time that is
 //! excluded from drift comparison. The on-disk wrapper mirrors
 //! [`asyncsynth::ResultCache`] entries: a version tag, a key echo and a
 //! payload checksum, so a corrupt or hand-edited record is detected on
@@ -15,14 +17,20 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use asyncsynth::summary::report_to_json;
-use asyncsynth::{Json, PipelineError, Synthesis, SynthesisOptions, SynthesisSummary};
+use asyncsynth::summary::{counters_from_json, counters_to_json, report_to_json};
+use asyncsynth::telemetry::Counters;
+use asyncsynth::{
+    flow_metrics, Json, PipelineError, Synthesis, SynthesisOptions, SynthesisSummary,
+};
 use stg::canon::{digest_bytes, stg_digest};
 use stg::Stg;
 
 /// Bump when the record's meaning changes; old ledgers then fail
 /// verification loudly instead of drifting quietly.
-pub const LEDGER_VERSION: &str = "corpus-ledger-v1";
+/// (v2: records pin the deterministic operation counters — the flow's
+/// [`asyncsynth::flow_metrics`] set — so counter regressions gate CI
+/// like digests do; failed flows keep their exploration counters.)
+pub const LEDGER_VERSION: &str = "corpus-ledger-v2";
 
 /// The pinned CSC transformation, reduced to its deterministic core.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +72,11 @@ pub struct LedgerRecord {
     pub verification: Option<String>,
     /// Composed states the verifier explored, when it ran.
     pub states_explored: Option<usize>,
+    /// Deterministic operation counters ([`asyncsynth::flow_metrics`]),
+    /// captured for every outcome — failed flows keep the counters of
+    /// the work done up to the failure. Drift-gated like the digests;
+    /// advisory counters (BDD nodes, memo hits) never appear here.
+    pub metrics: Counters,
     /// Wall-clock milliseconds of the evaluating run — informational
     /// only, excluded from [`LedgerRecord::diff`].
     pub wall_ms: u64,
@@ -91,15 +104,24 @@ impl LedgerRecord {
             num_gates: None,
             verification: None,
             states_explored: None,
+            metrics: Counters::new(),
             wall_ms: 0,
         };
         match Synthesis::with_options(spec.clone(), options.clone()).check() {
             Err(PipelineError::NotImplementable(report)) => {
                 record.check = report_to_json(&report);
                 record.outcome = "not_implementable".to_owned();
+                // The check stage's error drops its event log, but the
+                // report still carries the exploration the flow did —
+                // keep it so failed families never pin all-zero work.
+                record.metrics.set("states", report.num_states as u64);
+                record
+                    .metrics
+                    .set("csc_conflicts", report.csc_conflict_pairs as u64);
             }
             Err(e) => {
                 record.outcome = outcome_name(&e).to_owned();
+                record.metrics = flow_metrics(e.events());
             }
             Ok(checked) => {
                 record.check = report_to_json(checked.report());
@@ -122,9 +144,11 @@ impl LedgerRecord {
                         record.num_gates = Some(summary.num_gates);
                         record.verification = Some(summary.verification.clone());
                         record.states_explored = summary.composed_states;
+                        record.metrics = summary.metrics.clone();
                     }
                     Err(e) => {
                         record.outcome = outcome_name(&e).to_owned();
+                        record.metrics = flow_metrics(e.events());
                     }
                 }
             }
@@ -159,6 +183,7 @@ impl LedgerRecord {
             ("gates", opt_num(self.num_gates)),
             ("verification", opt_str(&self.verification)),
             ("states_explored", opt_num(self.states_explored)),
+            ("metrics", counters_to_json(&self.metrics)),
             #[allow(clippy::cast_precision_loss)]
             ("wall_ms", Json::Num(self.wall_ms as f64)),
         ])
@@ -205,6 +230,7 @@ impl LedgerRecord {
             num_gates: opt_num("gates"),
             verification: opt_str("verification"),
             states_explored: opt_num("states_explored"),
+            metrics: counters_from_json(v.get("metrics").ok_or("missing metrics object")?)?,
             wall_ms: v.get("wall_ms").and_then(Json::as_u64).unwrap_or(0),
         })
     }
@@ -259,6 +285,7 @@ impl LedgerRecord {
             format!("{:?}", self.states_explored),
             format!("{:?}", other.states_explored),
         );
+        field("metrics", self.metrics.render(), other.metrics.render());
         drift
     }
 }
@@ -428,7 +455,7 @@ mod tests {
         // A wrong version tag fails before the checksum.
         std::fs::write(
             &path,
-            text.replacen("corpus-ledger-v1", "corpus-ledger-v0", 1),
+            text.replacen("corpus-ledger-v2", "corpus-ledger-v0", 1),
         )
         .expect("rewrite");
         let err = load(&path).expect_err("old version must fail");
@@ -447,5 +474,42 @@ mod tests {
         let drift = a.diff(&b);
         assert_eq!(drift.len(), 1);
         assert!(drift[0].starts_with("outcome:"), "got: {drift:?}");
+    }
+
+    #[test]
+    fn counter_drift_is_gated() {
+        let spec = stg::examples::toggle();
+        let a = LedgerRecord::evaluate("vme", &spec, &SynthesisOptions::default());
+        assert!(
+            a.metrics.get("states").unwrap_or(0) > 0,
+            "synthesized records pin counters"
+        );
+        let mut b = a.clone();
+        b.metrics.add("states_explored", 1);
+        let drift = a.diff(&b);
+        assert_eq!(drift.len(), 1, "got: {drift:?}");
+        assert!(drift[0].starts_with("metrics:"), "got: {drift:?}");
+    }
+
+    #[test]
+    fn failed_flows_keep_their_operation_counters() {
+        let options = SynthesisOptions {
+            csc: asyncsynth::CscStrategy::Fail,
+            ..Default::default()
+        };
+        let record = LedgerRecord::evaluate("vme", &stg::examples::vme_read(), &options);
+        assert_eq!(record.outcome, "csc_unresolved");
+        assert!(
+            record.metrics.get("states").unwrap_or(0) > 0,
+            "exploration counters survive the failure: {:?}",
+            record.metrics
+        );
+        // And they survive the on-disk round trip.
+        let root = tmp_root("failed-metrics");
+        store(&root, &record).expect("store");
+        let back = load(&record_path(&root, "vme", &record.model)).expect("load");
+        assert!(record.diff(&back).is_empty());
+        assert_eq!(back.metrics, record.metrics);
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

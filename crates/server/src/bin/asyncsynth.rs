@@ -20,6 +20,7 @@
 //!   --fanin N                               (decomposed fan-in bound)
 //!   --assume "a<b"                          relative-timing assumption
 //!   --cache DIR                             content-addressed result cache
+//!   --trace FILE                            write the run's span-tree JSON
 //!   --no-verify                             skip exhaustive verification
 //!   --verify-bound N                        composed-state limit of the verifier
 //!   --verify-strategy explicit|composed     spec tracking (default: composed)
@@ -34,7 +35,10 @@
 use std::process::ExitCode;
 
 use asyncsynth::summary::report_to_json;
-use asyncsynth::{run_cached, CacheOutcome, Json, ResultCache, Synthesis, SynthesisSummary};
+use asyncsynth::{
+    flow_metrics, run_cached, run_cached_with, CacheOutcome, Json, ResultCache, Synthesis,
+    SynthesisSummary, TraceBuilder,
+};
 use server::flags::parse_flags;
 use server::protocol::Response;
 use server::service::{serve_stdio, Server, ServerConfig};
@@ -186,6 +190,7 @@ fn synth(spec: &stg::Stg, opts: &[String]) -> Result<(), String> {
             "--fanin",
             "--assume",
             "--cache",
+            "--trace",
             "--no-verify",
             "--verify-bound",
             "--verify-strategy",
@@ -199,21 +204,43 @@ fn synth(spec: &stg::Stg, opts: &[String]) -> Result<(), String> {
     } else {
         timing::apply_assumptions(spec, &flags.assumptions).map_err(|e| e.to_string())?
     };
-    let (summary, outcome) = match &flags.cache_dir {
-        Some(dir) => {
-            let cache =
-                ResultCache::open(dir).map_err(|e| format!("cache {}: {e}", dir.display()))?;
-            let run = run_cached(&spec, &options, &cache).map_err(|e| e.to_string())?;
-            (run.summary, run.outcome)
-        }
-        None => {
-            let verified = Synthesis::with_options(spec, options.clone())
-                .run()
-                .map_err(|e| e.to_string())?;
-            (
-                SynthesisSummary::from_verified(&verified, &options),
-                CacheOutcome::Disabled,
-            )
+    let (summary, outcome) = if let Some(trace_path) = &flags.trace {
+        // The traced path routes everything through the observed cached
+        // runner; the span-tree artifact is written on failures too (a
+        // failed flow's exploration is exactly what one wants to see).
+        let cache = match &flags.cache_dir {
+            Some(dir) => {
+                Some(ResultCache::open(dir).map_err(|e| format!("cache {}: {e}", dir.display()))?)
+            }
+            None => None,
+        };
+        let mut trace = TraceBuilder::new();
+        let result = run_cached_with(&spec, &options, cache.as_ref(), &mut trace);
+        let span = match &result {
+            Ok(run) => trace.finish(run.summary.metrics.clone(), run.advisory.clone()),
+            Err(e) => trace.finish(flow_metrics(e.events()), telemetry::Counters::new()),
+        };
+        std::fs::write(trace_path, span.render() + "\n")
+            .map_err(|e| format!("trace {}: {e}", trace_path.display()))?;
+        let run = result.map_err(|e| e.to_string())?;
+        (run.summary, run.outcome)
+    } else {
+        match &flags.cache_dir {
+            Some(dir) => {
+                let cache =
+                    ResultCache::open(dir).map_err(|e| format!("cache {}: {e}", dir.display()))?;
+                let run = run_cached(&spec, &options, &cache).map_err(|e| e.to_string())?;
+                (run.summary, run.outcome)
+            }
+            None => {
+                let verified = Synthesis::with_options(spec, options.clone())
+                    .run()
+                    .map_err(|e| e.to_string())?;
+                (
+                    SynthesisSummary::from_verified(&verified, &options),
+                    CacheOutcome::Disabled,
+                )
+            }
         }
     };
     if flags.json {

@@ -57,7 +57,10 @@ pub fn request(
                 return Err(message.clone());
             }
             // Direct acknowledgements of non-job requests.
-            Response::Status { .. } | Response::Cancelled { .. } | Response::ShuttingDown
+            Response::Status { .. }
+            | Response::Metrics { .. }
+            | Response::Cancelled { .. }
+            | Response::ShuttingDown
                 if job.is_none() =>
             {
                 return Ok(response);

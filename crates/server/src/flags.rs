@@ -49,6 +49,9 @@ pub struct CliFlags {
     pub assumptions: Vec<timing::TimingAssumption>,
     /// `--cache DIR`: content-addressed result cache directory.
     pub cache_dir: Option<PathBuf>,
+    /// `--trace FILE`: write the run's span-tree JSON (per-stage wall
+    /// times, deterministic counters, advisory counters) to FILE.
+    pub trace: Option<PathBuf>,
     /// `--port N` (serve: listen port; submit: server port).
     pub port: Option<u16>,
     /// `--host H` (submit; default 127.0.0.1).
@@ -78,6 +81,7 @@ impl Default for CliFlags {
             verify_incremental: false,
             assumptions: Vec::new(),
             cache_dir: None,
+            trace: None,
             port: None,
             host: "127.0.0.1".to_owned(),
             workers: None,
@@ -189,6 +193,7 @@ pub fn parse_flags(args: &[String], allowed: &[&str]) -> Result<CliFlags, String
                     .push(timing::TimingAssumption::new(a.trim(), b.trim()));
             }
             "--cache" => flags.cache_dir = Some(PathBuf::from(value(args, &mut i, flag)?)),
+            "--trace" => flags.trace = Some(PathBuf::from(value(args, &mut i, flag)?)),
             "--port" => {
                 flags.port = Some(
                     value(args, &mut i, flag)?

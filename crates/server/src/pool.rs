@@ -127,9 +127,12 @@ fn worker_loop(queue: &JobQueue, cache: Option<&ResultCache>, auto_sweep_threads
         let response = catch_unwind(AssertUnwindSafe(|| {
             run_job(&job, cache, auto_sweep_threads)
         }))
-        .unwrap_or_else(|panic| Response::Error {
-            job: Some(job.id),
-            message: format!("job panicked: {}", panic_message(&panic)),
+        .unwrap_or_else(|panic| {
+            queue.note_panic();
+            Response::Error {
+                job: Some(job.id),
+                message: format!("job panicked: {}", panic_message(&panic)),
+            }
         });
         // Counters first: by the time a client holds this job's result,
         // `status` already reports it as completed.

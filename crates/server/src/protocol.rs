@@ -11,6 +11,7 @@
 //! {"op":"check","spec":"<.g text>","backend":"symbolic-set"}
 //! {"op":"batch","specs":["<.g text>","<.g text>"],"backend":"explicit"}
 //! {"op":"status"}
+//! {"op":"metrics"}
 //! {"op":"cancel","job":3}
 //! {"op":"shutdown"}
 //! ```
@@ -34,11 +35,24 @@
 //!  "cache_hits":0,"results":[{"model":"...","cache":"miss","summary":{...}},
 //!                            {"model":"...","cache":"miss","error":"..."}]}
 //! {"type":"error","job":1,"message":"..."}        // job omitted for protocol errors
-//! {"type":"status","queued":0,"running":1,"completed":9,"workers":4,
+//! {"type":"status","queued":0,"running":1,"completed":9,"cancelled":1,
+//!  "panicked":0,"workers":4,
 //!  "cache":{"hits":5,"misses":4,"stores":4,"corrupt":0}}
+//! {"type":"metrics",
+//!  "counters":{"cache_hits":5,"cache_misses":4,"jobs_completed":9,
+//!              "jobs_cancelled":1,"requests_synth":10,"worker_panics":0},
+//!  "gauges":{"cache_hit_permille":555,"jobs_running":1,"queue_depth":0,
+//!            "workers":4}}
 //! {"type":"cancelled","job":3,"found":true}
 //! {"type":"shutting_down"}
 //! ```
+//!
+//! `status` is the quick human-facing snapshot (queue depth, busy
+//! workers, job-lifecycle counters, cache stats); `metrics` is the
+//! machine-facing export of the server's [`telemetry::Registry`] —
+//! monotonic counters plus point-in-time gauges, rendered with sorted
+//! keys so equal states produce equal bytes. All service counters are
+//! advisory (they describe *this* process) and are never drift-gated.
 //!
 //! Responses for a given job always end with exactly one `result`,
 //! `check_result`, `batch_result` or `error` message carrying that job
@@ -47,7 +61,9 @@
 //! [`FlowEvent`]: asyncsynth::FlowEvent
 
 use asyncsynth::cache::CacheStats;
+use asyncsynth::summary::{counters_from_json, counters_to_json};
 use asyncsynth::{Json, SynthesisOptions};
+use telemetry::Counters;
 
 /// A client → server message.
 #[derive(Debug, Clone)]
@@ -77,6 +93,8 @@ pub enum Request {
     },
     /// Report queue/worker/cache counters.
     Status,
+    /// Export the server's metrics registry (counters + gauges).
+    Metrics,
     /// Cancel a queued or running job.
     Cancel {
         /// The job id from the `accepted` response.
@@ -114,6 +132,7 @@ impl Request {
                 options: options_fields(&v)?,
             }),
             "status" => Ok(Request::Status),
+            "metrics" => Ok(Request::Metrics),
             "cancel" => Ok(Request::Cancel {
                 job: v
                     .get("job")
@@ -154,6 +173,7 @@ impl Request {
                 Json::obj(pairs).render()
             }
             Request::Status => Json::obj(vec![("op", Json::str("status"))]).render(),
+            Request::Metrics => Json::obj(vec![("op", Json::str("metrics"))]).render(),
             Request::Cancel { job } => Json::obj(vec![
                 ("op", Json::str("cancel")),
                 ("job", Json::Num(*job as f64)),
@@ -316,16 +336,28 @@ pub enum Response {
     },
     /// Queue / worker / cache counters.
     Status {
-        /// Jobs waiting for a worker.
+        /// Jobs waiting for a worker (the queue depth).
         queued: usize,
-        /// Jobs currently executing.
+        /// Jobs currently executing (busy workers).
         running: usize,
         /// Jobs finished since the server started.
         completed: u64,
+        /// Jobs whose cancellation was newly requested.
+        cancelled: u64,
+        /// Jobs that panicked inside a worker (the worker survived).
+        panicked: u64,
         /// Worker-pool size.
         workers: usize,
         /// Cache counters, when a cache is configured.
         cache: Option<CacheStats>,
+    },
+    /// The server's metrics registry: monotonic counters plus
+    /// point-in-time gauges (see the module docs for the key set).
+    Metrics {
+        /// Monotonic counters (requests by op, job lifecycle, cache).
+        counters: Counters,
+        /// Point-in-time gauges (queue depth, busy workers, hit ratio).
+        gauges: Counters,
     },
     /// Acknowledges a cancel request.
     Cancelled {
@@ -404,6 +436,8 @@ impl Response {
                 queued,
                 running,
                 completed,
+                cancelled,
+                panicked,
                 workers,
                 cache,
             } => Json::obj(vec![
@@ -411,6 +445,8 @@ impl Response {
                 ("queued", Json::num(*queued)),
                 ("running", Json::num(*running)),
                 ("completed", num64(*completed)),
+                ("cancelled", num64(*cancelled)),
+                ("panicked", num64(*panicked)),
                 ("workers", Json::num(*workers)),
                 (
                     "cache",
@@ -423,6 +459,11 @@ impl Response {
                         ])
                     }),
                 ),
+            ]),
+            Response::Metrics { counters, gauges } => Json::obj(vec![
+                ("type", Json::str("metrics")),
+                ("counters", counters_to_json(counters)),
+                ("gauges", counters_to_json(gauges)),
             ]),
             Response::Cancelled { job, found } => Json::obj(vec![
                 ("type", Json::str("cancelled")),
@@ -490,6 +531,8 @@ impl Response {
                 queued: v.get("queued").and_then(Json::as_usize).unwrap_or(0),
                 running: v.get("running").and_then(Json::as_usize).unwrap_or(0),
                 completed: v.get("completed").and_then(Json::as_u64).unwrap_or(0),
+                cancelled: v.get("cancelled").and_then(Json::as_u64).unwrap_or(0),
+                panicked: v.get("panicked").and_then(Json::as_u64).unwrap_or(0),
                 workers: v.get("workers").and_then(Json::as_usize).unwrap_or(0),
                 cache: v.get("cache").and_then(|c| {
                     Some(CacheStats {
@@ -499,6 +542,10 @@ impl Response {
                         corrupt: c.get("corrupt")?.as_u64()?,
                     })
                 }),
+            }),
+            "metrics" => Ok(Response::Metrics {
+                counters: counters_from_json(v.get("counters").ok_or("missing counters")?)?,
+                gauges: counters_from_json(v.get("gauges").ok_or("missing gauges")?)?,
             }),
             "cancelled" => Ok(Response::Cancelled {
                 job: job(&v)?,
@@ -551,6 +598,7 @@ mod tests {
                 options: asyncsynth::SynthesisOptions::default(),
             },
             Request::Status,
+            Request::Metrics,
             Request::Cancel { job: 7 },
             Request::Shutdown,
         ];
@@ -659,6 +707,8 @@ mod tests {
                 queued: 1,
                 running: 2,
                 completed: 3,
+                cancelled: 1,
+                panicked: 0,
                 workers: 4,
                 cache: Some(asyncsynth::CacheStats {
                     hits: 9,
@@ -666,6 +716,18 @@ mod tests {
                     stores: 7,
                     corrupt: 0,
                 }),
+            },
+            Response::Metrics {
+                counters: telemetry::Counters::from_pairs([
+                    ("jobs_completed", 3u64),
+                    ("requests_synth", 5),
+                    ("worker_panics", 0),
+                ]),
+                gauges: telemetry::Counters::from_pairs([
+                    ("jobs_running", 2u64),
+                    ("queue_depth", 1),
+                    ("workers", 4),
+                ]),
             },
             Response::Cancelled {
                 job: 5,

@@ -100,6 +100,11 @@ pub struct JobQueue {
     /// Ids of currently-executing jobs.
     running: Mutex<HashMap<u64, Arc<AtomicBool>>>,
     completed: AtomicU64,
+    /// Jobs whose cancellation flag this queue newly raised (repeat
+    /// cancels of the same job do not count twice).
+    cancelled: AtomicU64,
+    /// Jobs that panicked inside a worker (reported by the pool).
+    panicked: AtomicU64,
 }
 
 impl Default for JobQueue {
@@ -119,6 +124,8 @@ impl JobQueue {
             live: Mutex::new(HashMap::new()),
             running: Mutex::new(HashMap::new()),
             completed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
         }
     }
 
@@ -173,7 +180,9 @@ impl JobQueue {
     #[must_use]
     pub fn cancel(&self, id: u64) -> bool {
         if let Some(flag) = self.live.lock().expect("live lock").get(&id) {
-            flag.store(true, Ordering::Relaxed);
+            if !flag.swap(true, Ordering::Relaxed) {
+                self.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
             return true;
         }
         false
@@ -201,6 +210,24 @@ impl JobQueue {
     #[must_use]
     pub fn completed(&self) -> u64 {
         self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Number of jobs whose cancellation flag was newly raised so far.
+    #[must_use]
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Number of jobs that panicked inside a worker so far.
+    #[must_use]
+    pub fn panicked(&self) -> u64 {
+        self.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Records one worker-side job panic (called by the pool's
+    /// `catch_unwind` recovery path).
+    pub(crate) fn note_panic(&self) {
+        self.panicked.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn mark_running(&self, id: u64, cancel: Arc<AtomicBool>) {

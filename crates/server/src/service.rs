@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 
 use asyncsynth::{cache_key, CacheStage, ResultCache};
 use stg::parse::parse_g;
+use telemetry::{Counters, Registry};
 
 use crate::pool::WorkerPool;
 use crate::protocol::{Request, Response};
@@ -50,6 +51,10 @@ struct ServerContext {
     queue: Arc<JobQueue>,
     cache: Option<Arc<ResultCache>>,
     workers: usize,
+    /// Monotonic per-op request counters, exported by the `metrics` op
+    /// (job-lifecycle counters live on the queue, cache counters on the
+    /// cache; the registry holds what only the protocol loop sees).
+    registry: Arc<Registry>,
     shutdown: Arc<AtomicBool>,
     /// Responses sent to some connection's channel but not yet put on
     /// the wire by its writer thread; shutdown drains on this.
@@ -86,6 +91,7 @@ impl Server {
             queue,
             cache,
             workers: config.workers.max(1),
+            registry: Arc::new(Registry::new()),
             shutdown: Arc::new(AtomicBool::new(false)),
             in_flight: Arc::new(AtomicI64::new(0)),
             addr: Some(listener.local_addr()?),
@@ -154,6 +160,7 @@ pub fn serve_stdio(config: &ServerConfig) -> std::io::Result<()> {
         queue,
         cache,
         workers: config.workers.max(1),
+        registry: Arc::new(Registry::new()),
         shutdown: Arc::new(AtomicBool::new(false)),
         in_flight: Arc::new(AtomicI64::new(0)),
         addr: None,
@@ -213,7 +220,11 @@ fn handle_connection(
         if line.trim().is_empty() {
             continue;
         }
-        match Request::parse_line(&line) {
+        let request = Request::parse_line(&line);
+        if let Ok(request) = &request {
+            context.registry.incr(op_counter(request));
+        }
+        match request {
             Ok(Request::Synth {
                 spec_text,
                 options,
@@ -245,9 +256,14 @@ fn handle_connection(
                     queued: context.queue.queued(),
                     running: context.queue.running(),
                     completed: context.queue.completed(),
+                    cancelled: context.queue.cancelled(),
+                    panicked: context.queue.panicked(),
                     workers: context.workers,
                     cache: context.cache.as_deref().map(ResultCache::stats),
                 });
+            }
+            Ok(Request::Metrics) => {
+                reply.send(metrics_snapshot(context));
             }
             Ok(Request::Cancel { job }) => {
                 let found = context.queue.cancel(job);
@@ -266,6 +282,7 @@ fn handle_connection(
                 break;
             }
             Err(message) => {
+                context.registry.incr("protocol_errors");
                 reply.send(Response::Error { job: None, message });
             }
         }
@@ -280,6 +297,45 @@ fn handle_connection(
     }
     drop(reply);
     let _ = writer_handle.join();
+}
+
+/// The registry counter a request increments on arrival.
+fn op_counter(request: &Request) -> &'static str {
+    match request {
+        Request::Synth { .. } => "requests_synth",
+        Request::Check { .. } => "requests_check",
+        Request::Batch { .. } => "requests_batch",
+        Request::Status => "requests_status",
+        Request::Metrics => "requests_metrics",
+        Request::Cancel { .. } => "requests_cancel",
+        Request::Shutdown => "requests_shutdown",
+    }
+}
+
+/// Builds the `metrics` response: the registry's request counters plus
+/// job-lifecycle counters from the queue and cache counters, with
+/// point-in-time gauges (queue depth, busy workers, cache hit ratio in
+/// permille — an integer, so renders are byte-stable).
+fn metrics_snapshot(context: &ServerContext) -> Response {
+    let mut counters = context.registry.snapshot_counters();
+    counters.set("jobs_completed", context.queue.completed());
+    counters.set("jobs_cancelled", context.queue.cancelled());
+    counters.set("worker_panics", context.queue.panicked());
+    let as64 = |n: usize| u64::try_from(n).unwrap_or(u64::MAX);
+    let mut gauges = Counters::new();
+    gauges.set("queue_depth", as64(context.queue.queued()));
+    gauges.set("jobs_running", as64(context.queue.running()));
+    gauges.set("workers", as64(context.workers));
+    if let Some(cache) = context.cache.as_deref() {
+        let stats = cache.stats();
+        counters.set("cache_hits", stats.hits);
+        counters.set("cache_misses", stats.misses);
+        counters.set("cache_stores", stats.stores);
+        counters.set("cache_corrupt", stats.corrupt);
+        let hit_permille = (stats.hits * 1000).checked_div(stats.hits + stats.misses);
+        gauges.set("cache_hit_permille", hit_permille.unwrap_or(0));
+    }
+    Response::Metrics { counters, gauges }
 }
 
 fn submit_job(

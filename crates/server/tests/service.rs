@@ -190,17 +190,42 @@ fn concurrent_clients_get_independent_correct_results() {
             queued,
             running,
             completed,
+            cancelled,
+            panicked,
             workers,
             cache,
         } => {
             assert_eq!(queued, 0);
             assert_eq!(running, 0);
             assert_eq!(completed, 5);
+            assert_eq!(cancelled, 0);
+            assert_eq!(panicked, 0);
             assert_eq!(workers, 4);
             let stats = cache.expect("cache configured");
             assert!(stats.stores >= 4, "{stats:?}");
         }
         other => panic!("expected status, got {other:?}"),
+    }
+
+    // The metrics export agrees with the drained status snapshot and
+    // carries the request counters only the protocol loop sees.
+    let metrics =
+        client::request(&server.addr, &Request::Metrics, |_| {}).expect("metrics answered");
+    match metrics {
+        Response::Metrics { counters, gauges } => {
+            assert_eq!(counters.get("jobs_completed"), Some(5));
+            assert_eq!(counters.get("jobs_cancelled"), Some(0));
+            assert_eq!(counters.get("worker_panics"), Some(0));
+            assert_eq!(counters.get("requests_synth"), Some(5));
+            assert_eq!(counters.get("requests_status"), Some(1));
+            assert_eq!(counters.get("requests_metrics"), Some(1));
+            assert!(counters.get("cache_stores").unwrap_or(0) >= 4);
+            assert_eq!(gauges.get("queue_depth"), Some(0));
+            assert_eq!(gauges.get("jobs_running"), Some(0));
+            assert_eq!(gauges.get("workers"), Some(4));
+            assert!(gauges.get("cache_hit_permille").is_some());
+        }
+        other => panic!("expected metrics, got {other:?}"),
     }
 
     server.shutdown();

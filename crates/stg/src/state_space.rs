@@ -125,6 +125,20 @@ pub trait StateSpace: fmt::Debug + Send + Sync {
     /// Which backend produced this space.
     fn backend(&self) -> Backend;
 
+    /// BDD nodes allocated in the manager backing this space, for the
+    /// symbolic backends. Advisory telemetry only: the value varies by
+    /// backend and by what else shared the manager, so it must never
+    /// join the deterministic (drift-gated) metric set.
+    fn bdd_node_count(&self) -> Option<usize> {
+        None
+    }
+
+    /// States decoded on demand so far, for backends that materialise
+    /// lazily. Advisory telemetry only, for the same reason.
+    fn decoded_state_count(&self) -> Option<u64> {
+        None
+    }
+
     // -----------------------------------------------------------------
     // Per-state queries (defaults in terms of the accessors above)
     // -----------------------------------------------------------------
@@ -627,6 +641,9 @@ pub struct BuildContext {
     /// `petri::symbolic`'s counting tolerates.
     key: Option<usize>,
     manager: Option<Arc<Mutex<bdd::Manager>>>,
+    /// Largest node count observed across every manager this context
+    /// has held, including ones already retired by the reset policy.
+    peak_nodes: usize,
 }
 
 impl BuildContext {
@@ -635,6 +652,7 @@ impl BuildContext {
     /// (or was contaminated by the resident backend's variable map).
     fn manager_for(&mut self, num_places: usize) -> Arc<Mutex<bdd::Manager>> {
         if self.key != Some(num_places) || self.manager.is_none() {
+            self.note_peak();
             self.manager = Some(Arc::new(Mutex::new(bdd::Manager::new())));
         }
         self.key = Some(num_places);
@@ -654,10 +672,38 @@ impl BuildContext {
             m.lock().expect("BDD manager poisoned").node_count() > MANAGER_RESET_NODES
         });
         if self.manager.is_none() || oversized {
+            self.note_peak();
             self.manager = Some(Arc::new(Mutex::new(bdd::Manager::new())));
         }
         self.key = None;
         Arc::clone(self.manager.as_ref().expect("manager just ensured"))
+    }
+
+    /// Fold the held manager's current size into the peak.
+    fn note_peak(&mut self) {
+        if let Some(m) = &self.manager {
+            let n = m.lock().expect("BDD manager poisoned").node_count();
+            self.peak_nodes = self.peak_nodes.max(n);
+        }
+    }
+
+    /// Node count of the currently held shared manager (0 when the
+    /// context holds none, e.g. pure explicit-backend use).
+    #[must_use]
+    pub fn bdd_nodes(&self) -> usize {
+        self.manager
+            .as_ref()
+            .map_or(0, |m| m.lock().expect("BDD manager poisoned").node_count())
+    }
+
+    /// Peak node count over every manager this context has held —
+    /// retired managers included — so resident-backend memory growth is
+    /// visible per stage even across the reset policy. Advisory
+    /// telemetry: depends on backend and sweep partitioning.
+    #[must_use]
+    pub fn peak_bdd_nodes(&mut self) -> usize {
+        self.note_peak();
+        self.peak_nodes
     }
 }
 

@@ -194,6 +194,10 @@ impl StateSpace for SymbolicStateSpace {
         Backend::Symbolic
     }
 
+    fn bdd_node_count(&self) -> Option<usize> {
+        Some(self.stats().bdd_nodes)
+    }
+
     fn states_with_code(&self, code: &[bool]) -> Vec<usize> {
         self.code_index().get(code).cloned().unwrap_or_default()
     }

@@ -764,6 +764,14 @@ impl StateSpace for SymbolicSetSpace {
         Backend::SymbolicSet
     }
 
+    fn bdd_node_count(&self) -> Option<usize> {
+        Some(self.stats().bdd_nodes)
+    }
+
+    fn decoded_state_count(&self) -> Option<u64> {
+        Some(self.decoded_states())
+    }
+
     fn set_level_native(&self) -> bool {
         true
     }

@@ -1,0 +1,384 @@
+//! Dependency-free structured telemetry for the asyncsynth workspace.
+//!
+//! Three pieces, all with byte-stable JSON export:
+//!
+//! * [`Counters`] — a sorted name → value map of monotonic `u64`
+//!   counters. The pipeline keeps **two disjoint classes**: the
+//!   *deterministic* set (thread-count- and backend-invariant where the
+//!   parity suites prove it — states, sweep grid sizes, primes, …) and
+//!   the *advisory* set (BDD node counts, decoded states, memo hits —
+//!   real work done by *this* process, allowed to vary by backend or
+//!   strategy). Drift gates compare the former and must never see the
+//!   latter.
+//! * [`Span`] — a named tree node carrying wall time plus one
+//!   [`Counters`] of each class. [`Span::render`] emits everything;
+//!   [`Span::render_deterministic`] strips wall times and advisory
+//!   counters recursively, yielding the byte-comparable projection the
+//!   parity tests pin across sweep thread counts.
+//! * [`Registry`] — a thread-safe process-wide registry of monotonic
+//!   counters and last-write-wins gauges, used by the synthesis server
+//!   for its `metrics` op.
+//!
+//! The crate deliberately has no dependencies (not even on the root
+//! crate's `Json`) so every layer of the workspace can use it; it
+//! renders its own JSON, matching the root renderer byte-for-byte on
+//! the subset it emits (sorted keys, no whitespace, `\u00XX` escapes).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Escape a string into a JSON string literal (without quotes).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A sorted map of named monotonic `u64` counters.
+///
+/// Iteration and rendering are always in key order, so two `Counters`
+/// built from the same observations render byte-identically regardless
+/// of insertion order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    values: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite `name` with `value`.
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.values.insert(name.to_owned(), value);
+    }
+
+    /// Add `delta` to `name` (creating it at zero first).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.values.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// The current value, or `None` if the counter was never touched.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.values.get(name).copied()
+    }
+
+    /// Fold every counter of `other` into `self` (summing).
+    pub fn merge(&mut self, other: &Counters) {
+        for (name, value) in &other.values {
+            *self.values.entry(name.clone()).or_insert(0) += value;
+        }
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Key-ordered iteration.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Build from `(name, value)` pairs (later duplicates overwrite).
+    #[must_use]
+    pub fn from_pairs<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, u64)>,
+        S: Into<String>,
+    {
+        let mut c = Self::new();
+        for (name, value) in pairs {
+            c.values.insert(name.into(), value);
+        }
+        c
+    }
+
+    /// Render as a JSON object, keys sorted: `{"a":1,"b":2}`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(&mut out, name);
+            let _ = write!(out, "\":{value}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// One node of a trace tree: a named unit of work with wall time,
+/// deterministic counters, advisory counters and child spans.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Span {
+    pub name: String,
+    pub wall_ms: u64,
+    pub counters: Counters,
+    pub advisory: Counters,
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Span {
+            name: name.to_owned(),
+            ..Span::default()
+        }
+    }
+
+    pub fn push_child(&mut self, child: Span) {
+        self.children.push(child);
+    }
+
+    /// Full render: name, wall time, both counter classes, children.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, true);
+        out
+    }
+
+    /// Deterministic projection: recursively drops `wall_ms` and the
+    /// advisory counters, leaving only fields that must be
+    /// byte-identical across sweep thread counts.
+    #[must_use]
+    pub fn render_deterministic(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, false);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, full: bool) {
+        out.push_str("{\"name\":\"");
+        escape_into(out, &self.name);
+        out.push('"');
+        if full {
+            let _ = write!(out, ",\"wall_ms\":{}", self.wall_ms);
+        }
+        out.push_str(",\"counters\":");
+        out.push_str(&self.counters.render());
+        if full {
+            out.push_str(",\"advisory\":");
+            out.push_str(&self.advisory.render());
+        }
+        out.push_str(",\"children\":[");
+        for (i, child) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            child.render_into(out, full);
+        }
+        out.push_str("]}");
+    }
+}
+
+/// A thread-safe process-wide metrics registry: monotonic counters
+/// plus last-write-wins gauges. Snapshots are key-sorted, so renders
+/// are byte-stable for a given state.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, u64>>,
+}
+
+impl Registry {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment the counter `name` by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increment the counter `name` by `delta`.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut counters = self.counters.lock().expect("telemetry registry poisoned");
+        *counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// The current value of counter `name` (0 if never incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        let counters = self.counters.lock().expect("telemetry registry poisoned");
+        counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set the gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        let mut gauges = self.gauges.lock().expect("telemetry registry poisoned");
+        gauges.insert(name.to_owned(), value);
+    }
+
+    /// The current value of gauge `name` (0 if never set).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> u64 {
+        let gauges = self.gauges.lock().expect("telemetry registry poisoned");
+        gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Key-sorted snapshot of every counter.
+    #[must_use]
+    pub fn snapshot_counters(&self) -> Counters {
+        let counters = self.counters.lock().expect("telemetry registry poisoned");
+        Counters {
+            values: counters.clone(),
+        }
+    }
+
+    /// Key-sorted snapshot of every gauge.
+    #[must_use]
+    pub fn snapshot_gauges(&self) -> Counters {
+        let gauges = self.gauges.lock().expect("telemetry registry poisoned");
+        Counters {
+            values: gauges.clone(),
+        }
+    }
+
+    /// Byte-stable JSON export: `{"counters":{...},"gauges":{...}}`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{{\"counters\":{},\"gauges\":{}}}",
+            self.snapshot_counters().render(),
+            self.snapshot_gauges().render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_render_sorted_regardless_of_insertion_order() {
+        let mut a = Counters::new();
+        a.set("zeta", 3);
+        a.set("alpha", 1);
+        a.add("mid", 2);
+        let mut b = Counters::new();
+        b.add("mid", 2);
+        b.set("alpha", 1);
+        b.set("zeta", 3);
+        assert_eq!(a.render(), "{\"alpha\":1,\"mid\":2,\"zeta\":3}");
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counters_merge_sums() {
+        let mut a = Counters::from_pairs([("x", 1u64), ("y", 2)]);
+        let b = Counters::from_pairs([("y", 3u64), ("z", 4)]);
+        a.merge(&b);
+        assert_eq!(a.get("x"), Some(1));
+        assert_eq!(a.get("y"), Some(5));
+        assert_eq!(a.get("z"), Some(4));
+    }
+
+    #[test]
+    fn span_render_and_deterministic_projection() {
+        let mut root = Span::new("flow");
+        root.wall_ms = 12;
+        root.counters.set("states", 20);
+        root.advisory.set("bdd_nodes", 99);
+        let mut child = Span::new("check");
+        child.wall_ms = 7;
+        child.counters.set("states", 20);
+        root.push_child(child);
+        assert_eq!(
+            root.render(),
+            "{\"name\":\"flow\",\"wall_ms\":12,\"counters\":{\"states\":20},\
+             \"advisory\":{\"bdd_nodes\":99},\"children\":[\
+             {\"name\":\"check\",\"wall_ms\":7,\"counters\":{\"states\":20},\
+             \"advisory\":{},\"children\":[]}]}"
+        );
+        assert_eq!(
+            root.render_deterministic(),
+            "{\"name\":\"flow\",\"counters\":{\"states\":20},\"children\":[\
+             {\"name\":\"check\",\"counters\":{\"states\":20},\"children\":[]}]}"
+        );
+    }
+
+    #[test]
+    fn deterministic_projection_ignores_wall_and_advisory_differences() {
+        let mut a = Span::new("flow");
+        a.wall_ms = 5;
+        a.counters.set("states", 8);
+        a.advisory.set("bdd_nodes", 10);
+        let mut b = Span::new("flow");
+        b.wall_ms = 900;
+        b.counters.set("states", 8);
+        b.advisory.set("bdd_nodes", 77777);
+        assert_ne!(a.render(), b.render());
+        assert_eq!(a.render_deterministic(), b.render_deterministic());
+    }
+
+    #[test]
+    fn span_names_are_json_escaped() {
+        let span = Span::new("a\"b\\c\nd");
+        assert_eq!(
+            span.render_deterministic(),
+            "{\"name\":\"a\\\"b\\\\c\\nd\",\"counters\":{},\"children\":[]}"
+        );
+    }
+
+    #[test]
+    fn registry_counts_and_gauges() {
+        let reg = Registry::new();
+        reg.incr("jobs");
+        reg.add("jobs", 2);
+        reg.set_gauge("queued", 5);
+        reg.set_gauge("queued", 3);
+        assert_eq!(reg.counter("jobs"), 3);
+        assert_eq!(reg.counter("missing"), 0);
+        assert_eq!(reg.gauge("queued"), 3);
+        assert_eq!(
+            reg.render(),
+            "{\"counters\":{\"jobs\":3},\"gauges\":{\"queued\":3}}"
+        );
+    }
+
+    #[test]
+    fn registry_is_thread_safe() {
+        let reg = std::sync::Arc::new(Registry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = std::sync::Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        reg.incr("hits");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter("hits"), 4000);
+    }
+}

@@ -77,14 +77,21 @@ pub mod flow;
 pub mod json;
 pub mod pipeline;
 pub mod summary;
+pub mod trace;
+
+/// The workspace's dependency-free telemetry substrate (spans, counter
+/// maps, the process-wide registry), re-exported so downstream users
+/// reach it as `asyncsynth::telemetry`.
+pub use telemetry;
 
 pub use cache::{CacheStats, ResultCache};
 pub use json::Json;
 pub use pipeline::{
-    cache_key, run_batch, run_cached, run_cached_with, Architecture, Backend, CacheOutcome,
-    CacheStage, CachedRun, Checked, Circuit, CscCandidate, CscKind, CscResolved, CscStrategy,
-    CscTransformation, FlowEvent, FlowObserver, NullObserver, PipelineError, SweepOptions,
-    SweepStats, Synthesis, SynthesisOptions, Synthesized, Verification, Verified, VerifyOptions,
-    VerifyStrategy,
+    cache_key, flow_metrics, run_batch, run_cached, run_cached_with, Architecture, Backend,
+    CacheOutcome, CacheStage, CachedRun, Checked, Circuit, CscCandidate, CscKind, CscResolved,
+    CscStrategy, CscTransformation, FlowEvent, FlowObserver, NullObserver, PipelineError,
+    SweepOptions, SweepStats, Synthesis, SynthesisOptions, Synthesized, Verification, Verified,
+    VerifyOptions, VerifyStrategy,
 };
 pub use summary::SynthesisSummary;
+pub use trace::TraceBuilder;

@@ -208,6 +208,21 @@ pub enum PipelineError {
     Cancelled,
 }
 
+impl PipelineError {
+    /// The diagnostic log accumulated before the failure, for the
+    /// variants that carry one (empty for the others). Lets consumers —
+    /// notably the corpus ledger — derive the deterministic operation
+    /// counters of failed flows via [`flow_metrics`].
+    #[must_use]
+    pub fn events(&self) -> &[FlowEvent] {
+        match self {
+            PipelineError::CscUnresolved { events }
+            | PipelineError::CandidatesExhausted { events, .. } => events,
+            _ => &[],
+        }
+    }
+}
+
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -411,6 +426,11 @@ pub enum FlowEvent {
         architecture: Architecture,
         /// Gate count of the netlist.
         gates: usize,
+        /// Prime implicants generated by the two-level minimiser while
+        /// deriving this candidate's logic (equations, latch covers,
+        /// decomposition and resubstitution included) — a deterministic
+        /// operation counter for the synthesis stage.
+        primes: u64,
     },
     /// The netlist was mapped onto the technology library.
     LibraryMapped {
@@ -482,8 +502,12 @@ impl fmt::Display for FlowEvent {
             FlowEvent::CircuitSynthesized {
                 architecture,
                 gates,
+                primes,
             } => {
-                write!(f, "circuit synthesised ({architecture:?}): {gates} gate(s)")
+                write!(
+                    f,
+                    "circuit synthesised ({architecture:?}): {gates} gate(s), {primes} prime(s)"
+                )
             }
             FlowEvent::LibraryMapped { cells } => write!(f, "mapped onto {cells} cell(s)"),
             FlowEvent::VerificationPassed { states_explored } => {
@@ -503,6 +527,79 @@ impl fmt::Display for FlowEvent {
             }
         }
     }
+}
+
+/// Derives the **deterministic** operation counters of a flow from its
+/// event log.
+///
+/// Every value comes from [`FlowEvent`]s, which the parity suites prove
+/// byte-identical across sweep thread counts, verify strategies and
+/// incremental mode (and across backends where flow parity holds) — so
+/// the result inherits those invariants and is safe to pin in the
+/// corpus ledger and gate for drift. Counters that depend on the
+/// backend or on memoisation state (BDD nodes, decoded states, memo
+/// hits) are deliberately absent; see [`Verified::advisory_metrics`].
+///
+/// Only counters whose originating event appears are emitted, so a
+/// check-stage slice carries `states` but no `sweep_*` keys. Keys:
+/// `states` (first space built — the check stage's), `spaces_built`,
+/// `csc_conflicts`, `sweep_grid` / `sweep_pruned` / `sweep_evaluated` /
+/// `sweep_skipped_by_bound` / `sweep_accepted` (summed over sweeps),
+/// `csc_candidates`, `csc_applied`, `candidates_rejected`, `equations`,
+/// `gates`, `primes` (summed over tried candidates), `mapped_cells`,
+/// `states_explored` (summed over verification runs, bounded ones
+/// included), `verify_runs`, `verify_bounded`, `verify_skipped`,
+/// `cache_full_hits`, `cache_csc_resumes`.
+#[must_use]
+pub fn flow_metrics(events: &[FlowEvent]) -> telemetry::Counters {
+    let mut m = telemetry::Counters::new();
+    for event in events {
+        match event {
+            FlowEvent::StateSpaceBuilt { num_states, .. } => {
+                if m.get("states").is_none() {
+                    m.set("states", *num_states as u64);
+                }
+                m.add("spaces_built", 1);
+            }
+            FlowEvent::PropertiesChecked { csc_conflicts, .. } => {
+                m.set("csc_conflicts", *csc_conflicts as u64);
+            }
+            FlowEvent::CscSweep { stats, .. } => {
+                m.add("sweep_grid", stats.grid as u64);
+                m.add("sweep_pruned", stats.pruned as u64);
+                m.add("sweep_evaluated", stats.evaluated as u64);
+                m.add("sweep_skipped_by_bound", stats.skipped_by_bound as u64);
+                m.add("sweep_accepted", stats.accepted as u64);
+            }
+            FlowEvent::CscCandidates { count, .. } => {
+                m.set("csc_candidates", *count as u64);
+            }
+            FlowEvent::CscApplied(_) => m.add("csc_applied", 1),
+            FlowEvent::CandidateRejected { .. } => m.add("candidates_rejected", 1),
+            FlowEvent::EquationsDerived { count } => m.set("equations", *count as u64),
+            FlowEvent::CircuitSynthesized { gates, primes, .. } => {
+                // `gates`/`equations` keep the last (winning) value;
+                // `primes` sums the work across every candidate tried.
+                m.set("gates", *gates as u64);
+                m.add("primes", *primes);
+            }
+            FlowEvent::LibraryMapped { cells } => m.set("mapped_cells", *cells as u64),
+            FlowEvent::VerificationPassed { states_explored } => {
+                m.add("states_explored", *states_explored as u64);
+                m.add("verify_runs", 1);
+            }
+            FlowEvent::VerificationSkipped => m.add("verify_skipped", 1),
+            FlowEvent::VerificationBounded {
+                states_explored, ..
+            } => {
+                m.add("states_explored", *states_explored as u64);
+                m.add("verify_bounded", 1);
+            }
+            FlowEvent::CacheHit { .. } => m.add("cache_full_hits", 1),
+            FlowEvent::CscStageResumed { .. } => m.add("cache_csc_resumes", 1),
+        }
+    }
+    m
 }
 
 /// The circuit produced by the pipeline, by architecture.
@@ -886,6 +983,20 @@ impl CscResolved {
                     }
                     self.events.append(&mut events);
                     synthesized.events = self.events;
+                    // Memoisation counters are advisory telemetry: they
+                    // depend on the verify strategy and incremental
+                    // flag, which the parity suite proves output-neutral
+                    // — so they ride outside the events/summary and
+                    // never reach the cache or the drift-gated set.
+                    if let Some(v) = &verifier {
+                        let s = v.stats();
+                        let adv = &mut synthesized.advisory;
+                        adv.set("incremental_full_hits", s.full_hits as u64);
+                        adv.set("incremental_full_misses", s.full_misses as u64);
+                        adv.set("incremental_settle_hits", s.settle_hits as u64);
+                        adv.set("incremental_settle_misses", s.settle_misses as u64);
+                        adv.set("incremental_tracker_reuses", s.tracker_reuses as u64);
+                    }
                     return Ok(synthesized);
                 }
                 Err((e, mut events)) => {
@@ -956,6 +1067,11 @@ fn synthesize_candidate(
         report,
     } = candidate;
     let fail = |e: PipelineError, events: Vec<FlowEvent>| Err((e, events));
+    // Everything below runs on this thread, so the delta of boolmin's
+    // thread-local prime counter taken around the logic-synthesis block
+    // is exact (and thread-count-invariant: sweep workers have already
+    // finished, and their counters live on their own threads).
+    let primes_before = boolmin::primes_generated();
     let space: Box<dyn StateSpace> = match space {
         Some(space) => space,
         None => match options.backend.build(&spec) {
@@ -1048,6 +1164,7 @@ fn synthesize_candidate(
     events.push(FlowEvent::CircuitSynthesized {
         architecture: options.architecture,
         gates: circuit.netlist().num_gates(),
+        primes: boolmin::primes_generated() - primes_before,
     });
 
     // Technology-library sanity (standard library; the two-input library
@@ -1125,6 +1242,7 @@ fn synthesize_candidate(
             mapping,
             probe,
             events: Vec::new(),
+            advisory: telemetry::Counters::new(),
         },
         events,
     ))
@@ -1144,6 +1262,7 @@ pub struct Synthesized {
     mapping: Option<Mapping>,
     probe: Option<VerificationReport>,
     events: Vec<FlowEvent>,
+    advisory: telemetry::Counters,
 }
 
 impl Synthesized {
@@ -1230,7 +1349,16 @@ impl Synthesized {
             mapping,
             probe,
             mut events,
+            mut advisory,
         } = self;
+        // Probe the final space's backend-specific counters: real work
+        // done by this process, but backend-dependent — advisory only.
+        if let Some(n) = space.bdd_node_count() {
+            advisory.set("bdd_nodes", n as u64);
+        }
+        if let Some(d) = space.decoded_state_count() {
+            advisory.set("decoded_states", d);
+        }
         let verification = if options.skip_verification {
             events.push(FlowEvent::VerificationSkipped);
             Verification::Skipped
@@ -1255,6 +1383,7 @@ impl Synthesized {
             verification,
             space,
             events,
+            advisory,
         })
     }
 }
@@ -1278,6 +1407,7 @@ pub struct Verified {
     pub verification: Verification,
     space: Box<dyn StateSpace>,
     events: Vec<FlowEvent>,
+    advisory: telemetry::Counters,
 }
 
 impl Verified {
@@ -1297,6 +1427,16 @@ impl Verified {
     #[must_use]
     pub fn events(&self) -> &[FlowEvent] {
         &self.events
+    }
+
+    /// Advisory operation counters for this run: BDD nodes, lazily
+    /// decoded states, incremental-verifier memo hits. Unlike
+    /// [`flow_metrics`] these vary by backend, verify strategy and
+    /// incremental mode, so they never enter the summary, the cache or
+    /// any drift-gated artifact.
+    #[must_use]
+    pub fn advisory_metrics(&self) -> &telemetry::Counters {
+        &self.advisory
     }
 }
 
@@ -1335,13 +1475,15 @@ use crate::summary::SynthesisSummary;
 
 /// Schema tag folded into every cache key; bump whenever the meaning of
 /// a cached payload changes so stale entries can never be served.
-/// (v3: verification runs through the composed engine — summaries carry
-/// its event log, rejected candidates keep their events, and the verify
+/// (v4: summaries carry the deterministic [`flow_metrics`] counters and
+/// circuit events carry the minimiser's prime count. v3: verification
+/// runs through the composed engine — summaries carry its event log,
+/// rejected candidates keep their events, and the verify
 /// bound/incremental options joined the key. v2: next-state derivation
 /// feeds the minimiser deduplicated, lexicographically sorted code
 /// cubes — cover-size ties can resolve differently than v1's
 /// first-occurrence order.)
-pub const CACHE_SCHEMA: &str = "asyncsynth-flow-v3";
+pub const CACHE_SCHEMA: &str = "asyncsynth-flow-v4";
 
 /// Which stage's artifact a cache key addresses. Each stage salts its
 /// key with exactly the options that influence its result, so e.g. a
@@ -1478,6 +1620,10 @@ pub struct CachedRun {
     pub outcome: CacheOutcome,
     /// The full-result cache key, when a cache was configured.
     pub key: Option<Digest>,
+    /// Advisory counters for the work *this process* did (see
+    /// [`Verified::advisory_metrics`]); empty on a full cache hit —
+    /// a served result explored nothing.
+    pub advisory: telemetry::Counters,
 }
 
 /// Runs the full flow through the content-addressed result cache.
@@ -1533,6 +1679,7 @@ pub fn run_cached_with(
                     summary,
                     outcome: CacheOutcome::Hit,
                     key: Some(key),
+                    advisory: telemetry::Counters::new(),
                 });
             }
         }
@@ -1575,6 +1722,7 @@ pub fn run_cached_with(
     }
     Ok(CachedRun {
         summary,
+        advisory: verified.advisory_metrics().clone(),
         outcome: if cache.is_none() {
             CacheOutcome::Disabled
         } else if resumed {

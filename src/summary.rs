@@ -8,7 +8,8 @@
 //! (`from_json(to_json(s)) == s`, byte-identical re-rendering).
 
 use crate::json::Json;
-use crate::pipeline::{SynthesisOptions, Verification, Verified};
+use crate::pipeline::{flow_metrics, SynthesisOptions, Verification, Verified};
+use telemetry::Counters;
 
 /// A CSC transformation, in serialisable form.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +49,13 @@ pub struct SynthesisSummary {
     pub verification: String,
     /// Composed states explored by the verifier, when it ran.
     pub composed_states: Option<usize>,
+    /// Deterministic operation counters derived from the event log
+    /// (see [`flow_metrics`]): thread-count-invariant, drift-gated by
+    /// the corpus ledger. Advisory counters (BDD nodes, memo hits)
+    /// deliberately never appear here — summaries are byte-identical
+    /// across verify strategies and shared across cache keys, which
+    /// only the deterministic set preserves.
+    pub metrics: Counters,
     /// The flow's diagnostic event log, rendered.
     pub events: Vec<String>,
 }
@@ -79,6 +87,7 @@ impl SynthesisSummary {
             mapping_area: v.mapping.as_ref().map(synth::library::Mapping::area),
             verification,
             composed_states,
+            metrics: flow_metrics(v.events()),
             events: v.events().iter().map(ToString::to_string).collect(),
         }
     }
@@ -109,6 +118,7 @@ impl SynthesisSummary {
             ("mapping_area", opt_num(self.mapping_area)),
             ("verification", Json::str(&self.verification)),
             ("composed_states", opt_num(self.composed_states)),
+            ("metrics", counters_to_json(&self.metrics)),
             (
                 "events",
                 Json::Arr(self.events.iter().map(Json::str).collect()),
@@ -177,9 +187,44 @@ impl SynthesisSummary {
             mapping_area: opt_num_field("mapping_area"),
             verification: str_field("verification")?,
             composed_states: opt_num_field("composed_states"),
+            metrics: counters_from_json(v.get("metrics").ok_or("missing metrics object")?)?,
             events,
         })
     }
+}
+
+/// Encodes a [`Counters`] map as a JSON object (keys already sorted, so
+/// the rendering is byte-stable).
+#[must_use]
+pub fn counters_to_json(counters: &Counters) -> Json {
+    Json::Obj(
+        counters
+            .iter()
+            .map(|(name, value)| {
+                let value = usize::try_from(value).unwrap_or(usize::MAX);
+                (name.to_owned(), Json::num(value))
+            })
+            .collect(),
+    )
+}
+
+/// Decodes a [`Counters`] map from a JSON object of numbers.
+///
+/// # Errors
+///
+/// A description of the first non-numeric entry (or a non-object value).
+pub fn counters_from_json(v: &Json) -> Result<Counters, String> {
+    let Json::Obj(pairs) = v else {
+        return Err("metrics is not an object".to_owned());
+    };
+    let mut counters = Counters::new();
+    for (name, value) in pairs {
+        let value = value
+            .as_u64()
+            .ok_or_else(|| format!("non-numeric metric {name:?}"))?;
+        counters.set(name, value);
+    }
+    Ok(counters)
 }
 
 /// Encodes a §2.1 implementability report as JSON (the `check`

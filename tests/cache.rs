@@ -87,16 +87,18 @@ fn corrupted_entries_are_detected_and_resynthesised() {
     std::fs::write(&full_path, "{\"version\":1,\"garbage\":true").expect("corrupt entry");
     let second = run_cached(&spec, &options, &cache).expect("re-synthesis succeeds");
     assert_eq!(second.outcome, CacheOutcome::CscResumed);
-    // The circuit is identical; only the event log differs (it honestly
-    // records the checkpoint resume instead of the candidate search).
-    let without_events = |summary: &asyncsynth::SynthesisSummary| {
+    // The circuit is identical; only the run's own log differs — the
+    // events (and the counters derived from them) honestly record the
+    // checkpoint resume instead of the candidate search.
+    let without_run_log = |summary: &asyncsynth::SynthesisSummary| {
         let mut s = summary.clone();
         s.events.clear();
+        s.metrics = asyncsynth::telemetry::Counters::new();
         s.to_json().render()
     };
     assert_eq!(
-        without_events(&second.summary),
-        without_events(&first.summary),
+        without_run_log(&second.summary),
+        without_run_log(&first.summary),
         "re-synthesised result matches"
     );
     assert_eq!(cache.stats().corrupt, 1);

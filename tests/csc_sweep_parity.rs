@@ -118,9 +118,11 @@ fn pruned_sweep_is_identical_and_actually_prunes() {
 fn flow_output_is_byte_identical_across_sweep_configurations() {
     // End-to-end: the complete synthesis summary — equations, netlist,
     // diagnostics, everything a client or cache sees — must not depend
-    // on the sweep's thread count (events included: the sweep counters
-    // are deterministic). Pruning changes only the counters in the
-    // event log, so its comparison strips events.
+    // on the sweep's thread count (events and metrics included: the
+    // sweep counters are deterministic). Pruning changes only the
+    // counters — in the event log and in the metric set — so its
+    // comparison strips both; the cache-key test below is the flip
+    // side: pruning splits cache entries for exactly this reason.
     for (name, spec) in flow_specs() {
         for backend in [Backend::Explicit, Backend::Symbolic] {
             let run = |threads: usize, prune: bool| {
@@ -150,12 +152,50 @@ fn flow_output_is_byte_identical_across_sweep_configurations() {
                 let mut pruned = serial.clone();
                 unpruned.events.clear();
                 pruned.events.clear();
+                unpruned.metrics = asyncsynth::telemetry::Counters::new();
+                pruned.metrics = asyncsynth::telemetry::Counters::new();
                 assert_eq!(
                     unpruned.to_json().render(),
                     pruned.to_json().render(),
                     "{name}: pruning must not change the synthesised result"
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn trace_counters_are_byte_identical_across_sweep_threads() {
+    // The acceptance bar of the telemetry layer: a traced run's span
+    // tree, projected to its deterministic fields (no wall times, no
+    // advisory counters), must render byte-identically whatever the
+    // sweep's thread count — per stage and per CSC candidate, not just
+    // at the flow root.
+    for (name, spec) in flow_specs() {
+        let run = |threads: usize| {
+            let mut options = SynthesisOptions::default();
+            options.sweep.threads = threads;
+            let mut trace = asyncsynth::TraceBuilder::new();
+            let run = run_cached_with(&spec, &options, None, &mut trace)
+                .unwrap_or_else(|e| panic!("{name} synthesises: {e}"));
+            let span = trace.finish(run.summary.metrics.clone(), run.advisory.clone());
+            (span.render_deterministic(), run.summary.metrics.render())
+        };
+        let (serial_span, serial_metrics) = run(1);
+        assert!(
+            serial_metrics.contains("\"states_explored\":"),
+            "{name}: the metric set covers verification work: {serial_metrics}"
+        );
+        for threads in [2, 0] {
+            let (span, metrics) = run(threads);
+            assert_eq!(
+                span, serial_span,
+                "{name}: deterministic span projection must not depend on {threads} threads"
+            );
+            assert_eq!(
+                metrics, serial_metrics,
+                "{name}: summary metrics must not depend on {threads} threads"
+            );
         }
     }
 }

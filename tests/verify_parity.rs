@@ -144,6 +144,60 @@ fn pipeline_output_byte_identical_across_strategies_and_backends() {
     }
 }
 
+/// The telemetry split: the deterministic metric set of the summary is
+/// byte-identical across verify strategies, the incremental flag and
+/// (in release, where the flow matrix runs) all three backends — while
+/// the advisory counters legitimately vary and ride outside the
+/// summary, on [`asyncsynth::Verified::advisory_metrics`].
+#[test]
+fn deterministic_metrics_identical_while_advisory_counters_ride_outside() {
+    for (name, spec) in specs() {
+        let run = |backend: Backend, strategy: VerifyStrategy, incremental: bool| {
+            let options = SynthesisOptions {
+                backend,
+                verify: VerifyOptions::default()
+                    .with_strategy(strategy)
+                    .with_incremental(incremental),
+                ..Default::default()
+            };
+            let verified = Synthesis::with_options(spec.clone(), options.clone())
+                .run()
+                .unwrap_or_else(|e| panic!("{name} ({backend}/{strategy}): {e}"));
+            let summary = SynthesisSummary::from_verified(&verified, &options);
+            (
+                summary.metrics.render(),
+                verified.advisory_metrics().clone(),
+            )
+        };
+        let (reference, baseline_advisory) =
+            run(Backend::Explicit, VerifyStrategy::ExplicitBfs, false);
+        assert!(
+            baseline_advisory.get("incremental_full_misses").is_none(),
+            "{name}: no memo counters without the incremental engine"
+        );
+        for &backend in flow_backends() {
+            for strategy in STRATEGIES {
+                let (metrics, _) = run(backend, strategy, false);
+                assert_eq!(metrics, reference, "{name}: {backend}/{strategy} metrics");
+            }
+            let (metrics, advisory) = run(backend, VerifyStrategy::Composed, true);
+            assert_eq!(metrics, reference, "{name}: {backend}/incremental metrics");
+            assert!(
+                advisory.get("incremental_full_misses").is_some(),
+                "{name}: the incremental engine surfaces its memo counters \
+                 as advisory telemetry: {advisory:?}"
+            );
+            if backend != Backend::Explicit {
+                let (_, advisory) = run(backend, VerifyStrategy::Composed, false);
+                assert!(
+                    advisory.get("bdd_nodes").is_some(),
+                    "{name}: symbolic backends report their BDD size: {advisory:?}"
+                );
+            }
+        }
+    }
+}
+
 /// A wide, CSC-clean controller whose state count is combinatorial:
 /// `pairs` independent `x_i+ → y_i+ → x_i- → y_i-` handshakes (4 states
 /// each, all codes distinct) plus one free-running output toggle `w`,
