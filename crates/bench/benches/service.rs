@@ -1,11 +1,20 @@
 //! Synthesis-service throughput: cold vs. warm content-addressed cache,
-//! and concurrent clients against a live TCP server.
+//! concurrent clients against a live TCP server, and a saturation
+//! scenario (many× queue capacity concurrent submitters) that reports
+//! shed rate and p50/p99 accepted-job latency.
+//!
+//! The saturation scenario writes `BENCH_service_saturation.json` to
+//! the repo root — the overload-trajectory artifact CI uploads. It is
+//! skipped in `cargo test` smoke mode (the harness passes `--test`).
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
-use asyncsynth::{run_cached, ResultCache, SynthesisOptions};
+use asyncsynth::{run_cached, Json, ResultCache, SynthesisOptions};
 use criterion::{criterion_group, criterion_main, Criterion};
-use server::protocol::Request;
+use server::client::ClientOptions;
+use server::protocol::{Priority, Request, Response};
 use server::service::{Server, ServerConfig};
 
 fn bench_root(tag: &str) -> std::path::PathBuf {
@@ -13,6 +22,10 @@ fn bench_root(tag: &str) -> std::path::PathBuf {
         "asyncsynth-bench-cache-{}-{tag}",
         std::process::id()
     ))
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
 fn bench_cache(c: &mut Criterion) {
@@ -63,6 +76,7 @@ fn bench_concurrent_clients(c: &mut Criterion) {
         &ServerConfig {
             workers: 4,
             cache_dir: Some(cache_root.clone()),
+            ..ServerConfig::default()
         },
     )
     .expect("server binds");
@@ -107,5 +121,151 @@ fn bench_concurrent_clients(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cache, bench_concurrent_clients);
+/// Saturation scenario knobs: SUBMITTERS/QUEUE_CAPACITY concurrent
+/// clients per admission slot forces the daemon to shed, and the
+/// shared cache is what lets the shed ones converge on retry.
+const SATURATION_WORKERS: usize = 2;
+const SATURATION_CAPACITY: usize = 4;
+const SATURATION_SUBMITTERS: usize = 32;
+
+/// The `p`-th percentile of an unsorted latency sample (nearest-rank).
+fn percentile_ms(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+/// Not a criterion measurement: one overload episode, run start to
+/// finish, reporting what admission control did rather than how fast
+/// the happy path is. Criterion's repeated-sampling model fits poorly
+/// here — the first episode warms the cache, so later samples would
+/// measure a different (uncontended) regime.
+fn bench_saturation(_c: &mut Criterion) {
+    if std::env::args().any(|a| a == "--test") {
+        return; // smoke mode: writes nothing
+    }
+    let cache_root = bench_root("saturation");
+    let _ = std::fs::remove_dir_all(&cache_root);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &ServerConfig {
+            workers: SATURATION_WORKERS,
+            cache_dir: Some(cache_root.clone()),
+            queue_capacity: SATURATION_CAPACITY,
+            max_jobs_per_client: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server binds");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let spec_text = stg::parse::write_g(&stg::examples::vme_read());
+    let options = SynthesisOptions::default();
+    let client_options = ClientOptions {
+        retries: 200,
+        backoff_ms: 2,
+        max_backoff_ms: 100,
+        ..ClientOptions::default()
+    };
+    let rejections = AtomicU64::new(0);
+    let gave_up = AtomicU64::new(0);
+    let episode = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SATURATION_SUBMITTERS)
+            .map(|_| {
+                let (addr, spec_text, options) = (&addr, &spec_text, &options);
+                let (rejections, gave_up) = (&rejections, &gave_up);
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let outcome = server::client::submit_synth_with(
+                        addr,
+                        spec_text,
+                        options,
+                        Priority::Normal,
+                        &client_options,
+                        false,
+                        |response| {
+                            if matches!(response, Response::Rejected { .. }) {
+                                rejections.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                    );
+                    if outcome.is_err() {
+                        gave_up.fetch_add(1, Ordering::Relaxed);
+                    }
+                    u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("submitter thread"))
+            .collect()
+    });
+    let episode_ms = u64::try_from(episode.elapsed().as_millis()).unwrap_or(u64::MAX);
+    latencies.sort_unstable();
+
+    let (shed_total, completed) =
+        match server::client::request(&addr, &Request::Status, |_| {}).expect("status") {
+            Response::Status {
+                shed, completed, ..
+            } => (shed, completed),
+            other => panic!("unexpected status reply: {other:?}"),
+        };
+    let _ = server::client::request(&addr, &Request::Shutdown, |_| {});
+    let _ = handle.join();
+    let _ = std::fs::remove_dir_all(&cache_root);
+
+    let rejections = rejections.load(Ordering::Relaxed);
+    let gave_up = gave_up.load(Ordering::Relaxed);
+    // Every rejection is one extra submission attempt on top of the
+    // initial SATURATION_SUBMITTERS, so the shed rate is per attempt.
+    let attempts = SATURATION_SUBMITTERS as u64 + rejections;
+    let num64 = |n: u64| Json::num(usize::try_from(n).unwrap_or(usize::MAX));
+    let artifact = Json::obj(vec![
+        ("schema", Json::str("service-saturation-v1")),
+        ("workers", Json::num(SATURATION_WORKERS)),
+        ("queue_capacity", Json::num(SATURATION_CAPACITY)),
+        ("submitters", Json::num(SATURATION_SUBMITTERS)),
+        ("attempts", num64(attempts)),
+        ("shed_total", num64(shed_total)),
+        ("client_rejections", num64(rejections)),
+        ("shed_per_mille", num64(shed_total * 1000 / attempts.max(1))),
+        ("gave_up", num64(gave_up)),
+        ("completed", num64(completed)),
+        ("episode_ms", num64(episode_ms)),
+        (
+            "accepted_latency_ms",
+            Json::obj(vec![
+                ("p50", num64(percentile_ms(&latencies, 50))),
+                ("p99", num64(percentile_ms(&latencies, 99))),
+                ("max", num64(latencies.last().copied().unwrap_or(0))),
+            ]),
+        ),
+    ]);
+    let bench_path = repo_root().join("BENCH_service_saturation.json");
+    std::fs::write(&bench_path, artifact.render() + "\n").expect("write saturation artifact");
+    println!(
+        "service-saturation: {SATURATION_SUBMITTERS} submitters vs capacity \
+         {SATURATION_CAPACITY}: shed {shed_total}/{attempts} attempts, \
+         {gave_up} gave up, latency p50 {} ms / p99 {} ms; wrote {}",
+        percentile_ms(&latencies, 50),
+        percentile_ms(&latencies, 99),
+        bench_path.display()
+    );
+    assert_eq!(
+        shed_total, rejections,
+        "every shed must surface as a rejected response on some client"
+    );
+    assert_eq!(gave_up, 0, "retries must converge once the cache is warm");
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_concurrent_clients,
+    bench_saturation
+);
 criterion_main!(benches);

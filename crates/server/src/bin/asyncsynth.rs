@@ -7,8 +7,19 @@
 //! asyncsynth wave   <file.g> [--backend B] [--json]     # one canonical cycle as waveforms
 //! asyncsynth reduce <file.g> [--backend B] [--json]     # structural reductions + invariants
 //! asyncsynth serve  [--port N | --stdio] [--workers N] [--cache DIR]
+//!                   [--queue-capacity N] [--max-jobs-per-client N] [--idle-timeout-ms N]
 //! asyncsynth submit <file.g> [--host H] [--port N] [options] [--events]
 //! asyncsynth submit <dir>    [--host H] [--port N] [options]   # batch every .g in dir
+//!
+//! serve options:
+//!   --queue-capacity N                      weighted queue capacity (default 256, 0 = unbounded)
+//!   --max-jobs-per-client N                 live jobs per connection (default 64, 0 = no quota)
+//!   --idle-timeout-ms N                     reap idle connections after N ms (default 120000, 0 = never)
+//!
+//! submit options (besides the synth options below):
+//!   --priority high|normal|low              admission class (default: normal)
+//!   --retries N                             retries after a rejected response (default 4)
+//!   --backoff-ms N                          base retry backoff, doubling per attempt (default 50)
 //!
 //! synth options:
 //!   --arch complex|celement|rs|decomposed   (default: complex)
@@ -387,12 +398,28 @@ fn reduce(spec: &stg::Stg, opts: &[String]) -> Result<(), String> {
 // -------------------------------------------------------------------
 
 fn serve(opts: &[String]) -> Result<(), String> {
-    let flags = parse_flags(opts, &["--port", "--stdio", "--workers", "--cache"])?;
+    let flags = parse_flags(
+        opts,
+        &[
+            "--port",
+            "--stdio",
+            "--workers",
+            "--cache",
+            "--queue-capacity",
+            "--max-jobs-per-client",
+            "--idle-timeout-ms",
+        ],
+    )?;
+    let defaults = ServerConfig::default();
     let config = ServerConfig {
-        workers: flags
-            .workers
-            .unwrap_or_else(|| ServerConfig::default().workers),
+        workers: flags.workers.unwrap_or(defaults.workers),
         cache_dir: flags.cache_dir.clone(),
+        queue_capacity: flags.queue_capacity.unwrap_or(defaults.queue_capacity),
+        max_jobs_per_client: flags
+            .max_jobs_per_client
+            .unwrap_or(defaults.max_jobs_per_client),
+        idle_timeout_ms: flags.idle_timeout_ms.unwrap_or(defaults.idle_timeout_ms),
+        ..defaults
     };
     if flags.stdio {
         return serve_stdio(&config).map_err(|e| e.to_string());
@@ -408,6 +435,7 @@ fn serve(opts: &[String]) -> Result<(), String> {
             ("type", Json::str("serving")),
             ("addr", Json::str(addr.to_string())),
             ("workers", Json::num(config.workers)),
+            ("queue_capacity", Json::num(config.queue_capacity)),
             (
                 "cache",
                 config
@@ -439,15 +467,20 @@ fn submit(spec_text: &str, opts: &[String]) -> Result<(), String> {
             "--verify-strategy",
             "--verify-incremental",
             "--events",
+            "--priority",
+            "--retries",
+            "--backoff-ms",
             "--json",
         ],
     )?;
     let addr = format!("{}:{}", flags.host, flags.port.unwrap_or(DEFAULT_PORT));
     let json = flags.json;
-    let final_response = server::client::submit_synth(
+    let final_response = server::client::submit_synth_with(
         &addr,
         spec_text,
         &flags.options(),
+        flags.priority,
+        &flags.client_options(),
         flags.events,
         |response| match response {
             Response::Accepted { job, key } => {
@@ -465,6 +498,20 @@ fn submit(spec_text: &str, opts: &[String]) -> Result<(), String> {
                     println!("{}", response.to_json().render());
                 } else {
                     println!("[{stage}] {message}");
+                }
+            }
+            Response::Rejected {
+                reason,
+                queue_depth,
+                retry_after_ms,
+            } => {
+                if json {
+                    println!("{}", response.to_json().render());
+                } else {
+                    println!(
+                        "rejected ({reason}, queue depth {queue_depth}); \
+                         retrying in ~{retry_after_ms} ms"
+                    );
                 }
             }
             _ => {}
@@ -511,6 +558,9 @@ fn submit_dir(dir: &str, opts: &[String]) -> Result<(), String> {
             "--verify-bound",
             "--verify-strategy",
             "--verify-incremental",
+            "--priority",
+            "--retries",
+            "--backoff-ms",
             "--json",
         ],
     )?;
@@ -530,16 +580,37 @@ fn submit_dir(dir: &str, opts: &[String]) -> Result<(), String> {
         .collect::<Result<_, _>>()?;
     let addr = format!("{}:{}", flags.host, flags.port.unwrap_or(DEFAULT_PORT));
     let json = flags.json;
-    let final_response =
-        server::client::submit_batch(&addr, &texts, &flags.options(), |response| {
-            if let Response::Accepted { job, .. } = response {
+    let final_response = server::client::submit_batch_with(
+        &addr,
+        &texts,
+        &flags.options(),
+        flags.priority,
+        &flags.client_options(),
+        |response| match response {
+            Response::Accepted { job, .. } => {
                 if json {
                     println!("{}", response.to_json().render());
                 } else {
                     println!("batch job {job} accepted ({} specs)", texts.len());
                 }
             }
-        })?;
+            Response::Rejected {
+                reason,
+                queue_depth,
+                retry_after_ms,
+            } => {
+                if json {
+                    println!("{}", response.to_json().render());
+                } else {
+                    println!(
+                        "batch rejected ({reason}, queue depth {queue_depth}); \
+                         retrying in ~{retry_after_ms} ms"
+                    );
+                }
+            }
+            _ => {}
+        },
+    )?;
     match &final_response {
         Response::BatchResult { results, .. } => {
             if json {

@@ -1,28 +1,144 @@
-//! A blocking client for the synthesis service (`asyncsynth submit`).
+//! A blocking client for the synthesis service (`asyncsynth submit`),
+//! overload-aware: connect/request timeouts and bounded retry with
+//! exponential backoff + jitter when the server sheds load.
+//!
+//! A `rejected` response is not an error — it is the server saying
+//! "not now". [`request_with`] sleeps for the larger of the server's
+//! `retry_after_ms` hint and its own exponential backoff (plus jitter,
+//! so a shed thundering herd does not re-arrive in lockstep), then
+//! reconnects and resubmits, up to [`ClientOptions::retries`] times.
+//! Only when every attempt is shed does the call fail.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use asyncsynth::SynthesisOptions;
 
-use crate::protocol::{Request, Response};
+use crate::protocol::{Priority, Request, Response};
+
+/// Client-side robustness knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientOptions {
+    /// Retry attempts after a `rejected` response (0 = fail on the
+    /// first rejection).
+    pub retries: u32,
+    /// Base backoff before the first retry, in milliseconds; doubles
+    /// per attempt. The actual sleep is the larger of this and the
+    /// server's `retry_after_ms` hint, plus up to 25% jitter.
+    pub backoff_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub max_backoff_ms: u64,
+    /// TCP connect timeout in milliseconds (0 = OS default).
+    pub connect_timeout_ms: u64,
+    /// Per-read timeout while waiting for responses, in milliseconds
+    /// (0 = wait forever — synthesis jobs can legitimately run long).
+    pub request_timeout_ms: u64,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            retries: 4,
+            backoff_ms: 50,
+            max_backoff_ms: 5_000,
+            connect_timeout_ms: 10_000,
+            request_timeout_ms: 0,
+        }
+    }
+}
+
+impl ClientOptions {
+    /// The sleep before retry `attempt` (0-based), honouring the
+    /// server's `retry_after_ms` hint: the larger of the hint and the
+    /// capped exponential backoff, plus `jitter_seed`-determined jitter
+    /// of up to 25% so shed clients don't retry in lockstep.
+    #[must_use]
+    pub fn retry_delay_ms(&self, attempt: u32, retry_after_ms: u64, jitter_seed: u64) -> u64 {
+        let exponential = self
+            .backoff_ms
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+            .min(self.max_backoff_ms.max(self.backoff_ms));
+        let base = exponential.max(retry_after_ms);
+        base + jitter_seed % (base / 4 + 1)
+    }
+}
+
+/// How one connection attempt ended.
+enum Attempt {
+    /// A terminal response (or hard failure) — done, no retry.
+    Final(Result<Response, String>),
+    /// The server shed the request; retry after the hint.
+    Shed { retry_after_ms: u64 },
+}
 
 /// Connects to `addr`, submits one request and returns the final
-/// response for the accepted job (a `result`, `check_result` or `error`
-/// message). Intermediate responses — `accepted` and streamed `event`s —
-/// are handed to `on_response` as they arrive.
+/// response for the accepted job (a `result`, `check_result`,
+/// `batch_result` or `error` message). Intermediate responses —
+/// `accepted`, streamed `event`s and any `rejected` that triggers a
+/// retry — are handed to `on_response` as they arrive.
+///
+/// Each retry opens a fresh connection: rejection hands back nothing to
+/// wait on, and a new connection starts with a clean per-client quota.
 ///
 /// # Errors
 ///
-/// Connection failures, protocol violations, or a server-side error
-/// response (including job failures).
+/// Connection failures, protocol violations, a server-side error
+/// response (including job failures), or a request still shed after
+/// every retry.
+pub fn request_with(
+    addr: &str,
+    request: &Request,
+    options: &ClientOptions,
+    mut on_response: impl FnMut(&Response),
+) -> Result<Response, String> {
+    let mut attempt = 0u32;
+    loop {
+        match request_once(addr, request, options, &mut on_response)? {
+            Attempt::Final(outcome) => return outcome,
+            Attempt::Shed { retry_after_ms } => {
+                if attempt >= options.retries {
+                    return Err(format!(
+                        "request shed by {addr} and still rejected after {} attempt(s); \
+                         the service is overloaded — retry later",
+                        attempt + 1
+                    ));
+                }
+                let delay = options.retry_delay_ms(attempt, retry_after_ms, jitter_seed());
+                std::thread::sleep(Duration::from_millis(delay));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// [`request_with`] with default [`ClientOptions`].
+///
+/// # Errors
+///
+/// See [`request_with`].
 pub fn request(
     addr: &str,
     request: &Request,
-    mut on_response: impl FnMut(&Response),
+    on_response: impl FnMut(&Response),
 ) -> Result<Response, String> {
-    let mut stream =
-        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    request_with(addr, request, &ClientOptions::default(), on_response)
+}
+
+/// One connection: submit, then read until a terminal response or a
+/// shed. The outer `Result` is for hard failures that no retry fixes.
+fn request_once(
+    addr: &str,
+    request: &Request,
+    options: &ClientOptions,
+    on_response: &mut impl FnMut(&Response),
+) -> Result<Attempt, String> {
+    let mut stream = connect(addr, options)?;
+    if options.request_timeout_ms > 0 {
+        stream
+            .set_read_timeout(Some(Duration::from_millis(options.request_timeout_ms)))
+            .map_err(|e| format!("set read timeout: {e}"))?;
+    }
     let mut line = request.render();
     line.push('\n');
     stream
@@ -35,7 +151,13 @@ pub fn request(
     );
     let mut job: Option<u64> = None;
     for line in reader.lines() {
-        let line = line.map_err(|e| format!("read failed: {e}"))?;
+        let line = line.map_err(|e| match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => format!(
+                "no response within {} ms (request timeout)",
+                options.request_timeout_ms
+            ),
+            _ => format!("read failed: {e}"),
+        })?;
         if line.trim().is_empty() {
             continue;
         }
@@ -46,15 +168,20 @@ pub fn request(
                 on_response(&response);
             }
             Response::Event { .. } => on_response(&response),
+            Response::Rejected { retry_after_ms, .. } if job.is_none() => {
+                let retry_after_ms = *retry_after_ms;
+                on_response(&response);
+                return Ok(Attempt::Shed { retry_after_ms });
+            }
             Response::Result { job: id, .. }
             | Response::CheckResult { job: id, .. }
             | Response::BatchResult { job: id, .. }
                 if job == Some(*id) =>
             {
-                return Ok(response);
+                return Ok(Attempt::Final(Ok(response)));
             }
             Response::Error { message, .. } => {
-                return Err(message.clone());
+                return Ok(Attempt::Final(Err(message.clone())));
             }
             // Direct acknowledgements of non-job requests.
             Response::Status { .. }
@@ -63,22 +190,84 @@ pub fn request(
             | Response::ShuttingDown
                 if job.is_none() =>
             {
-                return Ok(response);
+                return Ok(Attempt::Final(Ok(response)));
             }
             // Responses for other jobs on a shared connection — not
             // ours, keep reading.
             _ => {}
         }
     }
-    Err("connection closed before a result arrived".to_owned())
+    Ok(Attempt::Final(Err(
+        "connection closed before a result arrived".to_owned(),
+    )))
 }
 
-/// Submits one `.g` specification for synthesis and returns the final
-/// response.
+fn connect(addr: &str, options: &ClientOptions) -> Result<TcpStream, String> {
+    if options.connect_timeout_ms == 0 {
+        return TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"));
+    }
+    let timeout = Duration::from_millis(options.connect_timeout_ms);
+    let resolved = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?;
+    let mut last = None;
+    for candidate in resolved {
+        match TcpStream::connect_timeout(&candidate, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(match last {
+        Some(e) => format!("cannot connect to {addr}: {e}"),
+        None => format!("cannot resolve {addr}: no addresses"),
+    })
+}
+
+/// A cheap per-call random seed for retry jitter, drawn from the
+/// standard library's randomly-keyed hasher (no extra dependencies, not
+/// cryptographic — it only needs to de-synchronise retrying clients).
+fn jitter_seed() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    std::collections::hash_map::RandomState::new()
+        .build_hasher()
+        .finish()
+}
+
+/// Submits one `.g` specification for synthesis at the given priority
+/// and returns the final response, retrying per `client_options` when
+/// the server sheds the request.
 ///
 /// # Errors
 ///
-/// See [`request`].
+/// See [`request_with`].
+pub fn submit_synth_with(
+    addr: &str,
+    spec_text: &str,
+    options: &SynthesisOptions,
+    priority: Priority,
+    client_options: &ClientOptions,
+    events: bool,
+    on_response: impl FnMut(&Response),
+) -> Result<Response, String> {
+    request_with(
+        addr,
+        &Request::Synth {
+            spec_text: spec_text.to_owned(),
+            options: options.clone(),
+            priority,
+            events,
+        },
+        client_options,
+        on_response,
+    )
+}
+
+/// Submits one `.g` specification for synthesis and returns the final
+/// response (normal priority, default retry policy).
+///
+/// # Errors
+///
+/// See [`request_with`].
 pub fn submit_synth(
     addr: &str,
     spec_text: &str,
@@ -86,36 +275,93 @@ pub fn submit_synth(
     events: bool,
     on_response: impl FnMut(&Response),
 ) -> Result<Response, String> {
-    request(
+    submit_synth_with(
         addr,
-        &Request::Synth {
-            spec_text: spec_text.to_owned(),
-            options: options.clone(),
-            events,
-        },
+        spec_text,
+        options,
+        Priority::default(),
+        &ClientOptions::default(),
+        events,
         on_response,
     )
 }
 
-/// Submits many `.g` specifications as one batch job and returns the
-/// final `batch_result` response (per-spec failures ride inside it; the
-/// call only errors when the batch as a whole is rejected).
+/// Submits many `.g` specifications as one batch job at the given
+/// priority and returns the final `batch_result` response (per-spec
+/// failures ride inside it; the call only errors when the batch as a
+/// whole is rejected past every retry).
 ///
 /// # Errors
 ///
-/// See [`request`].
+/// See [`request_with`].
+pub fn submit_batch_with(
+    addr: &str,
+    spec_texts: &[String],
+    options: &SynthesisOptions,
+    priority: Priority,
+    client_options: &ClientOptions,
+    on_response: impl FnMut(&Response),
+) -> Result<Response, String> {
+    request_with(
+        addr,
+        &Request::Batch {
+            spec_texts: spec_texts.to_vec(),
+            options: options.clone(),
+            priority,
+        },
+        client_options,
+        on_response,
+    )
+}
+
+/// Submits many `.g` specifications as one batch job (normal priority,
+/// default retry policy).
+///
+/// # Errors
+///
+/// See [`request_with`].
 pub fn submit_batch(
     addr: &str,
     spec_texts: &[String],
     options: &SynthesisOptions,
     on_response: impl FnMut(&Response),
 ) -> Result<Response, String> {
-    request(
+    submit_batch_with(
         addr,
-        &Request::Batch {
-            spec_texts: spec_texts.to_vec(),
-            options: options.clone(),
-        },
+        spec_texts,
+        options,
+        Priority::default(),
+        &ClientOptions::default(),
         on_response,
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ClientOptions;
+
+    #[test]
+    fn retry_delay_honours_hint_backoff_and_cap() {
+        let options = ClientOptions {
+            retries: 4,
+            backoff_ms: 50,
+            max_backoff_ms: 400,
+            ..ClientOptions::default()
+        };
+        // No jitter (seed 0): pure base delays.
+        assert_eq!(options.retry_delay_ms(0, 0, 0), 50);
+        assert_eq!(options.retry_delay_ms(1, 0, 0), 100);
+        assert_eq!(options.retry_delay_ms(2, 0, 0), 200);
+        assert_eq!(options.retry_delay_ms(3, 0, 0), 400);
+        // The cap holds even at absurd attempt counts.
+        assert_eq!(options.retry_delay_ms(62, 0, 0), 400);
+        assert_eq!(options.retry_delay_ms(63, 0, 0), 400);
+        // A larger server hint wins over the exponential base.
+        assert_eq!(options.retry_delay_ms(0, 325, 0), 325);
+        // Jitter adds at most 25%.
+        for seed in [1, 7, u64::MAX] {
+            let delay = options.retry_delay_ms(0, 0, seed);
+            assert!((50..=62).contains(&delay), "jittered delay {delay}");
+        }
+    }
 }

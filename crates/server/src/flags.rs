@@ -12,6 +12,9 @@ use asyncsynth::{
     VerifyStrategy,
 };
 
+use crate::client::ClientOptions;
+use crate::protocol::Priority;
+
 /// Parsed common flags, with their defaults.
 #[derive(Debug, Clone)]
 pub struct CliFlags {
@@ -62,6 +65,22 @@ pub struct CliFlags {
     pub stdio: bool,
     /// `--events` (submit: stream per-stage events).
     pub events: bool,
+    /// `--priority high|normal|low` (submit: admission class).
+    pub priority: Priority,
+    /// `--queue-capacity N` (serve: weighted job-queue capacity,
+    /// 0 = unbounded).
+    pub queue_capacity: Option<usize>,
+    /// `--max-jobs-per-client N` (serve: live jobs per connection,
+    /// 0 = no quota).
+    pub max_jobs_per_client: Option<usize>,
+    /// `--idle-timeout-ms N` (serve: reap idle connections after N ms,
+    /// 0 = never).
+    pub idle_timeout_ms: Option<u64>,
+    /// `--retries N` (submit: retry attempts after a `rejected`).
+    pub retries: Option<u32>,
+    /// `--backoff-ms N` (submit: base retry backoff, doubling per
+    /// attempt).
+    pub backoff_ms: Option<u64>,
 }
 
 impl Default for CliFlags {
@@ -87,6 +106,12 @@ impl Default for CliFlags {
             workers: None,
             stdio: false,
             events: false,
+            priority: Priority::default(),
+            queue_capacity: None,
+            max_jobs_per_client: None,
+            idle_timeout_ms: None,
+            retries: None,
+            backoff_ms: None,
         }
     }
 }
@@ -116,6 +141,17 @@ impl CliFlags {
                     incremental: self.verify_incremental,
                 }
             },
+        }
+    }
+
+    /// The client-side retry/timeout options these flags select.
+    #[must_use]
+    pub fn client_options(&self) -> ClientOptions {
+        let defaults = ClientOptions::default();
+        ClientOptions {
+            retries: self.retries.unwrap_or(defaults.retries),
+            backoff_ms: self.backoff_ms.unwrap_or(defaults.backoff_ms),
+            ..defaults
         }
     }
 }
@@ -211,6 +247,42 @@ pub fn parse_flags(args: &[String], allowed: &[&str]) -> Result<CliFlags, String
             }
             "--stdio" => flags.stdio = true,
             "--events" => flags.events = true,
+            "--priority" => flags.priority = value(args, &mut i, flag)?.parse()?,
+            "--queue-capacity" => {
+                flags.queue_capacity = Some(
+                    value(args, &mut i, flag)?
+                        .parse()
+                        .map_err(|_| "bad --queue-capacity value")?,
+                );
+            }
+            "--max-jobs-per-client" => {
+                flags.max_jobs_per_client = Some(
+                    value(args, &mut i, flag)?
+                        .parse()
+                        .map_err(|_| "bad --max-jobs-per-client value")?,
+                );
+            }
+            "--idle-timeout-ms" => {
+                flags.idle_timeout_ms = Some(
+                    value(args, &mut i, flag)?
+                        .parse()
+                        .map_err(|_| "bad --idle-timeout-ms value")?,
+                );
+            }
+            "--retries" => {
+                flags.retries = Some(
+                    value(args, &mut i, flag)?
+                        .parse()
+                        .map_err(|_| "bad --retries value")?,
+                );
+            }
+            "--backoff-ms" => {
+                flags.backoff_ms = Some(
+                    value(args, &mut i, flag)?
+                        .parse()
+                        .map_err(|_| "bad --backoff-ms value")?,
+                );
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
         i += 1;
@@ -308,6 +380,57 @@ mod tests {
             )
             .is_err(),
             "unknown strategy rejected"
+        );
+    }
+
+    #[test]
+    fn admission_and_retry_flags_parse() {
+        let args: Vec<String> = [
+            "--priority",
+            "high",
+            "--queue-capacity",
+            "8",
+            "--max-jobs-per-client",
+            "2",
+            "--idle-timeout-ms",
+            "500",
+            "--retries",
+            "7",
+            "--backoff-ms",
+            "10",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let flags = parse_flags(
+            &args,
+            &[
+                "--priority",
+                "--queue-capacity",
+                "--max-jobs-per-client",
+                "--idle-timeout-ms",
+                "--retries",
+                "--backoff-ms",
+            ],
+        )
+        .expect("parses");
+        assert_eq!(flags.priority, crate::protocol::Priority::High);
+        assert_eq!(flags.queue_capacity, Some(8));
+        assert_eq!(flags.max_jobs_per_client, Some(2));
+        assert_eq!(flags.idle_timeout_ms, Some(500));
+        let client = flags.client_options();
+        assert_eq!(client.retries, 7);
+        assert_eq!(client.backoff_ms, 10);
+        // Unset knobs keep the library defaults.
+        let defaults = parse_flags(&[], &[]).expect("parses");
+        assert_eq!(defaults.priority, crate::protocol::Priority::Normal);
+        assert_eq!(
+            defaults.client_options(),
+            crate::client::ClientOptions::default()
+        );
+        assert!(
+            parse_flags(&["--priority".into(), "urgent".into()], &["--priority"]).is_err(),
+            "unknown priority rejected"
         );
     }
 

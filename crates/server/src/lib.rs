@@ -5,7 +5,9 @@
 //! this crate turns the flow into a long-lived service that absorbs
 //! repeated and concurrent workloads:
 //!
-//! * [`queue`] — a condvar-guarded job FIFO with per-job cancellation;
+//! * [`queue`] — a bounded, priority-aware, condvar-guarded job queue
+//!   with per-job cancellation, weighted capacity and per-client
+//!   quotas (admission control and load shedding);
 //! * [`pool`] — a long-lived worker pool (generalising `run_batch`'s
 //!   scoped work-stealing) running each job through the cached flow
 //!   ([`asyncsynth::run_cached_with`]), streaming [`asyncsynth::FlowEvent`]s
@@ -28,7 +30,7 @@
 //!
 //! let server = Server::bind(
 //!     "127.0.0.1:0",
-//!     &ServerConfig { workers: 2, cache_dir: None },
+//!     &ServerConfig { workers: 2, ..ServerConfig::default() },
 //! )?;
 //! let addr = server.local_addr()?.to_string();
 //! let handle = std::thread::spawn(move || server.run());

@@ -114,7 +114,7 @@ impl WorkerPool {
 fn worker_loop(queue: &JobQueue, cache: Option<&ResultCache>, auto_sweep_threads: usize) {
     while let Some(job) = queue.take() {
         if job.cancel.load(Ordering::Relaxed) {
-            queue.mark_done(job.id);
+            queue.mark_done(&job);
             job.reply.send(Response::Error {
                 job: Some(job.id),
                 message: "cancelled before start".to_owned(),
@@ -135,8 +135,9 @@ fn worker_loop(queue: &JobQueue, cache: Option<&ResultCache>, auto_sweep_threads
             }
         });
         // Counters first: by the time a client holds this job's result,
-        // `status` already reports it as completed.
-        queue.mark_done(job.id);
+        // `status` already reports it as completed (and the client's
+        // quota slot is free for the follow-up submission).
+        queue.mark_done(&job);
         job.reply.send(response);
     }
 }
@@ -200,11 +201,19 @@ fn run_job(job: &Job, cache: Option<&ResultCache>, auto_sweep_threads: usize) ->
     }
 }
 
-/// One batch job: per-spec probe of the result cache, then one
-/// [`asyncsynth::run_batch`] call over the misses (scoped work-stealing
-/// across every core), storing each fresh result back so later `synth`
-/// submissions of the same specs hit. Per-spec failures become `error`
-/// entries; the batch itself always yields a `batch_result`.
+/// One batch job: per-spec probe of the result cache, then the misses
+/// run through work-stealing worker threads (mirroring
+/// [`asyncsynth::run_batch`]: one CSC-sweep thread per member, batch
+/// parallelism comes from the member spread), storing each fresh result
+/// back so later `synth` submissions of the same specs hit.
+///
+/// The job's cancellation flag is polled as each member *starts*: a
+/// `cancel` against a running batch stops at the next spec boundary,
+/// and the members that never ran are reported honestly as `cancelled`
+/// entries (`"cancelled": true`, counted separately from failures in
+/// the `batch_result` totals) rather than silently missing or
+/// masquerading as errors. Per-spec failures become `error` entries;
+/// the batch itself always yields a `batch_result`.
 fn run_batch_job(job: &Job, rest: &[Stg], cache: Option<&ResultCache>) -> Response {
     let specs: Vec<&Stg> = std::iter::once(&job.spec).chain(rest.iter()).collect();
     let options = &job.options;
@@ -218,20 +227,29 @@ fn run_batch_job(job: &Job, rest: &[Stg], cache: Option<&ResultCache>) -> Respon
         }
     }
     let miss_specs: Vec<Stg> = misses.iter().map(|&i| specs[i].clone()).collect();
-    // `run_batch` pins each member's CSC sweep to one thread itself, so
-    // the auto sweep-thread split does not apply here.
-    let outcomes = asyncsynth::run_batch(&miss_specs, options);
+    // Each member's CSC sweep is pinned to one thread (as in
+    // `run_batch`), so the auto sweep-thread split does not apply here.
+    let mut member_options = options.clone();
+    member_options.sweep.threads = 1;
+    let cancel = &job.cancel;
+    let outcomes = synth::par::par_map(&miss_specs, 0, |_, spec| {
+        if cancel.load(Ordering::Relaxed) {
+            return None;
+        }
+        Some(asyncsynth::Synthesis::with_options(spec.clone(), member_options.clone()).run())
+    });
     let miss_label = if cache.is_some() { "miss" } else { "disabled" };
     for (&i, outcome) in misses.iter().zip(outcomes) {
         entries[i] = Some(match outcome {
-            Ok(verified) => {
+            None => cancelled_batch_entry(specs[i].name()),
+            Some(Ok(verified)) => {
                 let summary = SynthesisSummary::from_verified(&verified, options).to_json();
                 if let Some(cache) = cache {
                     let _ = cache.store(&cache_key(specs[i], options, CacheStage::Full), &summary);
                 }
                 batch_entry(specs[i].name(), miss_label, Ok(summary))
             }
-            Err(e) => batch_entry(specs[i].name(), miss_label, Err(e.to_string())),
+            Some(Err(e)) => batch_entry(specs[i].name(), miss_label, Err(e.to_string())),
         });
     }
     Response::BatchResult {
@@ -247,6 +265,19 @@ fn batch_entry(model: &str, cache: &str, outcome: Result<Json, String>) -> Json 
         Err(message) => pairs.push(("error", Json::str(&message))),
     }
     Json::obj(pairs)
+}
+
+/// The `batch_result` entry of a member skipped by cancellation.
+fn cancelled_batch_entry(model: &str) -> Json {
+    Json::obj(vec![
+        ("model", Json::str(model)),
+        ("cache", Json::str("skipped")),
+        ("cancelled", Json::Bool(true)),
+        (
+            "error",
+            Json::str("cancelled before this batch member started"),
+        ),
+    ])
 }
 
 fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {

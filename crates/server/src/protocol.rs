@@ -7,7 +7,8 @@
 //! {"op":"synth","spec":"<.g text>","backend":"explicit","arch":"complex",
 //!  "csc":"auto","csc_threads":0,"csc_bound":200000,"csc_prune":true,
 //!  "fanin":2,"skip_verification":false,"verify_bound":500000,
-//!  "verify_strategy":"composed","verify_incremental":false,"events":true}
+//!  "verify_strategy":"composed","verify_incremental":false,
+//!  "priority":"normal","events":true}
 //! {"op":"check","spec":"<.g text>","backend":"symbolic-set"}
 //! {"op":"batch","specs":["<.g text>","<.g text>"],"backend":"explicit"}
 //! {"op":"status"}
@@ -18,45 +19,63 @@
 //!
 //! Every option of `synth` except `spec` is optional and defaults to the
 //! pipeline's defaults. `events:true` streams per-stage [`FlowEvent`]
-//! diagnostics while the job runs. `batch` submits many specifications
-//! as one job (the CLI's corpus-directory form of `submit`): each spec
-//! is first probed against the result cache, the misses run through
-//! `asyncsynth::run_batch`, and per-spec failures do not fail the
-//! batch.
+//! diagnostics while the job runs. `priority` (`high`, `normal`, `low`;
+//! default `normal`) places the job in one of the queue's three
+//! admission classes — priority only affects scheduling order, never a
+//! job's result. `batch` submits many specifications as one job (the
+//! CLI's corpus-directory form of `submit`): each spec is first probed
+//! against the result cache, the misses run through
+//! `asyncsynth::run_batch`-style member synthesis, and per-spec
+//! failures do not fail the batch.
 //!
 //! # Responses
 //!
 //! ```json
 //! {"type":"accepted","job":1,"key":"<64-hex cache key>"}
+//! {"type":"rejected","reason":"queue_full","queue_depth":12,"retry_after_ms":125}
 //! {"type":"event","job":1,"stage":"check","message":"state space built (explicit): 20 states"}
 //! {"type":"result","job":1,"cache":"miss","summary":{...}}
 //! {"type":"check_result","job":2,"cache":"hit","report":{...}}
 //! {"type":"batch_result","job":4,"total":3,"synthesized":2,"failed":1,
-//!  "cache_hits":0,"results":[{"model":"...","cache":"miss","summary":{...}},
-//!                            {"model":"...","cache":"miss","error":"..."}]}
+//!  "cancelled":0,"cache_hits":0,
+//!  "results":[{"model":"...","cache":"miss","summary":{...}},
+//!             {"model":"...","cache":"miss","error":"..."}]}
 //! {"type":"error","job":1,"message":"..."}        // job omitted for protocol errors
-//! {"type":"status","queued":0,"running":1,"completed":9,"cancelled":1,
-//!  "panicked":0,"workers":4,
-//!  "cache":{"hits":5,"misses":4,"stores":4,"corrupt":0}}
+//! {"type":"status","queued":0,"queue_jobs":0,"queue_capacity":256,
+//!  "running":1,"completed":9,"cancelled":1,"panicked":0,"shed":3,
+//!  "workers":4,"cache":{"hits":5,"misses":4,"stores":4,"corrupt":0}}
 //! {"type":"metrics",
 //!  "counters":{"cache_hits":5,"cache_misses":4,"jobs_completed":9,
-//!              "jobs_cancelled":1,"requests_synth":10,"worker_panics":0},
+//!              "jobs_cancelled":1,"requests_synth":10,"shed_total":3,
+//!              "shed_queue_full":2,"shed_client_quota":1,"worker_panics":0},
 //!  "gauges":{"cache_hit_permille":555,"jobs_running":1,"queue_depth":0,
-//!            "workers":4}}
+//!            "queue_depth_high":0,"queue_depth_low":0,"queue_depth_normal":0,
+//!            "queue_jobs":0,"queue_capacity":256,"workers":4}}
 //! {"type":"cancelled","job":3,"found":true}
 //! {"type":"shutting_down"}
 //! ```
 //!
-//! `status` is the quick human-facing snapshot (queue depth, busy
-//! workers, job-lifecycle counters, cache stats); `metrics` is the
+//! `rejected` is the load-shedding reply: the job was **not** queued
+//! (no job id exists), `reason` is `queue_full` or `client_quota`,
+//! `queue_depth` is the weighted backlog at rejection time (a batch of
+//! N specs weighs N, not 1), and `retry_after_ms` is the server's
+//! deterministic backoff hint. Clients should wait at least that long
+//! before resubmitting; [`crate::client::request_with`] does so
+//! automatically with exponential backoff and jitter.
+//!
+//! `status` is the quick human-facing snapshot (weighted queue depth,
+//! raw queued-job count, capacity, shed totals, busy workers,
+//! job-lifecycle counters, cache stats); `metrics` is the
 //! machine-facing export of the server's [`telemetry::Registry`] —
 //! monotonic counters plus point-in-time gauges, rendered with sorted
-//! keys so equal states produce equal bytes. All service counters are
-//! advisory (they describe *this* process) and are never drift-gated.
+//! keys so equal states produce equal bytes. `queue_depth` gauges are
+//! weighted (admission's own view of load); `queue_jobs` is the raw job
+//! count. All service counters are advisory (they describe *this*
+//! process) and are never drift-gated.
 //!
 //! Responses for a given job always end with exactly one `result`,
 //! `check_result`, `batch_result` or `error` message carrying that job
-//! id.
+//! id. A `rejected` reply is terminal for the request that provoked it.
 //!
 //! [`FlowEvent`]: asyncsynth::FlowEvent
 
@@ -64,6 +83,61 @@ use asyncsynth::cache::CacheStats;
 use asyncsynth::summary::{counters_from_json, counters_to_json};
 use asyncsynth::{Json, SynthesisOptions};
 use telemetry::Counters;
+
+/// A job's admission class. Priority orders the queue's weighted
+/// round-robin scheduler (high:normal:low served 4:2:1, so low-priority
+/// work is delayed under load but never starved) and nothing else: a
+/// job's result and cache key are identical at every priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Interactive work; served first (weight 4).
+    High,
+    /// The default class (weight 2).
+    #[default]
+    Normal,
+    /// Background bulk work, e.g. corpus warming (weight 1).
+    Low,
+}
+
+impl Priority {
+    /// The wire name (`high` / `normal` / `low`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    /// The queue-class index (high = 0, normal = 1, low = 2).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// All classes, in scheduling order.
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+}
+
+impl std::str::FromStr for Priority {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Priority, String> {
+        match s {
+            "high" => Ok(Priority::High),
+            "normal" => Ok(Priority::Normal),
+            "low" => Ok(Priority::Low),
+            other => Err(format!(
+                "unknown priority {other:?} (expected high, normal or low)"
+            )),
+        }
+    }
+}
 
 /// A client → server message.
 #[derive(Debug, Clone)]
@@ -74,6 +148,8 @@ pub enum Request {
         spec_text: String,
         /// Flow options (backend, architecture, CSC strategy, …).
         options: SynthesisOptions,
+        /// Admission class (scheduling only, never results).
+        priority: Priority,
         /// Stream per-stage events while the job runs.
         events: bool,
     },
@@ -83,6 +159,8 @@ pub enum Request {
         spec_text: String,
         /// Flow options (only the backend matters for `check`).
         options: SynthesisOptions,
+        /// Admission class (scheduling only, never results).
+        priority: Priority,
     },
     /// Run the full flow on many specifications as one job.
     Batch {
@@ -90,6 +168,8 @@ pub enum Request {
         spec_texts: Vec<String>,
         /// Flow options, shared by every member of the batch.
         options: SynthesisOptions,
+        /// Admission class (scheduling only, never results).
+        priority: Priority,
     },
     /// Report queue/worker/cache counters.
     Status,
@@ -121,15 +201,18 @@ impl Request {
             "synth" => Ok(Request::Synth {
                 spec_text: spec_field(&v)?,
                 options: options_fields(&v)?,
+                priority: priority_field(&v)?,
                 events: v.get("events").and_then(Json::as_bool).unwrap_or(false),
             }),
             "check" => Ok(Request::Check {
                 spec_text: spec_field(&v)?,
                 options: options_fields(&v)?,
+                priority: priority_field(&v)?,
             }),
             "batch" => Ok(Request::Batch {
                 spec_texts: specs_field(&v)?,
                 options: options_fields(&v)?,
+                priority: priority_field(&v)?,
             }),
             "status" => Ok(Request::Status),
             "metrics" => Ok(Request::Metrics),
@@ -151,25 +234,34 @@ impl Request {
             Request::Synth {
                 spec_text,
                 options,
+                priority,
                 events,
             } => {
                 let mut pairs = vec![("op", Json::str("synth")), ("spec", Json::str(spec_text))];
                 pairs.extend(option_pairs(options));
+                pairs.extend(priority_pair(*priority));
                 pairs.push(("events", Json::Bool(*events)));
                 Json::obj(pairs).render()
             }
-            Request::Check { spec_text, options } => {
+            Request::Check {
+                spec_text,
+                options,
+                priority,
+            } => {
                 let mut pairs = vec![("op", Json::str("check")), ("spec", Json::str(spec_text))];
                 pairs.extend(option_pairs(options));
+                pairs.extend(priority_pair(*priority));
                 Json::obj(pairs).render()
             }
             Request::Batch {
                 spec_texts,
                 options,
+                priority,
             } => {
                 let specs = Json::Arr(spec_texts.iter().map(Json::str).collect());
                 let mut pairs = vec![("op", Json::str("batch")), ("specs", specs)];
                 pairs.extend(option_pairs(options));
+                pairs.extend(priority_pair(*priority));
                 Json::obj(pairs).render()
             }
             Request::Status => Json::obj(vec![("op", Json::str("status"))]).render(),
@@ -182,6 +274,22 @@ impl Request {
             Request::Shutdown => Json::obj(vec![("op", Json::str("shutdown"))]).render(),
         }
     }
+}
+
+fn priority_field(v: &Json) -> Result<Priority, String> {
+    match v.get("priority") {
+        None => Ok(Priority::default()),
+        Some(p) => p
+            .as_str()
+            .ok_or_else(|| "\"priority\" must be a string".to_owned())?
+            .parse(),
+    }
+}
+
+/// The `priority` wire pair — omitted at the default so renders of
+/// priority-less requests stay byte-identical to older clients'.
+fn priority_pair(priority: Priority) -> Option<(&'static str, Json)> {
+    (priority != Priority::default()).then(|| ("priority", Json::str(priority.name())))
 }
 
 fn spec_field(v: &Json) -> Result<String, String> {
@@ -291,6 +399,17 @@ pub enum Response {
         /// The full-result cache key, when the server runs a cache.
         key: Option<String>,
     },
+    /// Admission failed: the job was shed instead of queued (no job id
+    /// exists). Terminal for the request that provoked it.
+    Rejected {
+        /// `queue_full` or `client_quota`.
+        reason: String,
+        /// Weighted backlog at rejection time (batch of N weighs N).
+        queue_depth: u64,
+        /// The server's deterministic backoff hint; clients should wait
+        /// at least this long before resubmitting.
+        retry_after_ms: u64,
+    },
     /// A streamed per-stage diagnostic (only with `events:true`).
     Event {
         /// The job this event belongs to.
@@ -336,8 +455,15 @@ pub enum Response {
     },
     /// Queue / worker / cache counters.
     Status {
-        /// Jobs waiting for a worker (the queue depth).
+        /// Weighted queue depth — admission's view of the backlog (a
+        /// queued batch of N specs contributes N, not 1).
         queued: usize,
+        /// Raw count of queued jobs (a batch counts as 1 here).
+        queue_jobs: usize,
+        /// Weighted queue capacity (0 = unbounded).
+        queue_capacity: usize,
+        /// Jobs shed by admission control so far.
+        shed: u64,
         /// Jobs currently executing (busy workers).
         running: usize,
         /// Jobs finished since the server started.
@@ -382,6 +508,16 @@ impl Response {
                 ("job", num64(*job)),
                 ("key", key.as_ref().map_or(Json::Null, Json::str)),
             ]),
+            Response::Rejected {
+                reason,
+                queue_depth,
+                retry_after_ms,
+            } => Json::obj(vec![
+                ("type", Json::str("rejected")),
+                ("reason", Json::str(reason)),
+                ("queue_depth", num64(*queue_depth)),
+                ("retry_after_ms", num64(*retry_after_ms)),
+            ]),
             Response::Event {
                 job,
                 stage,
@@ -413,6 +549,10 @@ impl Response {
                     .iter()
                     .filter(|r| r.get("summary").is_some())
                     .count();
+                let cancelled = results
+                    .iter()
+                    .filter(|r| r.get("cancelled").and_then(Json::as_bool) == Some(true))
+                    .count();
                 let cache_hits = results
                     .iter()
                     .filter(|r| r.get("cache").and_then(Json::as_str) == Some("hit"))
@@ -422,7 +562,8 @@ impl Response {
                     ("job", num64(*job)),
                     ("total", Json::num(results.len())),
                     ("synthesized", Json::num(synthesized)),
-                    ("failed", Json::num(results.len() - synthesized)),
+                    ("failed", Json::num(results.len() - synthesized - cancelled)),
+                    ("cancelled", Json::num(cancelled)),
                     ("cache_hits", Json::num(cache_hits)),
                     ("results", Json::Arr(results.clone())),
                 ])
@@ -434,6 +575,9 @@ impl Response {
             ]),
             Response::Status {
                 queued,
+                queue_jobs,
+                queue_capacity,
+                shed,
                 running,
                 completed,
                 cancelled,
@@ -443,10 +587,13 @@ impl Response {
             } => Json::obj(vec![
                 ("type", Json::str("status")),
                 ("queued", Json::num(*queued)),
+                ("queue_jobs", Json::num(*queue_jobs)),
+                ("queue_capacity", Json::num(*queue_capacity)),
                 ("running", Json::num(*running)),
                 ("completed", num64(*completed)),
                 ("cancelled", num64(*cancelled)),
                 ("panicked", num64(*panicked)),
+                ("shed", num64(*shed)),
                 ("workers", Json::num(*workers)),
                 (
                     "cache",
@@ -501,6 +648,11 @@ impl Response {
                 job: job(&v)?,
                 key: v.get("key").and_then(Json::as_str).map(ToOwned::to_owned),
             }),
+            "rejected" => Ok(Response::Rejected {
+                reason: text(&v, "reason")?,
+                queue_depth: v.get("queue_depth").and_then(Json::as_u64).unwrap_or(0),
+                retry_after_ms: v.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(0),
+            }),
             "event" => Ok(Response::Event {
                 job: job(&v)?,
                 stage: text(&v, "stage")?,
@@ -529,6 +681,12 @@ impl Response {
             }),
             "status" => Ok(Response::Status {
                 queued: v.get("queued").and_then(Json::as_usize).unwrap_or(0),
+                queue_jobs: v.get("queue_jobs").and_then(Json::as_usize).unwrap_or(0),
+                queue_capacity: v
+                    .get("queue_capacity")
+                    .and_then(Json::as_usize)
+                    .unwrap_or(0),
+                shed: v.get("shed").and_then(Json::as_u64).unwrap_or(0),
                 running: v.get("running").and_then(Json::as_usize).unwrap_or(0),
                 completed: v.get("completed").and_then(Json::as_u64).unwrap_or(0),
                 cancelled: v.get("cancelled").and_then(Json::as_u64).unwrap_or(0),
@@ -559,7 +717,7 @@ impl Response {
 
 #[cfg(test)]
 mod tests {
-    use super::{Request, Response};
+    use super::{Priority, Request, Response};
     use asyncsynth::Json;
 
     #[test]
@@ -584,6 +742,7 @@ mod tests {
                     },
                     ..Default::default()
                 },
+                priority: Priority::High,
                 events: true,
             },
             Request::Check {
@@ -592,10 +751,12 @@ mod tests {
                     backend: asyncsynth::Backend::SymbolicSet,
                     ..Default::default()
                 },
+                priority: Priority::Normal,
             },
             Request::Batch {
                 spec_texts: vec![".model a\n.end\n".to_owned(), ".model b\n.end\n".to_owned()],
                 options: asyncsynth::SynthesisOptions::default(),
+                priority: Priority::Low,
             },
             Request::Status,
             Request::Metrics,
@@ -615,13 +776,41 @@ mod tests {
             .expect("minimal synth parses");
         match req {
             Request::Synth {
-                options, events, ..
+                options,
+                priority,
+                events,
+                ..
             } => {
                 assert_eq!(options.backend, asyncsynth::Backend::Explicit);
+                assert_eq!(priority, Priority::Normal);
                 assert!(!events);
             }
             other => panic!("wrong request {other:?}"),
         }
+    }
+
+    #[test]
+    fn priority_field_parses_and_rejects_unknowns() {
+        for (value, expected) in [
+            ("high", Priority::High),
+            ("normal", Priority::Normal),
+            ("low", Priority::Low),
+        ] {
+            let line = format!("{{\"op\":\"synth\",\"spec\":\"x\",\"priority\":\"{value}\"}}");
+            match Request::parse_line(&line).expect("priority parses") {
+                Request::Synth { priority, .. } => assert_eq!(priority, expected),
+                other => panic!("wrong request {other:?}"),
+            }
+        }
+        assert!(
+            Request::parse_line("{\"op\":\"synth\",\"spec\":\"x\",\"priority\":\"urgent\"}")
+                .is_err(),
+            "unknown priority rejected"
+        );
+        assert!(
+            Request::parse_line("{\"op\":\"synth\",\"spec\":\"x\",\"priority\":3}").is_err(),
+            "non-string priority rejected"
+        );
     }
 
     #[test]
@@ -674,6 +863,11 @@ mod tests {
                 job: 1,
                 key: Some("ab".repeat(32)),
             },
+            Response::Rejected {
+                reason: "queue_full".to_owned(),
+                queue_depth: 12,
+                retry_after_ms: 125,
+            },
             Response::Event {
                 job: 1,
                 stage: "check".to_owned(),
@@ -704,7 +898,10 @@ mod tests {
                 message: "malformed".to_owned(),
             },
             Response::Status {
-                queued: 1,
+                queued: 5,
+                queue_jobs: 1,
+                queue_capacity: 256,
+                shed: 3,
                 running: 2,
                 completed: 3,
                 cancelled: 1,

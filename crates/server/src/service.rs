@@ -1,6 +1,6 @@
 //! The synthesis daemon: accepts NDJSON connections over TCP (or a
-//! single session over stdio), parses requests, enqueues jobs and
-//! streams responses back.
+//! single session over stdio), parses requests, runs admission control,
+//! enqueues the admitted jobs and streams responses back.
 //!
 //! Each connection gets a dedicated reader (the accepting thread) and a
 //! dedicated writer thread fed by an `mpsc` channel; job workers clone
@@ -8,8 +8,29 @@
 //! events and final results all serialise through one writer without
 //! interleaving partial lines. Client disconnection cancels that
 //! connection's outstanding jobs.
+//!
+//! # Overload robustness
+//!
+//! Three independent guards keep one misbehaving client from degrading
+//! everyone:
+//!
+//! * **Admission control** ([`JobQueue::submit`]): submissions beyond
+//!   the weighted queue capacity or the per-connection quota are shed
+//!   with a `rejected` response carrying `queue_depth` and a
+//!   `retry_after_ms` backoff hint — never queued unboundedly.
+//! * **Bounded request lines**: connection readers read at most
+//!   [`ServerConfig::max_line_bytes`] per line. An oversized line is
+//!   drained and answered with a `protocol_error`-counted `error`
+//!   response; the connection survives, the daemon's memory does not
+//!   scale with the rogue line.
+//! * **Idle reaping**: TCP reads carry a [`ServerConfig::idle_timeout_ms`]
+//!   read timeout. A connection that stays silent past it *and* has no
+//!   live jobs (none queued, none running, so no results are owed) is
+//!   closed, so slowloris-style connections cannot pin reader threads
+//!   forever. A connection mid-line at the deadline is treated the
+//!   same — trickling bytes does not count as liveness.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
@@ -22,8 +43,8 @@ use stg::parse::parse_g;
 use telemetry::{Counters, Registry};
 
 use crate::pool::WorkerPool;
-use crate::protocol::{Request, Response};
-use crate::queue::{Job, JobKind, JobQueue, Reply};
+use crate::protocol::{Priority, Request, Response};
+use crate::queue::{ClientTicket, Job, JobKind, JobQueue, QueueLimits, Rejection, Reply};
 
 /// Server construction options.
 #[derive(Debug, Clone)]
@@ -32,15 +53,42 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Result-cache directory; `None` disables caching.
     pub cache_dir: Option<PathBuf>,
+    /// Weighted job-queue capacity — the sum of queued jobs' spec
+    /// counts admission allows (default 256; 0 = unbounded).
+    pub queue_capacity: usize,
+    /// Maximum live (queued + running) jobs per connection (default
+    /// 64; 0 = no quota).
+    pub max_jobs_per_client: usize,
+    /// Idle-connection reap timeout in milliseconds, TCP only (default
+    /// 120 000; 0 = never reap). Connections with live jobs are never
+    /// reaped.
+    pub idle_timeout_ms: u64,
+    /// Maximum NDJSON request-line length in bytes (default 4 MiB).
+    /// Longer lines get an `error` response and are discarded.
+    pub max_line_bytes: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let limits = QueueLimits::default();
         ServerConfig {
             workers: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(4),
             cache_dir: None,
+            queue_capacity: limits.capacity,
+            max_jobs_per_client: limits.max_jobs_per_client,
+            idle_timeout_ms: 120_000,
+            max_line_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn queue_limits(&self) -> QueueLimits {
+        QueueLimits {
+            capacity: self.queue_capacity,
+            max_jobs_per_client: self.max_jobs_per_client,
         }
     }
 }
@@ -62,6 +110,8 @@ struct ServerContext {
     /// The TCP address, used to self-connect and unblock `accept` on
     /// shutdown (absent in stdio mode).
     addr: Option<SocketAddr>,
+    idle_timeout_ms: u64,
+    max_line_bytes: usize,
 }
 
 /// A bound (but not yet running) synthesis daemon.
@@ -85,7 +135,7 @@ impl Server {
             Some(dir) => Some(Arc::new(ResultCache::open(dir)?)),
             None => None,
         };
-        let queue = Arc::new(JobQueue::new());
+        let queue = Arc::new(JobQueue::with_limits(config.queue_limits()));
         let pool = WorkerPool::start(config.workers, Arc::clone(&queue), cache.clone());
         let context = Arc::new(ServerContext {
             queue,
@@ -95,6 +145,8 @@ impl Server {
             shutdown: Arc::new(AtomicBool::new(false)),
             in_flight: Arc::new(AtomicI64::new(0)),
             addr: Some(listener.local_addr()?),
+            idle_timeout_ms: config.idle_timeout_ms,
+            max_line_bytes: config.max_line_bytes,
         });
         Ok(Server {
             listener,
@@ -154,7 +206,7 @@ pub fn serve_stdio(config: &ServerConfig) -> std::io::Result<()> {
         Some(dir) => Some(Arc::new(ResultCache::open(dir)?)),
         None => None,
     };
-    let queue = Arc::new(JobQueue::new());
+    let queue = Arc::new(JobQueue::with_limits(config.queue_limits()));
     let pool = WorkerPool::start(config.workers, Arc::clone(&queue), cache.clone());
     let context = ServerContext {
         queue,
@@ -164,6 +216,8 @@ pub fn serve_stdio(config: &ServerConfig) -> std::io::Result<()> {
         shutdown: Arc::new(AtomicBool::new(false)),
         in_flight: Arc::new(AtomicI64::new(0)),
         addr: None,
+        idle_timeout_ms: config.idle_timeout_ms,
+        max_line_bytes: config.max_line_bytes,
     };
     let stdin = std::io::stdin();
     // stdout outlives stdin's EOF: a one-shot piped session
@@ -178,16 +232,100 @@ fn handle_tcp_connection(stream: &TcpStream, context: &ServerContext) {
     let Ok(writer) = stream.try_clone() else {
         return;
     };
+    // The idle reaper: reads wake up every `idle_timeout_ms` so the
+    // protocol loop can decide whether silence means "waiting for my
+    // results" (spared) or "holding a reader thread hostage" (reaped).
+    if context.idle_timeout_ms > 0 {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(context.idle_timeout_ms)));
+    }
     let reader = BufReader::new(stream);
     // A dropped TCP connection takes the write side with it: nobody is
     // left to receive results, so outstanding jobs are cancelled.
     handle_connection(reader, Box::new(writer), context, true);
 }
 
+/// One attempt at reading the next request line, bounded by
+/// `max_line_bytes`.
+enum LineRead {
+    /// A complete request line (without the terminator).
+    Line(String),
+    /// Clean end of stream.
+    Eof,
+    /// The line exceeded the budget; the remainder is still unread.
+    Overflow,
+    /// The read timed out (idle-timeout TCP sockets only). Any partial
+    /// line stays in `buf` for the next attempt.
+    TimedOut,
+}
+
+/// Reads one `\n`-terminated line into `buf`, refusing to buffer more
+/// than `max + 1` bytes (line plus terminator). `buf` carries partial
+/// data across [`LineRead::TimedOut`] returns; complete lines drain it.
+fn read_request_line(reader: &mut impl BufRead, buf: &mut Vec<u8>, max: usize) -> LineRead {
+    loop {
+        let budget = (max as u64 + 1).saturating_sub(buf.len() as u64);
+        if budget == 0 {
+            return LineRead::Overflow;
+        }
+        match reader.by_ref().take(budget).read_until(b'\n', buf) {
+            Ok(0) => {
+                // No bytes before the stream ended: EOF (a trailing
+                // partial line is dropped — it was never a request).
+                return LineRead::Eof;
+            }
+            Ok(_) => {
+                if buf.last() == Some(&b'\n') {
+                    buf.pop();
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    let line = String::from_utf8_lossy(buf).into_owned();
+                    buf.clear();
+                    return LineRead::Line(line);
+                }
+                // Budget exhausted mid-line (take() stopped us).
+                if buf.len() > max {
+                    return LineRead::Overflow;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return LineRead::TimedOut;
+            }
+            Err(_) => return LineRead::Eof,
+        }
+    }
+}
+
+/// Discards the unread remainder of an oversized line. Returns `true`
+/// when the terminator was found (the connection can continue), `false`
+/// on EOF, error or timeout mid-drain (a client trickling an unbounded
+/// line is a slowloris; kill the connection rather than wait it out).
+fn drain_oversized_line(reader: &mut impl BufRead) -> bool {
+    loop {
+        match reader.fill_buf() {
+            Ok([]) => return false,
+            Ok(data) => {
+                if let Some(pos) = data.iter().position(|&b| b == b'\n') {
+                    reader.consume(pos + 1);
+                    return true;
+                }
+                let n = data.len();
+                reader.consume(n);
+            }
+            Err(_) => return false,
+        }
+    }
+}
+
 /// The per-connection protocol loop, generic over the byte streams so
 /// TCP and stdio share it.
 fn handle_connection(
-    reader: impl BufRead,
+    mut reader: impl BufRead,
     writer: Box<dyn Write + Send>,
     context: &ServerContext,
     cancel_on_eof: bool,
@@ -212,11 +350,44 @@ fn handle_connection(
         })
         .expect("spawn writer thread");
 
-    // Jobs submitted by this connection, for disconnect cleanup.
+    // This connection's admission ledger (live-job quota) and the jobs
+    // it submitted, for disconnect cleanup.
+    let ticket = Arc::new(ClientTicket::new());
     let mut my_jobs: Vec<u64> = Vec::new();
     let mut cancel_outstanding = cancel_on_eof;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let line = match read_request_line(&mut reader, &mut buf, context.max_line_bytes) {
+            LineRead::Line(line) => line,
+            LineRead::Eof => break,
+            LineRead::TimedOut => {
+                // Silence past the idle deadline: reap unless results
+                // are still owed. A half-sent request line does not
+                // count as liveness.
+                if ticket.live() == 0 {
+                    context.registry.incr("connections_reaped");
+                    break;
+                }
+                continue;
+            }
+            LineRead::Overflow => {
+                context.registry.incr("protocol_errors");
+                context.registry.incr("oversized_lines");
+                reply.send(Response::Error {
+                    job: None,
+                    message: format!(
+                        "request line exceeds {} bytes; split the request or raise the \
+                         server's line limit",
+                        context.max_line_bytes
+                    ),
+                });
+                buf.clear();
+                if drain_oversized_line(&mut reader) {
+                    continue;
+                }
+                break;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -229,35 +400,56 @@ fn handle_connection(
                 spec_text,
                 options,
                 events,
+                priority,
             }) => submit_job(
                 context,
                 &reply,
+                &ticket,
                 &mut my_jobs,
                 &spec_text,
                 options,
+                priority,
                 JobKind::Synth {
                     stream_events: events,
                 },
             ),
-            Ok(Request::Check { spec_text, options }) => submit_job(
+            Ok(Request::Check {
+                spec_text,
+                options,
+                priority,
+            }) => submit_job(
                 context,
                 &reply,
+                &ticket,
                 &mut my_jobs,
                 &spec_text,
                 options,
+                priority,
                 JobKind::Check,
             ),
             Ok(Request::Batch {
                 spec_texts,
                 options,
-            }) => submit_batch(context, &reply, &mut my_jobs, &spec_texts, options),
+                priority,
+            }) => submit_batch(
+                context,
+                &reply,
+                &ticket,
+                &mut my_jobs,
+                &spec_texts,
+                options,
+                priority,
+            ),
             Ok(Request::Status) => {
                 reply.send(Response::Status {
-                    queued: context.queue.queued(),
+                    queued: context.queue.queued_weight(),
+                    queue_jobs: context.queue.queued(),
+                    queue_capacity: context.queue.limits().capacity,
                     running: context.queue.running(),
                     completed: context.queue.completed(),
                     cancelled: context.queue.cancelled(),
                     panicked: context.queue.panicked(),
+                    shed: context.queue.shed_total(),
                     workers: context.workers,
                     cache: context.cache.as_deref().map(ResultCache::stats),
                 });
@@ -313,17 +505,37 @@ fn op_counter(request: &Request) -> &'static str {
 }
 
 /// Builds the `metrics` response: the registry's request counters plus
-/// job-lifecycle counters from the queue and cache counters, with
-/// point-in-time gauges (queue depth, busy workers, cache hit ratio in
-/// permille — an integer, so renders are byte-stable).
+/// job-lifecycle and shed counters from the queue and cache counters,
+/// with point-in-time gauges (weighted queue depth — total and per
+/// priority class — raw queued-job count, capacity, busy workers, cache
+/// hit ratio in permille — an integer, so renders are byte-stable).
 fn metrics_snapshot(context: &ServerContext) -> Response {
     let mut counters = context.registry.snapshot_counters();
     counters.set("jobs_completed", context.queue.completed());
     counters.set("jobs_cancelled", context.queue.cancelled());
     counters.set("worker_panics", context.queue.panicked());
+    counters.set("shed_total", context.queue.shed_total());
+    counters.set("shed_queue_full", context.queue.shed_queue_full());
+    counters.set("shed_client_quota", context.queue.shed_client_quota());
     let as64 = |n: usize| u64::try_from(n).unwrap_or(u64::MAX);
     let mut gauges = Counters::new();
-    gauges.set("queue_depth", as64(context.queue.queued()));
+    // `queue_depth` is the weighted backlog — what admission bounds; a
+    // queued batch of 45 specs contributes 45. The raw job count rides
+    // alongside as `queue_jobs`.
+    gauges.set("queue_depth", as64(context.queue.queued_weight()));
+    let by_class = context.queue.queued_weight_by_class();
+    for priority in Priority::ALL {
+        gauges.set(
+            match priority {
+                Priority::High => "queue_depth_high",
+                Priority::Normal => "queue_depth_normal",
+                Priority::Low => "queue_depth_low",
+            },
+            as64(by_class[priority.index()]),
+        );
+    }
+    gauges.set("queue_jobs", as64(context.queue.queued()));
+    gauges.set("queue_capacity", as64(context.queue.limits().capacity));
     gauges.set("jobs_running", as64(context.queue.running()));
     gauges.set("workers", as64(context.workers));
     if let Some(cache) = context.cache.as_deref() {
@@ -338,12 +550,15 @@ fn metrics_snapshot(context: &ServerContext) -> Response {
     Response::Metrics { counters, gauges }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn submit_job(
     context: &ServerContext,
     reply: &Reply,
+    ticket: &Arc<ClientTicket>,
     my_jobs: &mut Vec<u64>,
     spec_text: &str,
     options: asyncsynth::SynthesisOptions,
+    priority: Priority,
     kind: JobKind,
 ) {
     let spec = match parse_g(spec_text) {
@@ -356,7 +571,6 @@ fn submit_job(
             return;
         }
     };
-    let id = context.queue.next_job_id();
     let stage = match kind {
         JobKind::Synth { .. } | JobKind::Batch { .. } => CacheStage::Full,
         JobKind::Check => CacheStage::Check,
@@ -365,8 +579,9 @@ fn submit_job(
         .cache
         .as_ref()
         .map(|_| cache_key(&spec, &options, stage).to_hex());
-    reply.send(Response::Accepted { job: id, key });
-    enqueue(context, reply, my_jobs, id, spec, options, kind);
+    enqueue(
+        context, reply, ticket, my_jobs, spec, options, priority, kind, key,
+    );
 }
 
 /// Parses every member of a batch request and enqueues the whole batch
@@ -376,9 +591,11 @@ fn submit_job(
 fn submit_batch(
     context: &ServerContext,
     reply: &Reply,
+    ticket: &Arc<ClientTicket>,
     my_jobs: &mut Vec<u64>,
     spec_texts: &[String],
     options: asyncsynth::SynthesisOptions,
+    priority: Priority,
 ) {
     let mut specs = Vec::with_capacity(spec_texts.len());
     for (i, text) in spec_texts.iter().enumerate() {
@@ -393,51 +610,79 @@ fn submit_batch(
             }
         }
     }
-    let Some((first, rest)) = specs.split_first() else {
+    let mut specs = specs.into_iter();
+    let Some(first) = specs.next() else {
         reply.send(Response::Error {
             job: None,
             message: "empty batch".to_owned(),
         });
         return;
     };
-    let id = context.queue.next_job_id();
-    reply.send(Response::Accepted { job: id, key: None });
     enqueue(
         context,
         reply,
+        ticket,
         my_jobs,
-        id,
-        first.clone(),
+        first,
         options,
+        priority,
         JobKind::Batch {
-            rest: rest.to_vec(),
+            rest: specs.collect(),
         },
+        None,
     );
 }
 
+/// Runs admission control and queues the job. The `accepted`
+/// acknowledgement is sent from inside [`JobQueue::submit`]'s admission
+/// callback — under the queue lock, *before* the job is visible to any
+/// worker — so it always precedes the job's result on this connection's
+/// response channel. A shed submission sends `rejected` (with the
+/// current weighted depth and a backoff hint) and queues nothing.
+#[allow(clippy::too_many_arguments)]
 fn enqueue(
     context: &ServerContext,
     reply: &Reply,
+    ticket: &Arc<ClientTicket>,
     my_jobs: &mut Vec<u64>,
-    id: u64,
     spec: stg::Stg,
     options: asyncsynth::SynthesisOptions,
+    priority: Priority,
     kind: JobKind,
+    key: Option<String>,
 ) {
+    let id = context.queue.next_job_id();
     let job = Job {
         id,
         spec,
         options,
         kind,
+        priority,
+        client: Arc::clone(ticket),
         cancel: Arc::new(AtomicBool::new(false)),
         reply: reply.clone(),
     };
-    if let Err(job) = context.queue.submit(job) {
-        reply.send(Response::Error {
-            job: Some(job.id),
-            message: "server is shutting down".to_owned(),
-        });
-    } else {
-        my_jobs.push(id);
+    let admitted = context.queue.submit(job, |job| {
+        reply.send(Response::Accepted { job: job.id, key });
+    });
+    match admitted {
+        Ok(()) => my_jobs.push(id),
+        Err((job, Rejection::Closed)) => {
+            reply.send(Response::Error {
+                job: Some(job.id),
+                message: "server is shutting down".to_owned(),
+            });
+        }
+        Err((_, rejection)) => {
+            context.registry.incr(match rejection {
+                Rejection::QueueFull => "rejected_queue_full",
+                Rejection::ClientQuota | Rejection::Closed => "rejected_client_quota",
+            });
+            reply.send(Response::Rejected {
+                reason: rejection.reason().to_owned(),
+                queue_depth: u64::try_from(context.queue.queued_weight()).unwrap_or(u64::MAX),
+                retry_after_ms: context.queue.retry_after_ms(),
+            });
+        }
     }
 }
